@@ -1,0 +1,64 @@
+//! Criterion bench: brute-force vs kd-tree k-NN across dimensionality.
+//!
+//! Quantifies why the workspace's re-samplers default to the parallel
+//! brute-force kernel: the kd-tree wins decisively in 2-D, but its
+//! pruning collapses near d ≈ 30 (the Credit Fraud width), where a
+//! straight scan with good cache behaviour is as fast or faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spe_data::{Matrix, SeededRng};
+use spe_learners::kdtree::KdTree;
+use spe_learners::neighbors::knn_query;
+use std::hint::black_box;
+
+fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = SeededRng::new(seed);
+    Matrix::from_vec(n, d, (0..n * d).map(|_| rng.uniform()).collect())
+}
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let n = 5_000;
+    let k = 5;
+    let mut group = c.benchmark_group("knn_query_5k");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.sample_size(20);
+    for d in [2usize, 10, 30] {
+        let m = random_matrix(n, d, d as u64);
+        let tree = KdTree::build(&m);
+        let mut rng = SeededRng::new(99);
+        let queries: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..d).map(|_| rng.uniform()).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("brute", d), &d, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(knn_query(&m, q, k, None));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("kdtree", d), &d, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tree.query(q, k, None));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for n in [5_000usize, 20_000] {
+        let m = random_matrix(n, 10, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(KdTree::build(m)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality, bench_build);
+criterion_main!(benches);

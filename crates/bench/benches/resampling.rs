@@ -1,0 +1,81 @@
+//! Criterion bench: re-sampling wall time (the Time(s) column of
+//! Table V). The point the paper makes — distance-based methods cost
+//! orders of magnitude more than random/SPE sampling and the gap grows
+//! with dataset size — shows directly in these numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spe_core::SelfPacedSampler;
+use spe_data::SeededRng;
+use spe_datasets::credit_fraud_sim;
+use spe_sampling::{
+    EditedNearestNeighbours, NearMiss, NeighbourhoodCleaningRule, RandomOverSampler,
+    RandomUnderSampler, Sampler, Smote, TomekLinks,
+};
+use std::hint::black_box;
+
+fn bench_resamplers(c: &mut Criterion) {
+    let data = credit_fraud_sim(6_000, 1);
+    let mut group = c.benchmark_group("resampling_6k");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.sample_size(10);
+
+    let fast: Vec<(&str, Box<dyn Sampler>)> = vec![
+        ("RandUnder", Box::new(RandomUnderSampler::default())),
+        ("RandOver", Box::new(RandomOverSampler::default())),
+        ("SMOTE", Box::new(Smote::default())),
+    ];
+    for (name, s) in &fast {
+        group.bench_function(BenchmarkId::new("fast", *name), |b| {
+            b.iter(|| black_box(s.resample(&data, 7)));
+        });
+    }
+
+    let distance_based: Vec<(&str, Box<dyn Sampler>)> = vec![
+        ("NearMiss", Box::new(NearMiss::default())),
+        ("ENN", Box::new(EditedNearestNeighbours::default())),
+        ("TomekLink", Box::new(TomekLinks)),
+        ("Clean", Box::new(NeighbourhoodCleaningRule::default())),
+    ];
+    for (name, s) in &distance_based {
+        group.bench_function(BenchmarkId::new("distance", *name), |b| {
+            b.iter(|| black_box(s.resample(&data, 7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_self_paced_sampler(c: &mut Criterion) {
+    // The SPE sampling step itself: binning + quota + draw over a large
+    // majority hardness vector. This is the per-iteration overhead SPE
+    // adds on top of base-model training.
+    let mut rng = SeededRng::new(3);
+    let hardness: Vec<f64> = (0..300_000).map(|_| rng.uniform()).collect();
+    let sampler = SelfPacedSampler { k_bins: 20 };
+    c.bench_function("self_paced_sample_300k", |b| {
+        let mut r = SeededRng::new(4);
+        b.iter(|| black_box(sampler.sample(&hardness, 0.5, 1_000, &mut r)));
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Quadratic blow-up of a distance-based cleaner vs linear SPE-style
+    // random sampling, across dataset sizes.
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for n in [1_000usize, 2_000, 4_000] {
+        let data = credit_fraud_sim(n, 2);
+        group.bench_with_input(BenchmarkId::new("ENN", n), &data, |b, d| {
+            let s = EditedNearestNeighbours::default();
+            b.iter(|| black_box(s.resample(d, 5)));
+        });
+        group.bench_with_input(BenchmarkId::new("RandUnder", n), &data, |b, d| {
+            let s = RandomUnderSampler::default();
+            b.iter(|| black_box(s.resample(d, 5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resamplers, bench_self_paced_sampler, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: end-to-end training cost of SPE vs the ensemble
+//! baselines (the efficiency claim of §VI-C: SPE touches only
+//! `2·|P|·n` samples while SMOTE-based ensembles touch millions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::train_val_test_split;
+use spe_datasets::credit_fraud_sim;
+use spe_ensembles::{RusBoost, SmoteBagging, UnderBagging};
+use spe_learners::traits::{Learner, SharedLearner};
+use spe_learners::DecisionTreeConfig;
+use spe_sampling::Sampler;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_ensemble_training(c: &mut Criterion) {
+    let data = credit_fraud_sim(8_000, 1);
+    let split = train_val_test_split(&data, 0.6, 0.2, 1);
+    let train = split.train;
+    let c45: SharedLearner = Arc::new(DecisionTreeConfig::c45(10));
+
+    let mut group = c.benchmark_group("train_credit8k_n10");
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.sample_size(10);
+    group.bench_function("SPE10", |b| {
+        let cfg = SelfPacedEnsembleConfig::with_base(10, Arc::clone(&c45));
+        b.iter(|| black_box(cfg.fit_dataset(&train, 2)));
+    });
+    group.bench_function("UnderBagging10", |b| {
+        let cfg = UnderBagging::with_base(10, Arc::clone(&c45));
+        b.iter(|| black_box(cfg.fit(train.x(), train.y(), 2)));
+    });
+    group.bench_function("RUSBoost10", |b| {
+        let cfg = RusBoost {
+            n_rounds: 10,
+            base: Arc::clone(&c45),
+        };
+        b.iter(|| black_box(cfg.fit(train.x(), train.y(), 2)));
+    });
+    group.bench_function("SMOTEBagging10", |b| {
+        let cfg = SmoteBagging {
+            n_estimators: 10,
+            base: Arc::clone(&c45),
+            k: 5,
+        };
+        b.iter(|| black_box(cfg.fit(train.x(), train.y(), 2)));
+    });
+    group.finish();
+}
+
+fn bench_base_learners(c: &mut Criterion) {
+    // Single-model fit cost on one balanced SPE-style subset — the unit
+    // of work every under-sampling ensemble repeats n times.
+    let data = credit_fraud_sim(8_000, 3);
+    let balanced = spe_sampling::RandomUnderSampler::default().resample(&data, 3);
+    let mut group = c.benchmark_group("base_fit_balanced_subset");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let learners: Vec<(&str, Box<dyn Learner>)> = vec![
+        ("DT", Box::new(DecisionTreeConfig::with_depth(10))),
+        ("KNN", Box::new(spe_learners::KnnConfig::new(5))),
+        ("LR", Box::new(spe_learners::LogisticRegressionConfig::default())),
+        ("GBDT10", Box::new(spe_learners::GbdtConfig::new(10))),
+        ("AdaBoost10", Box::new(spe_learners::AdaBoostConfig::new(10))),
+    ];
+    for (name, l) in &learners {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(l.fit(balanced.x(), balanced.y(), 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ensemble_training, bench_base_learners);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 4: dumps one checkerboard dataset (the paper's illustration of
+//! the synthetic task) to CSV for plotting.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin fig4
+//! ```
+
+use spe_bench::harness::{experiments_dir, Args};
+use spe_data::csv::write_dataset;
+use spe_datasets::{checkerboard, CheckerboardConfig};
+
+fn main() {
+    let args = Args::parse(1);
+    let cfg = CheckerboardConfig {
+        n_minority: args.sized(1_000),
+        n_majority: args.sized(10_000),
+        ..CheckerboardConfig::default()
+    };
+    let data = checkerboard(&cfg, 42);
+    let path = experiments_dir().join("fig4_checkerboard.csv");
+    write_dataset(&path, &data).expect("write dataset CSV");
+    println!(
+        "Fig. 4: checkerboard dataset (|P|={}, |N|={}, cov={}) → {}",
+        data.n_positive(),
+        data.n_negative(),
+        cfg.cov,
+        path.display()
+    );
+}

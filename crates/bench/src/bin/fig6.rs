@@ -1,0 +1,117 @@
+//! Fig. 6: visualization data for five imbalance methods on the
+//! checkerboard — the (re-sampled) training sets they actually fit on,
+//! and each final model's predicted-probability field over a grid.
+//!
+//! Outputs:
+//! - `fig6_train_<method>[_iterN].csv` — training points (x0, x1, label)
+//! - `fig6_proba_<method>.csv`        — grid probability field
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin fig6
+//! ```
+
+use spe_bench::harness::{experiments_dir, Args};
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::csv::{write_csv, write_dataset};
+use spe_data::{train_val_test_split, Dataset, Matrix, SeededRng};
+use spe_datasets::{checkerboard, CheckerboardConfig};
+use spe_learners::traits::{Model, SharedLearner};
+use spe_learners::DecisionTreeConfig;
+use spe_sampling::{NeighbourhoodCleaningRule, Sampler, Smote};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Evaluates a model's probability field on a `res x res` grid spanning
+/// the checkerboard and writes `x0,x1,proba` rows.
+fn write_proba_field(dir: &Path, name: &str, model: &dyn Model, res: usize) {
+    let mut grid = Matrix::with_capacity(res * res, 2);
+    for i in 0..res {
+        for j in 0..res {
+            let x0 = -0.5 + 5.0 * (i as f64) / (res as f64 - 1.0);
+            let x1 = -0.5 + 5.0 * (j as f64) / (res as f64 - 1.0);
+            grid.push_row(&[x0, x1]);
+        }
+    }
+    let probs = model.predict_proba(&grid);
+    let rows: Vec<Vec<f64>> = grid
+        .iter_rows()
+        .zip(&probs)
+        .map(|(r, &p)| vec![r[0], r[1], p])
+        .collect();
+    write_csv(&dir.join(format!("fig6_proba_{name}.csv")), &["x0", "x1", "proba"], &rows)
+        .expect("write proba field");
+}
+
+fn main() {
+    let args = Args::parse(1);
+    let dir = experiments_dir();
+    let res = 60;
+    let seed = 13;
+    let cfg = CheckerboardConfig {
+        n_minority: args.sized(1_000),
+        n_majority: args.sized(10_000),
+        ..CheckerboardConfig::default()
+    };
+    let data = checkerboard(&cfg, seed);
+    let split = train_val_test_split(&data, 0.6, 0.2, seed);
+    let base: SharedLearner = Arc::new(DecisionTreeConfig::with_depth(10));
+
+    // Clean and SMOTE: dump the resampled set and the single model.
+    for (name, sampler) in [
+        ("clean", Box::new(NeighbourhoodCleaningRule::default()) as Box<dyn Sampler>),
+        ("smote", Box::new(Smote::default())),
+    ] {
+        let resampled = sampler.resample(&split.train, seed);
+        write_dataset(&dir.join(format!("fig6_train_{name}.csv")), &resampled)
+            .expect("write training set");
+        let model = base.fit(resampled.x(), resampled.y(), seed);
+        write_proba_field(&dir, name, model.as_ref(), res);
+        println!("fig6: {name} ({} training samples)", resampled.len());
+    }
+
+    // Easy (under-bagging): dump the 5th and 10th bag.
+    {
+        let idx = split.train.class_index();
+        let mut rng = SeededRng::new(seed);
+        let mut models: Vec<Box<dyn Model>> = Vec::new();
+        for m in 1..=10usize {
+            let mut keep = rng.sample_from(&idx.majority, idx.minority.len());
+            keep.extend_from_slice(&idx.minority);
+            let bag = split.train.select(&keep);
+            if m == 5 || m == 10 {
+                write_dataset(&dir.join(format!("fig6_train_easy_iter{m}.csv")), &bag)
+                    .expect("write bag");
+            }
+            models.push(base.fit(bag.x(), bag.y(), seed + m as u64));
+        }
+        let ensemble = spe_learners::ensemble::SoftVoteEnsemble::new(models);
+        write_proba_field(&dir, "easy", &ensemble, res);
+        println!("fig6: easy (10 bags)");
+    }
+
+    // Cascade and SPE: use the traced fits.
+    {
+        let cascade = spe_ensembles::BalanceCascade::with_base(10, Arc::clone(&base));
+        let model = cascade.fit_dataset(&split.train, seed);
+        write_proba_field(&dir, "cascade", &model, res);
+        println!("fig6: cascade");
+    }
+    {
+        let spe_cfg = SelfPacedEnsembleConfig::with_base(10, Arc::clone(&base));
+        let (model, trace) = spe_cfg.fit_dataset_traced(&split.train, seed);
+        // Reconstruct the training sets of the 5th and 10th member.
+        let idx = split.train.class_index();
+        for m in [5usize, 10] {
+            let sel = &trace.selections[m - 1];
+            let mut keep: Vec<usize> = sel.iter().map(|&p| trace.majority_rows[p]).collect();
+            keep.extend_from_slice(&idx.minority);
+            let subset: Dataset = split.train.select(&keep);
+            write_dataset(&dir.join(format!("fig6_train_spe_iter{m}.csv")), &subset)
+                .expect("write SPE subset");
+        }
+        write_proba_field(&dir, "spe", &model, res);
+        println!("fig6: spe (traced iterations 5 and 10)");
+    }
+
+    println!("Fig. 6 artifacts written to {}", dir.display());
+}

@@ -1,0 +1,90 @@
+//! Fig. 7: generalized AUCPRC of ensemble methods as the number of base
+//! classifiers n grows (paper: 1..100), on the Credit Fraud and Payment
+//! Simulation tasks.
+//!
+//! Like the paper, SMOTE-based ensembles are only run on Credit Fraud
+//! (they are computationally disproportionate on the larger mixed-type
+//! Payment data); pass `--quick` to cap n at 20.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin fig7 [-- --runs 3]
+//! ```
+
+use spe_bench::harness::{Args, ExperimentTable};
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::train_val_test_split;
+use spe_datasets::{credit_fraud_sim, payment_sim};
+use spe_ensembles::{BalanceCascade, RusBoost, SmoteBagging, SmoteBoost, UnderBagging};
+use spe_learners::traits::{Learner, SharedLearner};
+use spe_learners::DecisionTreeConfig;
+use spe_metrics::{aucprc, MeanStd};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse(3);
+    let sizes: Vec<usize> = if args.quick {
+        vec![1, 2, 5, 10, 20]
+    } else {
+        vec![1, 2, 5, 10, 20, 50, 100]
+    };
+    let c45: SharedLearner = Arc::new(DecisionTreeConfig::c45(10));
+
+    let mut table = ExperimentTable::new(
+        "fig7",
+        &["Dataset", "Method", "n", "AUCPRC", "std"],
+    );
+
+    for (dataset_name, n_rows, with_smote) in [
+        ("Credit Fraud", args.sized(40_000), true),
+        ("Payment Simulation", args.sized(100_000), false),
+    ] {
+        for &n in &sizes {
+            eprintln!("[fig7] {dataset_name}, n = {n} ...");
+            let mut methods: Vec<(&str, Box<dyn Learner>)> = vec![
+                ("SPE", Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45)))),
+                ("Cascade", Box::new(BalanceCascade::with_base(n, Arc::clone(&c45)))),
+                ("UnderBagging", Box::new(UnderBagging::with_base(n, Arc::clone(&c45)))),
+                ("RUSBoost", Box::new(RusBoost { n_rounds: n, base: Arc::clone(&c45) })),
+            ];
+            if with_smote {
+                methods.push((
+                    "SMOTEBagging",
+                    Box::new(SmoteBagging { n_estimators: n, base: Arc::clone(&c45), k: 5 }),
+                ));
+                methods.push((
+                    "SMOTEBoost",
+                    Box::new(SmoteBoost { n_rounds: n, base: Arc::clone(&c45), k: 5 }),
+                ));
+            }
+            let mut aucs: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+            for run in 0..args.runs {
+                let seed = 7000 + run as u64;
+                let data = if dataset_name == "Credit Fraud" {
+                    credit_fraud_sim(n_rows, seed)
+                } else {
+                    payment_sim(n_rows, seed)
+                };
+                let split = train_val_test_split(&data, 0.6, 0.2, seed);
+                for ((_, learner), store) in methods.iter().zip(&mut aucs) {
+                    let model = learner.fit(split.train.x(), split.train.y(), seed);
+                    store.push(aucprc(split.test.y(), &model.predict_proba(split.test.x())));
+                }
+            }
+            for ((name, _), store) in methods.iter().zip(&aucs) {
+                let ms = MeanStd::of(store);
+                table.push_row(vec![
+                    dataset_name.into(),
+                    (*name).into(),
+                    format!("{n}"),
+                    format!("{:.4}", ms.mean),
+                    format!("{:.4}", ms.std),
+                ]);
+            }
+        }
+    }
+
+    table.finish(&format!(
+        "Fig. 7: AUCPRC vs number of base classifiers ({} runs)",
+        args.runs
+    ));
+}

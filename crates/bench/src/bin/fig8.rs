@@ -1,0 +1,78 @@
+//! Fig. 8: sensitivity of SPE₁₀ to its two remaining hyper-parameters —
+//! the number of hardness bins k (1..50) and the hardness function
+//! (absolute error / squared error / cross entropy) — on the Credit
+//! Fraud and Payment Simulation tasks.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin fig8 [-- --runs 5]
+//! ```
+
+use spe_bench::harness::{Args, ExperimentTable};
+use spe_core::{HardnessFn, SelfPacedEnsembleConfig};
+use spe_data::train_val_test_split;
+use spe_datasets::{credit_fraud_sim, payment_sim};
+use spe_learners::traits::{Model, SharedLearner};
+use spe_learners::DecisionTreeConfig;
+use spe_metrics::{aucprc, MeanStd};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse(5);
+    let ks: Vec<usize> = if args.quick {
+        vec![1, 5, 20, 50]
+    } else {
+        vec![1, 2, 3, 5, 10, 15, 20, 30, 40, 50]
+    };
+    let hardness_fns = [
+        HardnessFn::AbsoluteError,
+        HardnessFn::SquaredError,
+        HardnessFn::CrossEntropy,
+    ];
+    let base: SharedLearner = Arc::new(DecisionTreeConfig::with_depth(10));
+
+    let mut table = ExperimentTable::new(
+        "fig8",
+        &["Dataset", "Hardness", "k", "AUCPRC", "std"],
+    );
+
+    for (dataset_name, n_rows) in [
+        ("Credit Fraud", args.sized(40_000)),
+        ("Payment Simulation", args.sized(100_000)),
+    ] {
+        eprintln!("[fig8] {dataset_name} ...");
+        for &h in &hardness_fns {
+            for &k in &ks {
+                let mut aucs = Vec::new();
+                for run in 0..args.runs {
+                    let seed = 8000 + run as u64;
+                    let data = if dataset_name == "Credit Fraud" {
+                        credit_fraud_sim(n_rows, seed)
+                    } else {
+                        payment_sim(n_rows, seed)
+                    };
+                    let split = train_val_test_split(&data, 0.6, 0.2, seed);
+                    let cfg = SelfPacedEnsembleConfig {
+                        k_bins: k,
+                        hardness: h,
+                        ..SelfPacedEnsembleConfig::with_base(10, Arc::clone(&base))
+                    };
+                    let model = cfg.fit_dataset(&split.train, seed);
+                    aucs.push(aucprc(split.test.y(), &model.predict_proba(split.test.x())));
+                }
+                let ms = MeanStd::of(&aucs);
+                table.push_row(vec![
+                    dataset_name.into(),
+                    h.short_name().into(),
+                    format!("{k}"),
+                    format!("{:.4}", ms.mean),
+                    format!("{:.4}", ms.std),
+                ]);
+            }
+        }
+    }
+
+    table.finish(&format!(
+        "Fig. 8: SPE10 sensitivity to bins k and hardness function ({} runs)",
+        args.runs
+    ));
+}

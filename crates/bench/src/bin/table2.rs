@@ -1,0 +1,68 @@
+//! Table II: generalized AUCPRC on the checkerboard dataset — 6
+//! imbalance methods × 8 canonical classifiers.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin table2 [-- --runs 10 --scale 1.0]
+//! ```
+
+use spe_bench::harness::{Args, ExperimentTable};
+use spe_bench::methods::paper_method_lineup;
+use spe_data::train_val_test_split;
+use spe_datasets::{checkerboard, CheckerboardConfig};
+use spe_learners::traits::SharedLearner;
+use spe_learners::{
+    AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GbdtConfig, KnnConfig, MlpConfig,
+    RandomForestConfig, SvmConfig,
+};
+use spe_metrics::MeanStd;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse(10);
+    // Paper hyper-parameters (Table II, "Hyper" column).
+    let classifiers: Vec<(&str, &str, SharedLearner)> = vec![
+        ("KNN", "k_neighbors=5", Arc::new(KnnConfig::new(5))),
+        ("DT", "max_depth=10", Arc::new(DecisionTreeConfig::with_depth(10))),
+        ("MLP", "hidden_unit=128", Arc::new(MlpConfig::with_hidden(128))),
+        ("SVM", "C=1000", Arc::new(SvmConfig::rbf(1000.0, 1.0))),
+        ("AdaBoost10", "n_estimator=10", Arc::new(AdaBoostConfig::new(10))),
+        ("Bagging10", "n_estimator=10", Arc::new(BaggingConfig::new(10))),
+        ("RandForest10", "n_estimator=10", Arc::new(RandomForestConfig::new(10))),
+        ("GBDT10", "boost_rounds=10", Arc::new(GbdtConfig::new(10))),
+    ];
+
+    let cfg = CheckerboardConfig {
+        n_minority: args.sized(1_000),
+        n_majority: args.sized(10_000),
+        ..CheckerboardConfig::default()
+    };
+
+    let mut table = ExperimentTable::new(
+        "table2",
+        &["Model", "Hyper", "RandUnder", "Clean", "SMOTE", "Easy10", "Cascade10", "SPE10"],
+    );
+
+    for (model_name, hyper, base) in classifiers {
+        eprintln!("[table2] {model_name} ...");
+        let methods = paper_method_lineup(base, 10, true);
+        let mut cells: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+        for run in 0..args.runs {
+            let seed = 1000 + run as u64;
+            let data = checkerboard(&cfg, seed);
+            let split = train_val_test_split(&data, 0.6, 0.2, seed);
+            for ((_, fit), cell) in methods.iter().zip(&mut cells) {
+                let model = fit(&split.train, seed);
+                let probs = model.predict_proba(split.test.x());
+                cell.push(spe_metrics::aucprc(split.test.y(), &probs));
+            }
+        }
+        let mut row = vec![model_name.to_string(), hyper.to_string()];
+        row.extend(cells.iter().map(|c| MeanStd::of(c).to_string()));
+        table.push_row(row);
+    }
+
+    table.finish(&format!(
+        "Table II: AUCPRC on checkerboard (|P|={}, |N|={}, {} runs)",
+        cfg.n_minority, cfg.n_majority, args.runs
+    ));
+}

@@ -1,0 +1,133 @@
+//! Table V: 12 re-sampling methods × 5 classifiers on the simulated
+//! Credit Fraud task — AUCPRC, number of training samples, and
+//! re-sampling wall time.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin table5 [-- --runs 3 --scale 1.0]
+//! ```
+
+use spe_bench::harness::{Args, ExperimentTable};
+use spe_bench::methods::spe_with;
+use spe_data::{train_val_test_split, Dataset};
+use spe_datasets::credit_fraud_sim;
+use spe_learners::traits::SharedLearner;
+use spe_learners::{AdaBoostConfig, DecisionTreeConfig, GbdtConfig, KnnConfig, LogisticRegressionConfig};
+use spe_metrics::{aucprc, MeanStd};
+use spe_sampling::{
+    Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NeighbourhoodCleaningRule,
+    NoResampling, OneSideSelection, RandomOverSampler, RandomUnderSampler, Sampler, Smote,
+    SmoteEnn, SmoteTomek, TomekLinks,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn samplers() -> Vec<(&'static str, &'static str, Box<dyn Sampler>)> {
+    vec![
+        ("No re-sampling", "ORG", Box::new(NoResampling)),
+        ("Under-sampling", "RandUnder", Box::new(RandomUnderSampler::default())),
+        ("Under-sampling", "NearMiss", Box::new(NearMiss::default())),
+        ("Under-sampling", "Clean", Box::new(NeighbourhoodCleaningRule::default())),
+        ("Under-sampling", "ENN", Box::new(EditedNearestNeighbours::default())),
+        ("Under-sampling", "TomekLink", Box::new(TomekLinks)),
+        ("Under-sampling", "AllKNN", Box::new(AllKnn::default())),
+        ("Under-sampling", "OSS", Box::new(OneSideSelection)),
+        ("Over-sampling", "RandOver", Box::new(RandomOverSampler::default())),
+        ("Over-sampling", "SMOTE", Box::new(Smote::default())),
+        ("Over-sampling", "ADASYN", Box::new(Adasyn::default())),
+        ("Over-sampling", "BorderSMOTE", Box::new(BorderlineSmote::default())),
+        ("Hybrid-sampling", "SMOTEENN", Box::new(SmoteEnn::default())),
+        ("Hybrid-sampling", "SMOTETomek", Box::new(SmoteTomek::default())),
+    ]
+}
+
+fn classifiers() -> Vec<(&'static str, SharedLearner)> {
+    vec![
+        ("LR", Arc::new(LogisticRegressionConfig::default())),
+        ("KNN", Arc::new(KnnConfig::new(5))),
+        ("DT", Arc::new(DecisionTreeConfig::with_depth(10))),
+        ("AdaBoost10", Arc::new(AdaBoostConfig::new(10))),
+        ("GBDT10", Arc::new(GbdtConfig::new(10))),
+    ]
+}
+
+fn main() {
+    let args = Args::parse(3);
+    let n = args.sized(40_000);
+
+    let clfs = classifiers();
+    let mut table = ExperimentTable::new(
+        "table5",
+        &[
+            "Category", "Method", "LR", "KNN", "DT", "AdaBoost10", "GBDT10", "#Sample",
+            "Time(s)",
+        ],
+    );
+
+    // Per method: AUCPRC per classifier per run, plus sample counts and
+    // resampling times.
+    struct Acc {
+        aucs: Vec<Vec<f64>>,
+        n_samples: Vec<f64>,
+        times: Vec<f64>,
+    }
+    let methods = samplers();
+    let mut accs: Vec<Acc> = methods
+        .iter()
+        .map(|_| Acc {
+            aucs: vec![Vec::new(); clfs.len()],
+            n_samples: Vec::new(),
+            times: Vec::new(),
+        })
+        .collect();
+    // SPE row accumulators.
+    let mut spe_aucs: Vec<Vec<f64>> = vec![Vec::new(); clfs.len()];
+    let mut spe_samples: Vec<f64> = Vec::new();
+
+    for run in 0..args.runs {
+        let seed = 3000 + run as u64;
+        let data = credit_fraud_sim(n, seed);
+        let split = train_val_test_split(&data, 0.6, 0.2, seed);
+        eprintln!(
+            "[table5] run {run}: train {} samples, |P| = {}",
+            split.train.len(),
+            split.train.n_positive()
+        );
+        for ((_, name, sampler), acc) in methods.iter().zip(&mut accs) {
+            let t0 = Instant::now();
+            let resampled: Dataset = sampler.resample(&split.train, seed);
+            let elapsed = t0.elapsed().as_secs_f64();
+            eprintln!("[table5]   {name}: {} samples, {elapsed:.2}s", resampled.len());
+            acc.times.push(elapsed);
+            acc.n_samples.push(resampled.len() as f64);
+            for ((_, base), auc_store) in clfs.iter().zip(&mut acc.aucs) {
+                let model = base.fit(resampled.x(), resampled.y(), seed);
+                auc_store.push(aucprc(split.test.y(), &model.predict_proba(split.test.x())));
+            }
+        }
+        // SPE10 row (under-sampling + ensemble).
+        spe_samples.push((2 * split.train.n_positive() * 10) as f64);
+        for ((_, base), auc_store) in clfs.iter().zip(&mut spe_aucs) {
+            let fit = spe_with(10, Arc::clone(base));
+            let model = fit(&split.train, seed);
+            auc_store.push(aucprc(split.test.y(), &model.predict_proba(split.test.x())));
+        }
+    }
+
+    for ((category, name, _), acc) in methods.iter().zip(&accs) {
+        let mut row = vec![(*category).to_string(), (*name).to_string()];
+        row.extend(acc.aucs.iter().map(|a| MeanStd::of(a).to_string()));
+        row.push(format!("{:.0}", MeanStd::of(&acc.n_samples).mean));
+        row.push(format!("{:.2}", MeanStd::of(&acc.times).mean));
+        table.push_row(row);
+    }
+    let mut row = vec!["Under-sampling + Ensemble".to_string(), "SPE10".to_string()];
+    row.extend(spe_aucs.iter().map(|a| MeanStd::of(a).to_string()));
+    row.push(format!("{:.0}x10", MeanStd::of(&spe_samples).mean / 10.0));
+    row.push("(per-member, see bench `resampling`)".to_string());
+    table.push_row(row);
+
+    table.finish(&format!(
+        "Table V: AUCPRC of re-sampling methods on credit-fraud sim (n={n}, {} runs)",
+        args.runs
+    ));
+}

@@ -1,0 +1,81 @@
+//! Table VI: 6 ensemble methods × n ∈ {10, 20, 50} base classifiers on
+//! the simulated Credit Fraud task, with C4.5 base models — four
+//! metrics plus the total number of training samples consumed.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin table6 [-- --runs 5 --scale 1.0]
+//! ```
+
+use spe_bench::harness::{Args, ExperimentTable};
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::train_val_test_split;
+use spe_datasets::credit_fraud_sim;
+use spe_ensembles::{BalanceCascade, RusBoost, SmoteBagging, SmoteBoost, UnderBagging};
+use spe_learners::traits::{Learner, SharedLearner};
+use spe_learners::DecisionTreeConfig;
+use spe_metrics::{MeanStd, MetricSet, RunAggregator};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse(5);
+    let n_rows = args.sized(40_000);
+    let c45: SharedLearner = Arc::new(DecisionTreeConfig::c45(10));
+
+    let sizes = if args.quick { vec![10] } else { vec![10, 20, 50] };
+    let mut table = ExperimentTable::new(
+        "table6",
+        &[
+            "n", "Metric", "RUSBoost", "SMOTEBoost", "UnderBagging", "SMOTEBagging", "Cascade",
+            "SPE",
+        ],
+    );
+
+    for &n in &sizes {
+        eprintln!("[table6] n = {n} ...");
+        let methods: Vec<(&str, Box<dyn Learner>)> = vec![
+            ("RUSBoost", Box::new(RusBoost { n_rounds: n, base: Arc::clone(&c45) })),
+            ("SMOTEBoost", Box::new(SmoteBoost { n_rounds: n, base: Arc::clone(&c45), k: 5 })),
+            ("UnderBagging", Box::new(UnderBagging::with_base(n, Arc::clone(&c45)))),
+            ("SMOTEBagging", Box::new(SmoteBagging { n_estimators: n, base: Arc::clone(&c45), k: 5 })),
+            ("Cascade", Box::new(BalanceCascade::with_base(n, Arc::clone(&c45)))),
+            ("SPE", Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45)))),
+        ];
+        let mut aggs: Vec<RunAggregator> = methods.iter().map(|_| RunAggregator::new()).collect();
+        let mut sample_counts: Vec<f64> = vec![0.0; methods.len()];
+
+        for run in 0..args.runs {
+            let seed = 4000 + run as u64;
+            let data = credit_fraud_sim(n_rows, seed);
+            let split = train_val_test_split(&data, 0.6, 0.2, seed);
+            let n_pos = split.train.n_positive();
+            let n_neg = split.train.n_negative();
+            for (mi, ((name, learner), agg)) in methods.iter().zip(&mut aggs).enumerate() {
+                let model = learner.fit(split.train.x(), split.train.y(), seed);
+                let probs = model.predict_proba(split.test.x());
+                agg.push(MetricSet::evaluate(split.test.y(), &probs));
+                sample_counts[mi] = match *name {
+                    "SMOTEBoost" => ((n_pos + n_neg + n_pos) * n) as f64,
+                    "SMOTEBagging" => (2 * n_neg * n) as f64,
+                    _ => (2 * n_pos * n) as f64,
+                };
+            }
+        }
+
+        for (mi, metric) in MetricSet::NAMES.iter().enumerate() {
+            let mut row = vec![format!("{n}"), (*metric).to_string()];
+            for agg in &aggs {
+                let vals: Vec<f64> = agg.runs().iter().map(|m| m.as_array()[mi]).collect();
+                row.push(MeanStd::of(&vals).to_string());
+            }
+            table.push_row(row);
+        }
+        let mut row = vec![format!("{n}"), "#Sample".to_string()];
+        row.extend(sample_counts.iter().map(|&c| format!("{c:.0}")));
+        table.push_row(row);
+    }
+
+    table.finish(&format!(
+        "Table VI: ensemble methods with C4.5 base on credit-fraud sim (n_rows={n_rows}, {} runs)",
+        args.runs
+    ));
+}

@@ -1,0 +1,173 @@
+//! CLI args, table rendering and CSV output for experiment binaries.
+
+use std::path::PathBuf;
+
+/// Common experiment arguments.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Independent repetitions.
+    pub runs: usize,
+    /// Dataset-size multiplier.
+    pub scale: f64,
+    /// Reduced settings for smoke runs.
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `--runs N`, `--scale F` and `--quick` from `std::env`.
+    /// `default_runs` differs per experiment (heavier ones default
+    /// lower; the paper's protocol is 10).
+    pub fn parse(default_runs: usize) -> Self {
+        let mut out = Self {
+            runs: default_runs,
+            scale: 1.0,
+            quick: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--runs" => {
+                    out.runs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--runs needs an integer");
+                }
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a number");
+                }
+                "--quick" => out.quick = true,
+                other => panic!("unknown argument {other}; supported: --runs N --scale F --quick"),
+            }
+        }
+        assert!(out.runs > 0, "--runs must be positive");
+        assert!(out.scale > 0.0, "--scale must be positive");
+        out
+    }
+
+    /// Applies the size multiplier to a default sample count.
+    pub fn sized(&self, default: usize) -> usize {
+        (((default as f64) * self.scale).round() as usize).max(100)
+    }
+}
+
+/// Directory for experiment CSVs (`target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; workspace target is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
+    root.join("target").join("experiments")
+}
+
+/// An experiment result table: fixed columns, appendable string rows,
+/// renderable to stdout and CSV.
+#[derive(Clone, Debug)]
+pub struct ExperimentTable {
+    id: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates a table with the experiment id (used as the CSV name).
+    pub fn new(id: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===");
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(j, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[j].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            println!("{}", joined.join("  "));
+        };
+        line(&self.headers);
+        for r in &self.rows {
+            line(r);
+        }
+    }
+
+    /// Writes `target/experiments/<id>.csv`.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let path = experiments_dir().join(format!("{}.csv", self.id));
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        spe_data::csv::write_csv_strings(&path, &headers, &self.rows)?;
+        Ok(path)
+    }
+
+    /// Prints and saves, logging the CSV path.
+    pub fn finish(&self, title: &str) {
+        self.print(title);
+        match self.save() {
+            Ok(p) => println!("→ saved {}", p.display()),
+            Err(e) => eprintln!("! failed to save CSV: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = ExperimentTable::new("unit-test-table", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x".into()]);
+        t.push_row(vec!["22".into(), "yy".into()]);
+        let path = t.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("22,yy"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = ExperimentTable::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn sized_scales_and_floors() {
+        let a = Args {
+            runs: 1,
+            scale: 0.5,
+            quick: false,
+        };
+        assert_eq!(a.sized(10_000), 5_000);
+        assert_eq!(a.sized(50), 100);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: shared plumbing for the one-binary-per-table/
+//! figure regenerators (see `src/bin/`) and the Criterion micro-benches.
+//!
+//! Every binary accepts:
+//!
+//! - `--runs N` — independent seeded repetitions (tables report
+//!   mean ± std, like the paper's "10 independent runs"),
+//! - `--scale F` — multiplies the default dataset sizes,
+//! - `--quick` — cut-down settings for smoke runs.
+//!
+//! Outputs go to stdout (aligned text, same rows/columns as the paper)
+//! and `target/experiments/<id>.csv`.
+
+pub mod harness;
+pub mod methods;
+
+pub use harness::{Args, ExperimentTable};
+pub use methods::{spe_with, underbag_with, FitFn};

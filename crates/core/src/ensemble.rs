@@ -1,0 +1,386 @@
+//! `SelfPacedEnsemble` — Algorithm 1 of the paper.
+
+use crate::hardness::HardnessFn;
+use crate::sampler::{AlphaSchedule, SelfPacedSampler};
+use spe_data::{Dataset, Matrix, SeededRng};
+use spe_learners::ensemble::SoftVoteEnsemble;
+use spe_learners::traits::{Learner, Model, SharedLearner};
+use spe_learners::DecisionTreeConfig;
+use std::sync::Arc;
+
+/// Configuration for a Self-paced Ensemble.
+///
+/// Defaults follow the paper: `k = 20` bins, absolute-error hardness,
+/// 10 base classifiers, C4.5-style trees as the base learner.
+#[derive(Clone)]
+pub struct SelfPacedEnsembleConfig {
+    /// Number of base classifiers `n`.
+    pub n_estimators: usize,
+    /// Number of hardness bins `k` (paper default 20).
+    pub k_bins: usize,
+    /// Hardness function `H` (paper default: absolute error).
+    pub hardness: HardnessFn,
+    /// Base learner `f`.
+    pub base: SharedLearner,
+    /// α schedule (paper default: `tan(iπ/2n)`); the other variants are
+    /// ablations, see [`AlphaSchedule`].
+    pub alpha_schedule: AlphaSchedule,
+}
+
+impl std::fmt::Debug for SelfPacedEnsembleConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelfPacedEnsembleConfig")
+            .field("n_estimators", &self.n_estimators)
+            .field("k_bins", &self.k_bins)
+            .field("hardness", &self.hardness)
+            .field("base", &self.base.name())
+            .finish()
+    }
+}
+
+impl Default for SelfPacedEnsembleConfig {
+    fn default() -> Self {
+        Self {
+            n_estimators: 10,
+            k_bins: 20,
+            hardness: HardnessFn::AbsoluteError,
+            base: Arc::new(DecisionTreeConfig::default()),
+            alpha_schedule: AlphaSchedule::SelfPaced,
+        }
+    }
+}
+
+impl SelfPacedEnsembleConfig {
+    /// SPE with `n` members over the default tree base learner.
+    pub fn new(n_estimators: usize) -> Self {
+        Self {
+            n_estimators,
+            ..Self::default()
+        }
+    }
+
+    /// SPE with `n` members over a custom base learner.
+    pub fn with_base(n_estimators: usize, base: SharedLearner) -> Self {
+        Self {
+            n_estimators,
+            base,
+            ..Self::default()
+        }
+    }
+
+    /// Trains the ensemble (Algorithm 1). Returns the trained model with
+    /// its per-iteration diagnostics.
+    pub fn fit_dataset(&self, data: &Dataset, seed: u64) -> SelfPacedEnsemble {
+        self.fit_dataset_traced(data, seed).0
+    }
+
+    /// Like [`Self::fit_dataset`], additionally returning the
+    /// per-iteration under-sampling trace (which majority rows each
+    /// member trained on, and their hardness) — used by the Fig. 3 and
+    /// Fig. 6 experiments.
+    pub fn fit_dataset_traced(&self, data: &Dataset, seed: u64) -> (SelfPacedEnsemble, FitTrace) {
+        assert!(self.n_estimators > 0, "need at least one estimator");
+        assert!(self.k_bins > 0, "need at least one bin");
+        let mut rng = SeededRng::new(seed);
+
+        let idx = data.class_index();
+        let n_pos = idx.minority.len();
+        let n_neg = idx.majority.len();
+        assert!(n_pos > 0, "SPE requires at least one minority sample");
+        assert!(n_neg > 0, "SPE requires at least one majority sample");
+
+        // Materialize the class subsets once; every iteration only varies
+        // the majority selection.
+        let minority_x = data.x().select_rows(&idx.minority);
+        let majority_x = data.x().select_rows(&idx.majority);
+        let majority_y = vec![0u8; n_neg];
+
+        let n = self.n_estimators;
+        let sampler = SelfPacedSampler { k_bins: self.k_bins };
+
+        // f0: random under-sampling (Algorithm 1, line 2).
+        let first_sel = rng.sample_indices(n_neg, n_pos.min(n_neg));
+        let mut models: Vec<Box<dyn Model>> = vec![self.train_member(
+            &minority_x,
+            &majority_x,
+            &first_sel,
+            rng.fork(0),
+        )];
+        let mut alphas = vec![0.0_f64];
+        let mut trace = FitTrace {
+            majority_rows: idx.majority.clone(),
+            selections: vec![first_sel],
+            hardness: Vec::new(),
+        };
+
+        // Running average of majority probabilities avoids re-scoring all
+        // previous members each iteration: after i members,
+        // F_i(x) = mean of member outputs.
+        let mut proba_sum = models[0].predict_proba(&majority_x);
+
+        for i in 1..n {
+            // Hardness w.r.t. the current ensemble F_i (lines 4–5).
+            let inv = 1.0 / i as f64;
+            let ensemble_proba: Vec<f64> = proba_sum.iter().map(|&s| s * inv).collect();
+            let hardness = self.hardness.eval_batch(&ensemble_proba, &majority_y);
+
+            // Self-paced under-sampling (lines 6–9), or the ablated
+            // variants of AlphaSchedule.
+            let outcome = match self.alpha_schedule.alpha(i, n) {
+                Some(alpha) => {
+                    alphas.push(alpha);
+                    sampler.sample(&hardness, alpha, n_pos, &mut rng)
+                }
+                None => {
+                    alphas.push(f64::NAN);
+                    crate::sampler::SampleOutcome {
+                        selected: rng.sample_indices(n_neg, n_pos.min(n_neg)),
+                        per_bin: Vec::new(),
+                        weights: Vec::new(),
+                    }
+                }
+            };
+
+            // Train fi on P ∪ N' (line 10).
+            let model =
+                self.train_member(&minority_x, &majority_x, &outcome.selected, rng.fork(i as u64));
+            for (s, p) in proba_sum.iter_mut().zip(model.predict_proba(&majority_x)) {
+                *s += p;
+            }
+            models.push(model);
+            trace.selections.push(outcome.selected);
+            trace.hardness.push(hardness);
+        }
+
+        (
+            SelfPacedEnsemble {
+                inner: SoftVoteEnsemble::new(models),
+                alphas,
+            },
+            trace,
+        )
+    }
+
+    fn train_member(
+        &self,
+        minority_x: &Matrix,
+        majority_x: &Matrix,
+        majority_sel: &[usize],
+        mut rng: SeededRng,
+    ) -> Box<dyn Model> {
+        let selected = majority_x.select_rows(majority_sel);
+        let x = minority_x.vstack(&selected);
+        let mut y = vec![1u8; minority_x.rows()];
+        y.extend(std::iter::repeat_n(0u8, selected.rows()));
+        // Shuffle so batch-training base learners see mixed classes.
+        let mut order: Vec<usize> = (0..y.len()).collect();
+        rng.shuffle(&mut order);
+        let xs = x.select_rows(&order);
+        let ys: Vec<u8> = order.iter().map(|&i| y[i]).collect();
+        self.base.fit(&xs, &ys, rng.below(u32::MAX as usize) as u64)
+    }
+}
+
+/// Per-iteration under-sampling record of one SPE training run.
+#[derive(Clone, Debug, Default)]
+pub struct FitTrace {
+    /// Row indices (into the training dataset) of the majority class, in
+    /// the order `selections`/`hardness` positions refer to.
+    pub majority_rows: Vec<usize>,
+    /// Majority positions selected at each iteration (index 0 = random
+    /// first member).
+    pub selections: Vec<Vec<usize>>,
+    /// Hardness of every majority sample at each self-paced iteration
+    /// (iterations 1..n; the random first member has no hardness).
+    pub hardness: Vec<Vec<f64>>,
+}
+
+/// A trained Self-paced Ensemble.
+pub struct SelfPacedEnsemble {
+    inner: SoftVoteEnsemble,
+    alphas: Vec<f64>,
+}
+
+impl SelfPacedEnsemble {
+    /// Number of base models.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The self-paced factor used at each iteration (α₀ = 0 for the
+    /// random first member).
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// Average probability of the first `k` members (training-curve
+    /// experiments, Fig. 5 / Fig. 7).
+    pub fn predict_proba_prefix(&self, x: &Matrix, k: usize) -> Vec<f64> {
+        self.inner.predict_proba_prefix(x, k)
+    }
+}
+
+impl Model for SelfPacedEnsemble {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.inner.predict_proba(x)
+    }
+}
+
+impl Learner for SelfPacedEnsembleConfig {
+    /// SPE as a drop-in [`Learner`]: per-sample weights are not part of
+    /// Algorithm 1 and are ignored (asserted absent in debug builds).
+    fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Box<dyn Model> {
+        debug_assert!(weights.is_none(), "SPE does not support sample weights");
+        let data = Dataset::new(x.clone(), y.to_vec());
+        Box::new(self.fit_dataset(&data, seed))
+    }
+
+    fn name(&self) -> &'static str {
+        "SPE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_metrics::aucprc;
+
+    /// Imbalanced overlapping Gaussians: minority at +1.2, majority at 0.
+    fn overlapping(n_pos: usize, n_neg: usize, seed: u64) -> Dataset {
+        let mut rng = SeededRng::new(seed);
+        let mut x = Matrix::with_capacity(n_pos + n_neg, 2);
+        let mut y = Vec::new();
+        for _ in 0..n_neg {
+            x.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)]);
+            y.push(0);
+        }
+        for _ in 0..n_pos {
+            x.push_row(&[rng.normal(1.2, 1.0), rng.normal(1.2, 1.0)]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn trains_requested_number_of_members() {
+        let d = overlapping(30, 600, 1);
+        let m = SelfPacedEnsembleConfig::new(7).fit_dataset(&d, 2);
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.alphas().len(), 7);
+    }
+
+    #[test]
+    fn alpha_schedule_is_monotone() {
+        let d = overlapping(20, 300, 3);
+        let m = SelfPacedEnsembleConfig::new(10).fit_dataset(&d, 4);
+        let a = m.alphas();
+        assert_eq!(a[0], 0.0);
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn beats_single_model_on_imbalanced_overlap() {
+        let train = overlapping(40, 2000, 5);
+        let test = overlapping(40, 2000, 6);
+        let tree = DecisionTreeConfig::default();
+        let single = tree.fit(train.x(), train.y(), 7);
+        let spe = SelfPacedEnsembleConfig::new(10).fit_dataset(&train, 7);
+        let auc_single = aucprc(test.y(), &single.predict_proba(test.x()));
+        let auc_spe = aucprc(test.y(), &spe.predict_proba(test.x()));
+        assert!(
+            auc_spe > auc_single,
+            "single {auc_single:.3} vs spe {auc_spe:.3}"
+        );
+    }
+
+    #[test]
+    fn prefix_prediction_uses_partial_ensemble() {
+        let d = overlapping(25, 400, 8);
+        let m = SelfPacedEnsembleConfig::new(5).fit_dataset(&d, 9);
+        let full = m.predict_proba(d.x());
+        let prefix = m.predict_proba_prefix(d.x(), 5);
+        assert_eq!(full, prefix);
+        let one = m.predict_proba_prefix(d.x(), 1);
+        assert_ne!(full, one);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = overlapping(20, 200, 10);
+        let a = SelfPacedEnsembleConfig::new(4)
+            .fit_dataset(&d, 11)
+            .predict_proba(d.x());
+        let b = SelfPacedEnsembleConfig::new(4)
+            .fit_dataset(&d, 11)
+            .predict_proba(d.x());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_as_learner_trait_object() {
+        let d = overlapping(15, 150, 12);
+        let learner: Arc<dyn Learner> = Arc::new(SelfPacedEnsembleConfig::new(3));
+        let m = learner.fit(d.x(), d.y(), 13);
+        assert_eq!(m.predict_proba(d.x()).len(), d.len());
+        assert_eq!(learner.name(), "SPE");
+    }
+
+    #[test]
+    fn minority_larger_than_majority_still_trains() {
+        let d = overlapping(50, 20, 14);
+        let m = SelfPacedEnsembleConfig::new(3).fit_dataset(&d, 15);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn ablated_schedules_train() {
+        let d = overlapping(25, 400, 16);
+        for schedule in [
+            AlphaSchedule::Constant(0.0),
+            AlphaSchedule::Constant(1e6),
+            AlphaSchedule::Uniform,
+        ] {
+            let cfg = SelfPacedEnsembleConfig {
+                alpha_schedule: schedule,
+                ..SelfPacedEnsembleConfig::new(5)
+            };
+            let m = cfg.fit_dataset(&d, 17);
+            assert_eq!(m.len(), 5, "{schedule:?}");
+            let p = m.predict_proba(d.x());
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_schedule_records_nan_alphas() {
+        let d = overlapping(20, 200, 18);
+        let cfg = SelfPacedEnsembleConfig {
+            alpha_schedule: AlphaSchedule::Uniform,
+            ..SelfPacedEnsembleConfig::new(4)
+        };
+        let m = cfg.fit_dataset(&d, 19);
+        assert_eq!(m.alphas()[0], 0.0);
+        assert!(m.alphas()[1..].iter().all(|a| a.is_nan()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one minority")]
+    fn rejects_single_class() {
+        let x = Matrix::zeros(5, 1);
+        let d = Dataset::new(x, vec![0; 5]);
+        let _ = SelfPacedEnsembleConfig::default().fit_dataset(&d, 0);
+    }
+}

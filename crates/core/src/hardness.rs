@@ -1,0 +1,114 @@
+//! Classification hardness functions (paper §IV and §VI-C4).
+//!
+//! A hardness function must be *decomposable*: the dataset-level error is
+//! the sum of per-sample values. The paper evaluates three and finds SPE
+//! robust to the choice (Fig. 8); Absolute Error is the default.
+
+/// Decomposable per-sample error functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HardnessFn {
+    /// `|F(x) − y|` (the paper's default).
+    AbsoluteError,
+    /// `(F(x) − y)²` (Brier score).
+    SquaredError,
+    /// `−y·log F(x) − (1−y)·log(1−F(x))`, clamped for stability.
+    CrossEntropy,
+}
+
+impl HardnessFn {
+    /// Hardness of one sample given the ensemble probability `proba` of
+    /// the positive class and the true label.
+    #[inline]
+    pub fn eval(self, proba: f64, label: u8) -> f64 {
+        let y = f64::from(label);
+        match self {
+            HardnessFn::AbsoluteError => (proba - y).abs(),
+            HardnessFn::SquaredError => (proba - y) * (proba - y),
+            HardnessFn::CrossEntropy => {
+                let p = proba.clamp(1e-12, 1.0 - 1e-12);
+                -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+            }
+        }
+    }
+
+    /// Hardness of a batch.
+    pub fn eval_batch(self, probas: &[f64], labels: &[u8]) -> Vec<f64> {
+        assert_eq!(probas.len(), labels.len(), "length mismatch");
+        probas
+            .iter()
+            .zip(labels)
+            .map(|(&p, &l)| self.eval(p, l))
+            .collect()
+    }
+
+    /// Short name used in Fig. 8 ("AE" / "SE" / "CE").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            HardnessFn::AbsoluteError => "AE",
+            HardnessFn::SquaredError => "SE",
+            HardnessFn::CrossEntropy => "CE",
+        }
+    }
+
+    /// Whether values are bounded in `[0, 1]` (AE/SE) or unbounded (CE).
+    pub fn bounded(self) -> bool {
+        !matches!(self, HardnessFn::CrossEntropy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_hardness() {
+        for h in [
+            HardnessFn::AbsoluteError,
+            HardnessFn::SquaredError,
+            HardnessFn::CrossEntropy,
+        ] {
+            assert!(h.eval(1.0, 1) < 1e-9, "{h:?}");
+            assert!(h.eval(0.0, 0) < 1e-9, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_prediction_is_hard() {
+        assert!((HardnessFn::AbsoluteError.eval(0.0, 1) - 1.0).abs() < 1e-12);
+        assert!((HardnessFn::SquaredError.eval(0.0, 1) - 1.0).abs() < 1e-12);
+        assert!(HardnessFn::CrossEntropy.eval(0.0, 1) > 10.0);
+    }
+
+    #[test]
+    fn ae_vs_se_ordering() {
+        // For errors < 1, SE < AE; both rank samples identically.
+        let ae = HardnessFn::AbsoluteError.eval(0.7, 0);
+        let se = HardnessFn::SquaredError.eval(0.7, 0);
+        assert!((ae - 0.7).abs() < 1e-12);
+        assert!((se - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_clamps_extremes() {
+        let h = HardnessFn::CrossEntropy.eval(1.0, 0);
+        assert!(h.is_finite());
+        assert!(h > 20.0);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let p = [0.1, 0.9, 0.5];
+        let y = [0, 1, 1];
+        let batch = HardnessFn::SquaredError.eval_batch(&p, &y);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, HardnessFn::SquaredError.eval(p[i], y[i]));
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(HardnessFn::AbsoluteError.short_name(), "AE");
+        assert!(HardnessFn::AbsoluteError.bounded());
+        assert!(!HardnessFn::CrossEntropy.bounded());
+    }
+}

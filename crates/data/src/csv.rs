@@ -1,0 +1,232 @@
+//! Minimal CSV reading/writing.
+//!
+//! The bench binaries dump every regenerated table/figure as CSV under
+//! `target/experiments/`; [`read_dataset`] loads external labelled data
+//! so downstream users can run SPE on their own CSVs (see the
+//! `spe_cli` example). This module is the only I/O in the data crate.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+
+/// Reads a labelled dataset from CSV.
+///
+/// Expects a header row; the label column is the one named `label`
+/// (case-insensitive) or, failing that, the last column. Label values
+/// must parse as `0`/`1` (floats accepted, e.g. `1.0`); every other
+/// cell must parse as `f64`, with empty cells read as `0.0` (the
+/// paper's missing-value convention).
+pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty CSV".into()))??;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 2 {
+        return Err(bad("need at least one feature column and a label".into()));
+    }
+    let label_col = cols
+        .iter()
+        .position(|c| c.trim().eq_ignore_ascii_case("label"))
+        .unwrap_or(cols.len() - 1);
+    let n_features = cols.len() - 1;
+
+    let mut x = Matrix::with_capacity(128, n_features);
+    let mut y = Vec::new();
+    let mut row = vec![0.0; n_features];
+    for (line_no, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fi = 0usize;
+        let mut label: Option<u8> = None;
+        for (ci, cell) in line.split(',').enumerate() {
+            let cell = cell.trim();
+            let value: f64 = if cell.is_empty() {
+                0.0
+            } else {
+                cell.parse().map_err(|_| {
+                    bad(format!("line {}: cannot parse {cell:?} as a number", line_no + 2))
+                })?
+            };
+            if ci == label_col {
+                label = Some(if value == 0.0 {
+                    0
+                } else if value == 1.0 {
+                    1
+                } else {
+                    return Err(bad(format!("line {}: label {value} is not 0/1", line_no + 2)));
+                });
+            } else {
+                if fi >= n_features {
+                    return Err(bad(format!("line {}: too many columns", line_no + 2)));
+                }
+                row[fi] = value;
+                fi += 1;
+            }
+        }
+        if fi != n_features {
+            return Err(bad(format!("line {}: expected {} features, got {fi}", line_no + 2, n_features)));
+        }
+        x.push_row(&row);
+        y.push(label.ok_or_else(|| bad(format!("line {}: missing label", line_no + 2)))?);
+    }
+    if y.is_empty() {
+        return Err(bad("CSV has a header but no data rows".into()));
+    }
+    Ok(Dataset::new(x, y))
+}
+
+/// Writes a header row plus data rows of `f64` values.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    w.flush()
+}
+
+/// Writes arbitrary string cells (for mixed text/number tables).
+pub fn write_csv_strings(
+    path: &Path,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Dumps a labelled dataset (`f0..f{d-1},label`).
+pub fn write_dataset(path: &Path, data: &Dataset) -> std::io::Result<()> {
+    let header: Vec<String> = (0..data.n_features())
+        .map(|j| format!("f{j}"))
+        .chain(std::iter::once("label".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<f64>> = data
+        .x()
+        .iter_rows()
+        .zip(data.y())
+        .map(|(r, &l)| {
+            let mut v = r.to_vec();
+            v.push(l as f64);
+            v
+        })
+        .collect();
+    write_csv(path, &header_refs, &rows)
+}
+
+/// Dumps a bare matrix with `c0..c{n-1}` headers.
+pub fn write_matrix(path: &Path, m: &Matrix) -> std::io::Result<()> {
+    let header: Vec<String> = (0..m.cols()).map(|j| format!("c{j}")).collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<f64>> = m.iter_rows().map(<[f64]>::to_vec).collect();
+    write_csv(path, &header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join("spe-csv-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec![1.0, 2.0], vec![3.5, -4.0]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "3.5,-4");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dataset_round_trips_through_csv() {
+        let dir = std::env::temp_dir().join("spe-csv-roundtrip");
+        let path = dir.join("d.csv");
+        let d = Dataset::new(
+            Matrix::from_vec(3, 2, vec![1.5, -2.0, 0.0, 4.25, 7.0, 8.0]),
+            vec![0, 1, 0],
+        );
+        write_dataset(&path, &d).unwrap();
+        let back = read_dataset(&path).unwrap();
+        assert_eq!(back.y(), d.y());
+        assert_eq!(back.x().as_slice(), d.x().as_slice());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_dataset_finds_named_label_column() {
+        let dir = std::env::temp_dir().join("spe-csv-label");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.csv");
+        std::fs::write(&path, "a,Label,b\n1.0,1,2.0\n3.0,0,4.0\n").unwrap();
+        let d = read_dataset(&path).unwrap();
+        assert_eq!(d.y(), &[1, 0]);
+        assert_eq!(d.x().row(0), &[1.0, 2.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_dataset_treats_empty_cells_as_zero() {
+        let dir = std::env::temp_dir().join("spe-csv-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.csv");
+        std::fs::write(&path, "a,b,label\n,2.0,1\n3.0,,0\n").unwrap();
+        let d = read_dataset(&path).unwrap();
+        assert_eq!(d.x().row(0), &[0.0, 2.0]);
+        assert_eq!(d.x().row(1), &[3.0, 0.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_dataset_rejects_bad_labels_and_ragged_rows() {
+        let dir = std::env::temp_dir().join("spe-csv-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("badlabel.csv");
+        std::fs::write(&p1, "a,label\n1.0,2\n").unwrap();
+        assert!(read_dataset(&p1).is_err());
+        let p2 = dir.join("ragged.csv");
+        std::fs::write(&p2, "a,b,label\n1.0,1\n").unwrap();
+        assert!(read_dataset(&p2).is_err());
+        let p3 = dir.join("empty.csv");
+        std::fs::write(&p3, "a,label\n").unwrap();
+        assert!(read_dataset(&p3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writes_dataset_with_labels() {
+        let dir = std::env::temp_dir().join("spe-csv-test2");
+        let path = dir.join("d.csv");
+        let d = Dataset::new(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]), vec![0, 1]);
+        write_dataset(&path, &d).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("f0,f1,label\n"));
+        assert!(text.contains("3,4,1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

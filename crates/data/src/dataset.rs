@@ -1,0 +1,194 @@
+//! Binary-labelled dataset: features + labels + class index helpers.
+
+use crate::matrix::Matrix;
+use crate::{NEGATIVE, POSITIVE};
+
+/// A binary classification dataset.
+///
+/// Labels are `u8` with the paper's convention: `1` = minority / positive,
+/// `0` = majority / negative.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vec<u8>,
+}
+
+impl Dataset {
+    /// Wraps a feature matrix and label vector.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or a label is not 0/1.
+    pub fn new(x: Matrix, y: Vec<u8>) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/label length mismatch");
+        assert!(
+            y.iter().all(|&l| l == POSITIVE || l == NEGATIVE),
+            "labels must be 0 or 1"
+        );
+        Self { x, y }
+    }
+
+    /// Feature matrix.
+    #[inline]
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Mutable feature matrix (used by missing-value injection).
+    #[inline]
+    pub fn x_mut(&mut self) -> &mut Matrix {
+        &mut self.x
+    }
+
+    /// Label vector.
+    #[inline]
+    pub fn y(&self) -> &[u8] {
+        &self.y
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Indices of each class.
+    pub fn class_index(&self) -> ClassIndex {
+        let mut minority = Vec::new();
+        let mut majority = Vec::new();
+        for (i, &l) in self.y.iter().enumerate() {
+            if l == POSITIVE {
+                minority.push(i);
+            } else {
+                majority.push(i);
+            }
+        }
+        ClassIndex { minority, majority }
+    }
+
+    /// Number of positive (minority) samples.
+    pub fn n_positive(&self) -> usize {
+        self.y.iter().filter(|&&l| l == POSITIVE).count()
+    }
+
+    /// Number of negative (majority) samples.
+    pub fn n_negative(&self) -> usize {
+        self.len() - self.n_positive()
+    }
+
+    /// Imbalance ratio |N| / |P| as defined in the paper (§II).
+    ///
+    /// Returns `f64::INFINITY` when there are no positive samples.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let p = self.n_positive();
+        if p == 0 {
+            f64::INFINITY
+        } else {
+            self.n_negative() as f64 / p as f64
+        }
+    }
+
+    /// Gathers a subset by sample index (indices may repeat).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let x = self.x.select_rows(indices);
+        let y = indices.iter().map(|&i| self.y[i]).collect();
+        Dataset { x, y }
+    }
+
+    /// Concatenates two datasets (self first).
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        let x = self.x.vstack(&other.x);
+        let mut y = self.y.clone();
+        y.extend_from_slice(&other.y);
+        Dataset { x, y }
+    }
+
+    /// Splits into (minority subset, majority subset).
+    pub fn split_classes(&self) -> (Dataset, Dataset) {
+        let idx = self.class_index();
+        (self.select(&idx.minority), self.select(&idx.majority))
+    }
+}
+
+/// Per-class index lists for a [`Dataset`].
+#[derive(Clone, Debug, Default)]
+pub struct ClassIndex {
+    /// Indices of positive (minority) samples.
+    pub minority: Vec<usize>,
+    /// Indices of negative (majority) samples.
+    pub majority: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_vec(5, 2, vec![0., 0., 1., 1., 2., 2., 3., 3., 4., 4.]);
+        Dataset::new(x, vec![1, 0, 0, 0, 1])
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = toy();
+        assert_eq!(d.n_positive(), 2);
+        assert_eq!(d.n_negative(), 3);
+        assert_eq!(d.imbalance_ratio(), 1.5);
+    }
+
+    #[test]
+    fn class_index_partitions() {
+        let idx = toy().class_index();
+        assert_eq!(idx.minority, vec![0, 4]);
+        assert_eq!(idx.majority, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn select_gathers_rows_and_labels() {
+        let d = toy();
+        let s = d.select(&[4, 0]);
+        assert_eq!(s.y(), &[1, 1]);
+        assert_eq!(s.x().row(0), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = d.concat(&d);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.n_positive(), 4);
+    }
+
+    #[test]
+    fn split_classes_partitions() {
+        let (p, n) = toy().split_classes();
+        assert_eq!(p.len(), 2);
+        assert!(p.y().iter().all(|&l| l == 1));
+        assert_eq!(n.len(), 3);
+        assert!(n.y().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn infinite_ir_without_positives() {
+        let x = Matrix::zeros(2, 1);
+        let d = Dataset::new(x, vec![0, 0]);
+        assert!(d.imbalance_ratio().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn rejects_bad_labels() {
+        let _ = Dataset::new(Matrix::zeros(1, 1), vec![2]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Data primitives shared across the self-paced-ensemble workspace.
+//!
+//! This crate deliberately avoids any external linear-algebra dependency:
+//! everything in the workspace operates on a dense, row-major [`Matrix`] of
+//! `f64` plus a binary label vector, wrapped together as a [`Dataset`].
+//!
+//! The crate also hosts the supporting utilities the paper's experimental
+//! protocol needs:
+//!
+//! - stratified train/validation/test splitting ([`split`]),
+//! - feature standardization ([`stats::Standardizer`]),
+//! - seeded sampling helpers and a Box–Muller Gaussian source ([`rng`]),
+//! - missing-value injection used by Table VII ([`missing`]),
+//! - a minimal CSV writer for experiment artifacts ([`csv`]).
+
+pub mod csv;
+pub mod dataset;
+pub mod matrix;
+pub mod missing;
+pub mod rng;
+pub mod split;
+pub mod stats;
+
+pub use dataset::{ClassIndex, Dataset};
+pub use matrix::Matrix;
+pub use rng::SeededRng;
+pub use split::{train_val_test_split, StratifiedSplit};
+pub use stats::Standardizer;
+
+/// Label value used for the minority / positive class throughout the
+/// workspace (the paper fixes minority = positive = 1).
+pub const POSITIVE: u8 = 1;
+/// Label value used for the majority / negative class.
+pub const NEGATIVE: u8 = 0;

@@ -1,0 +1,103 @@
+//! Missing-value injection (Table VII of the paper).
+//!
+//! §VI-C3: "we randomly select values from all features in both training
+//! and test datasets, then replace them with meaningless 0". The injector
+//! reproduces exactly that: a uniformly random fraction of *cells* across
+//! the whole feature matrix is zeroed.
+
+use crate::dataset::Dataset;
+use crate::rng::SeededRng;
+
+/// Replaces `ratio` of all feature cells with `0.0`, in place.
+///
+/// `ratio` must lie in `[0, 1]`. Cells are chosen without replacement over
+/// the full `rows x cols` grid, so the realized missing fraction is exact
+/// up to integer rounding.
+pub fn inject_missing(data: &mut Dataset, ratio: f64, seed: u64) {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    if ratio == 0.0 || data.is_empty() {
+        return;
+    }
+    let x = data.x_mut();
+    let total = x.rows() * x.cols();
+    let k = ((total as f64) * ratio).round() as usize;
+    let mut rng = SeededRng::new(seed);
+    let cells = rng.sample_indices(total, k);
+    let flat = x.as_mut_slice();
+    for c in cells {
+        flat[c] = 0.0;
+    }
+}
+
+/// Returns a copy of `data` with missing values injected.
+pub fn with_missing(data: &Dataset, ratio: f64, seed: u64) -> Dataset {
+    let mut out = data.clone();
+    inject_missing(&mut out, ratio, seed);
+    out
+}
+
+/// Fraction of exactly-zero cells in the feature matrix (diagnostic).
+pub fn zero_fraction(data: &Dataset) -> f64 {
+    let flat = data.x().as_slice();
+    if flat.is_empty() {
+        return 0.0;
+    }
+    flat.iter().filter(|&&v| v == 0.0).count() as f64 / flat.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn nonzero_dataset(rows: usize, cols: usize) -> Dataset {
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i + 1) as f64).collect();
+        let y = (0..rows).map(|i| (i % 2) as u8).collect();
+        Dataset::new(Matrix::from_vec(rows, cols, data), y)
+    }
+
+    #[test]
+    fn injects_exact_fraction() {
+        let mut d = nonzero_dataset(100, 10);
+        inject_missing(&mut d, 0.25, 1);
+        assert!((zero_fraction(&d) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ratio_is_noop() {
+        let mut d = nonzero_dataset(10, 3);
+        let before = d.x().as_slice().to_vec();
+        inject_missing(&mut d, 0.0, 1);
+        assert_eq!(d.x().as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn full_ratio_zeroes_everything() {
+        let mut d = nonzero_dataset(10, 3);
+        inject_missing(&mut d, 1.0, 1);
+        assert_eq!(zero_fraction(&d), 1.0);
+    }
+
+    #[test]
+    fn labels_untouched() {
+        let mut d = nonzero_dataset(50, 4);
+        let y = d.y().to_vec();
+        inject_missing(&mut d, 0.75, 2);
+        assert_eq!(d.y(), y.as_slice());
+    }
+
+    #[test]
+    fn with_missing_leaves_original_intact() {
+        let d = nonzero_dataset(20, 5);
+        let m = with_missing(&d, 0.5, 3);
+        assert_eq!(zero_fraction(&d), 0.0);
+        assert!((zero_fraction(&m) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in [0,1]")]
+    fn rejects_bad_ratio() {
+        let mut d = nonzero_dataset(5, 2);
+        inject_missing(&mut d, 1.5, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Stratified dataset splitting.
+//!
+//! The paper's protocol (§VI-B1): 60% train / 20% validation / 20% test,
+//! with the validation set kept at the original imbalanced distribution.
+//! Stratification is essential here — at IR ≈ 3449 a non-stratified 20%
+//! split can easily end up with zero minority samples.
+
+use crate::dataset::Dataset;
+use crate::rng::SeededRng;
+
+/// Result of a stratified train/validation/test split.
+#[derive(Clone, Debug)]
+pub struct StratifiedSplit {
+    /// Training partition (`D` in the paper).
+    pub train: Dataset,
+    /// Validation partition (`D_dev`), original distribution preserved.
+    pub validation: Dataset,
+    /// Test partition (`D_test`).
+    pub test: Dataset,
+}
+
+/// Stratified split into train/validation/test fractions.
+///
+/// Fractions must be positive and sum to 1 (within 1e-9). Each class is
+/// shuffled and split independently so every partition preserves the
+/// global imbalance ratio as closely as integer rounding allows.
+pub fn train_val_test_split(
+    data: &Dataset,
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> StratifiedSplit {
+    assert!(train_frac > 0.0 && val_frac >= 0.0, "bad fractions");
+    let test_frac = 1.0 - train_frac - val_frac;
+    assert!(
+        test_frac > -1e-9,
+        "fractions exceed 1: train={train_frac} val={val_frac}"
+    );
+
+    let mut rng = SeededRng::new(seed);
+    let idx = data.class_index();
+    let mut train_idx = Vec::new();
+    let mut val_idx = Vec::new();
+    let mut test_idx = Vec::new();
+
+    for class in [&idx.minority, &idx.majority] {
+        let mut order = class.clone();
+        rng.shuffle(&mut order);
+        let n = order.len();
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        train_idx.extend_from_slice(&order[..n_train]);
+        val_idx.extend_from_slice(&order[n_train..n_train + n_val]);
+        test_idx.extend_from_slice(&order[n_train + n_val..]);
+    }
+
+    // Shuffle partitions so class blocks are not contiguous (matters for
+    // mini-batch learners like the MLP).
+    rng.shuffle(&mut train_idx);
+    rng.shuffle(&mut val_idx);
+    rng.shuffle(&mut test_idx);
+
+    StratifiedSplit {
+        train: data.select(&train_idx),
+        validation: data.select(&val_idx),
+        test: data.select(&test_idx),
+    }
+}
+
+/// Stratified two-way split; returns `(first, second)` where `first`
+/// receives `frac` of each class.
+pub fn stratified_two_way(data: &Dataset, frac: f64, seed: u64) -> (Dataset, Dataset) {
+    let s = train_val_test_split(data, frac, 0.0, seed);
+    (s.train, s.validation.concat(&s.test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn imbalanced(n_pos: usize, n_neg: usize) -> Dataset {
+        let n = n_pos + n_neg;
+        let mut x = Matrix::with_capacity(n, 1);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            x.push_row(&[i as f64]);
+            y.push(u8::from(i < n_pos));
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_complete() {
+        let d = imbalanced(50, 500);
+        let s = train_val_test_split(&d, 0.6, 0.2, 1);
+        assert_eq!(s.train.len() + s.validation.len() + s.test.len(), 550);
+        // All original feature values appear exactly once.
+        let mut seen: Vec<i64> = Vec::new();
+        for part in [&s.train, &s.validation, &s.test] {
+            for r in part.x().iter_rows() {
+                seen.push(r[0] as i64);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..550).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn preserves_class_ratio() {
+        let d = imbalanced(100, 1000);
+        let s = train_val_test_split(&d, 0.6, 0.2, 2);
+        assert_eq!(s.train.n_positive(), 60);
+        assert_eq!(s.validation.n_positive(), 20);
+        assert_eq!(s.test.n_positive(), 20);
+        assert_eq!(s.train.n_negative(), 600);
+    }
+
+    #[test]
+    fn extreme_imbalance_keeps_minority_in_every_split() {
+        let d = imbalanced(10, 10_000);
+        let s = train_val_test_split(&d, 0.6, 0.2, 3);
+        assert!(s.train.n_positive() >= 5);
+        assert!(s.validation.n_positive() >= 1);
+        assert!(s.test.n_positive() >= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = imbalanced(20, 200);
+        let a = train_val_test_split(&d, 0.6, 0.2, 9);
+        let b = train_val_test_split(&d, 0.6, 0.2, 9);
+        assert_eq!(a.train.y(), b.train.y());
+        assert_eq!(a.train.x().as_slice(), b.train.x().as_slice());
+    }
+
+    #[test]
+    fn two_way_split_sizes() {
+        let d = imbalanced(40, 400);
+        let (a, b) = stratified_two_way(&d, 0.75, 4);
+        assert_eq!(a.len(), 330);
+        assert_eq!(b.len(), 110);
+        assert_eq!(a.n_positive(), 30);
+    }
+}

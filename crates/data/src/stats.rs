@@ -1,0 +1,158 @@
+//! Column statistics and feature standardization.
+
+use crate::matrix::Matrix;
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a slice (0 for empty input).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Per-column z-score standardizer (fit on train, apply anywhere).
+///
+/// Gradient-based learners (LR, SVM, MLP) in this workspace standardize
+/// inputs internally with this type; constant columns get unit scale so
+/// they pass through unchanged rather than dividing by zero.
+#[derive(Clone, Debug)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Computes per-column mean and scale from the given matrix.
+    pub fn fit(x: &Matrix) -> Self {
+        let cols = x.cols();
+        let rows = x.rows().max(1) as f64;
+        let mut means = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= rows;
+        }
+        let mut vars = vec![0.0; cols];
+        for row in x.iter_rows() {
+            for ((v, &m), &val) in vars.iter_mut().zip(&means).zip(row) {
+                let d = val - m;
+                *v += d * d;
+            }
+        }
+        let scales = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / rows).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, scales }
+    }
+
+    /// Returns a standardized copy of `x`.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Standardizes `x` in place.
+    pub fn transform_in_place(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
+        let cols = x.cols();
+        let data = x.as_mut_slice();
+        for row in data.chunks_exact_mut(cols) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.scales) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Standardizes a single row into a reusable buffer.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(&self.means)
+                .zip(&self.scales)
+                .map(|((&v, &m), &s)| (v - m) / s),
+        );
+    }
+
+    /// Fitted column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted column scales (std devs, or 1.0 for constant columns).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_stats() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let x = Matrix::from_vec(4, 2, vec![1., 10., 2., 20., 3., 30., 4., 40.]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        for j in 0..2 {
+            let col = t.column(j);
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((variance(&col) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_passes_through() {
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        assert!(t.column(0).iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let s = Standardizer::fit(&x);
+        let t = s.transform(&x);
+        let mut buf = Vec::new();
+        s.transform_row_into(x.row(1), &mut buf);
+        assert_eq!(buf.as_slice(), t.row(1));
+    }
+}

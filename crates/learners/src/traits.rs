@@ -1,0 +1,140 @@
+//! The `Learner` / `Model` trait pair every classifier implements.
+
+use spe_data::Matrix;
+use std::sync::Arc;
+
+/// A trained classifier: immutable, thread-safe, probability-scoring.
+pub trait Model: Send + Sync {
+    /// Probability of the positive (minority) class for each row of `x`.
+    ///
+    /// Values lie in `[0, 1]`. Implementations that natively produce a
+    /// margin (SVM, AdaBoost) squash it into this range so the hardness
+    /// functions of SPE remain well-defined.
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Hard 0/1 labels at the 0.5 probability threshold.
+    fn predict(&self, x: &Matrix) -> Vec<u8> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| u8::from(p >= 0.5))
+            .collect()
+    }
+}
+
+/// A classifier *configuration* that can be trained into a [`Model`].
+///
+/// Configs are cheap, cloneable descriptions (hyper-parameters only);
+/// `fit` never mutates the learner, so one config can train many ensemble
+/// members concurrently.
+pub trait Learner: Send + Sync {
+    /// Trains on `(x, y)` with optional per-sample weights.
+    ///
+    /// `weights`, when given, must match `y.len()`; they need not be
+    /// normalized. `seed` drives any internal randomness (bootstraps,
+    /// initialization, feature sub-sampling).
+    fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Box<dyn Model>;
+
+    /// Trains with uniform weights.
+    fn fit(&self, x: &Matrix, y: &[u8], seed: u64) -> Box<dyn Model> {
+        self.fit_weighted(x, y, None, seed)
+    }
+
+    /// Short display name used in experiment tables (e.g. `"DT"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Shared, thread-safe handle to a learner configuration.
+pub type SharedLearner = Arc<dyn Learner>;
+
+/// Validates the common `fit` preconditions; called by every learner.
+pub fn check_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) {
+    assert_eq!(x.rows(), y.len(), "feature/label length mismatch");
+    assert!(!y.is_empty(), "cannot fit on an empty dataset");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), y.len(), "weight length mismatch");
+        assert!(
+            w.iter().all(|&v| v.is_finite() && v >= 0.0),
+            "weights must be finite and non-negative"
+        );
+    }
+}
+
+/// Returns `weights` as a vector, defaulting to uniform `1/n`.
+pub(crate) fn effective_weights(n: usize, weights: Option<&[f64]>) -> Vec<f64> {
+    match weights {
+        Some(w) => w.to_vec(),
+        None => vec![1.0 / n as f64; n],
+    }
+}
+
+/// Weighted fraction of positive labels (prior probability).
+pub(crate) fn weighted_positive_fraction(y: &[u8], w: &[f64]) -> f64 {
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let pos: f64 = y
+        .iter()
+        .zip(w)
+        .filter(|(&l, _)| l != 0)
+        .map(|(_, &wi)| wi)
+        .sum();
+    pos / total
+}
+
+/// A constant-probability model — the degenerate fallback every learner
+/// returns when the training data contains a single class.
+pub struct ConstantModel(pub f64);
+
+impl Model for ConstantModel {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        vec![self.0; x.rows()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_outputs_constant() {
+        let m = ConstantModel(0.25);
+        let x = Matrix::zeros(3, 2);
+        assert_eq!(m.predict_proba(&x), vec![0.25; 3]);
+        assert_eq!(m.predict(&x), vec![0, 0, 0]);
+        let m2 = ConstantModel(0.75);
+        assert_eq!(m2.predict(&x), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn uniform_weights_sum_to_one() {
+        let w = effective_weights(4, None);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_positive_fraction_respects_weights() {
+        let y = [1, 0, 1];
+        let w = [1.0, 2.0, 1.0];
+        assert!((weighted_positive_fraction(&y, &w) - 0.5).abs() < 1e-12);
+        assert_eq!(weighted_positive_fraction(&y, &[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn check_fit_inputs_catches_mismatch() {
+        check_fit_inputs(&Matrix::zeros(3, 1), &[0, 1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite")]
+    fn check_fit_inputs_catches_negative_weight() {
+        check_fit_inputs(&Matrix::zeros(2, 1), &[0, 1], Some(&[0.5, -0.1]));
+    }
+}

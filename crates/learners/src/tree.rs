@@ -1,0 +1,493 @@
+//! Classification decision tree (CART) with weighted samples.
+//!
+//! Serves as the paper's "DT / C4.5" base classifier (entropy criterion
+//! approximates C4.5's information gain on numeric features) and as the
+//! building block for AdaBoost, Bagging, Random Forest and every
+//! under/over-sampling ensemble baseline.
+//!
+//! Implementation: exact greedy splits. Per node, each candidate feature
+//! is sorted once and scanned with weighted prefix sums; the sample-index
+//! buffer is partitioned in place, so building is allocation-light and
+//! O(n·d·log n) per level.
+
+use crate::traits::{check_fit_inputs, effective_weights, ConstantModel, Learner, Model};
+use crate::tree_util::{midpoint, partition};
+use spe_data::{Matrix, SeededRng};
+
+/// Split quality criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitCriterion {
+    /// Gini impurity `2p(1-p)` (CART default).
+    Gini,
+    /// Shannon entropy (information gain, ≈ C4.5 on numeric features).
+    Entropy,
+}
+
+impl SplitCriterion {
+    /// Impurity of a node with weighted positive fraction `p`.
+    #[inline]
+    pub fn impurity(self, p: f64) -> f64 {
+        match self {
+            SplitCriterion::Gini => 2.0 * p * (1.0 - p),
+            SplitCriterion::Entropy => {
+                let q = 1.0 - p;
+                let mut h = 0.0;
+                if p > 0.0 {
+                    h -= p * p.log2();
+                }
+                if q > 0.0 {
+                    h -= q * q.log2();
+                }
+                h
+            }
+        }
+    }
+}
+
+/// Decision-tree hyper-parameters. Paper settings: `max_depth = 10` for
+/// the standalone DT (Table II); depth-1 stumps inside AdaBoost.
+#[derive(Clone, Debug)]
+pub struct DecisionTreeConfig {
+    /// Split criterion.
+    pub criterion: SplitCriterion,
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples on each side of a split.
+    pub min_samples_leaf: usize,
+    /// Features sampled per node (None = all; Random Forest sets √d).
+    pub max_features: Option<usize>,
+    /// Minimum weighted impurity decrease to accept a split.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self {
+            criterion: SplitCriterion::Gini,
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            min_impurity_decrease: 0.0,
+        }
+    }
+}
+
+impl DecisionTreeConfig {
+    /// Default config with the given depth cap.
+    pub fn with_depth(max_depth: usize) -> Self {
+        Self {
+            max_depth,
+            ..Self::default()
+        }
+    }
+
+    /// Entropy-criterion config (the paper's C4.5 stand-in).
+    pub fn c45(max_depth: usize) -> Self {
+        Self {
+            criterion: SplitCriterion::Entropy,
+            max_depth,
+            ..Self::default()
+        }
+    }
+
+    /// A depth-1 decision stump (AdaBoost's default weak learner).
+    pub fn stump() -> Self {
+        Self::with_depth(1)
+    }
+}
+
+/// Flat-array tree node.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: u32,
+        threshold: f64,
+        /// Index of the left child; right child is `left + right_offset`.
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A trained decision tree.
+pub struct TreeModel {
+    nodes: Vec<Node>,
+}
+
+impl TreeModel {
+    /// Probability of the positive class for one sample.
+    #[inline]
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { proba } => return proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[feature as usize] <= threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached (diagnostic).
+    pub fn depth(&self) -> usize {
+        fn go(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + go(nodes, left as usize).max(go(nodes, right as usize))
+                }
+            }
+        }
+        go(&self.nodes, 0)
+    }
+}
+
+impl Model for TreeModel {
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [u8],
+    w: &'a [f64],
+    cfg: &'a DecisionTreeConfig,
+    rng: SeededRng,
+    nodes: Vec<Node>,
+    /// Scratch: (value, weight, weighted positive indicator) sorted per feature.
+    scratch: Vec<(f64, f64, f64)>,
+}
+
+impl<'a> Builder<'a> {
+    fn leaf(&mut self, w_pos: f64, w_total: f64) -> u32 {
+        let proba = if w_total > 0.0 { w_pos / w_total } else { 0.5 };
+        self.nodes.push(Node::Leaf { proba });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Builds the subtree over `idx` at the given depth, returning its
+    /// node index.
+    fn build(&mut self, idx: &mut [usize], depth: usize) -> u32 {
+        let (w_pos, w_total) = self.node_weights(idx);
+        let p = if w_total > 0.0 { w_pos / w_total } else { 0.0 };
+        let node_impurity = self.cfg.criterion.impurity(p);
+
+        let stop = depth >= self.cfg.max_depth
+            || idx.len() < self.cfg.min_samples_split
+            || node_impurity == 0.0
+            || w_total <= 0.0;
+        if stop {
+            return self.leaf(w_pos, w_total);
+        }
+
+        let Some(best) = self.best_split(idx, node_impurity, w_total) else {
+            return self.leaf(w_pos, w_total);
+        };
+
+        // Partition indices in place around the threshold.
+        let mid = partition(idx, |&i| self.x.get(i, best.feature) <= best.threshold);
+        if mid == 0 || mid == idx.len() {
+            // Numeric degeneracy (shouldn't happen with midpoint
+            // thresholds, but guard anyway).
+            return self.leaf(w_pos, w_total);
+        }
+
+        // Reserve the split node, then build children.
+        self.nodes.push(Node::Leaf { proba: 0.0 });
+        let me = (self.nodes.len() - 1) as u32;
+        let (li, ri) = idx.split_at_mut(mid);
+        let left = self.build(li, depth + 1);
+        let right = self.build(ri, depth + 1);
+        self.nodes[me as usize] = Node::Split {
+            feature: best.feature as u32,
+            threshold: best.threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    fn node_weights(&self, idx: &[usize]) -> (f64, f64) {
+        let mut w_pos = 0.0;
+        let mut w_total = 0.0;
+        for &i in idx {
+            w_total += self.w[i];
+            if self.y[i] != 0 {
+                w_pos += self.w[i];
+            }
+        }
+        (w_pos, w_total)
+    }
+
+    fn candidate_features(&mut self) -> Vec<usize> {
+        let d = self.x.cols();
+        match self.cfg.max_features {
+            Some(m) if m < d => self.rng.sample_indices(d, m),
+            _ => (0..d).collect(),
+        }
+    }
+
+    fn best_split(
+        &mut self,
+        idx: &[usize],
+        node_impurity: f64,
+        w_total: f64,
+    ) -> Option<BestSplit> {
+        let mut best: Option<BestSplit> = None;
+        let features = self.candidate_features();
+        let min_leaf = self.cfg.min_samples_leaf;
+        let (w_pos_all, _) = self.node_weights(idx);
+        for f in features {
+            // Gather and sort this node's samples by feature value.
+            self.scratch.clear();
+            for &i in idx {
+                let pos_w = if self.y[i] != 0 { self.w[i] } else { 0.0 };
+                self.scratch.push((self.x.get(i, f), self.w[i], pos_w));
+            }
+            self.scratch
+                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+            let mut w_left = 0.0;
+            let mut w_pos_left = 0.0;
+            let n = self.scratch.len();
+            for s in 0..n - 1 {
+                let (v, wi, pi) = self.scratch[s];
+                w_left += wi;
+                w_pos_left += pi;
+                let v_next = self.scratch[s + 1].0;
+                if v == v_next {
+                    continue; // can't split between equal values
+                }
+                let count_left = s + 1;
+                if count_left < min_leaf || n - count_left < min_leaf {
+                    continue;
+                }
+                let w_right = w_total - w_left;
+                if w_left <= 0.0 || w_right <= 0.0 {
+                    continue;
+                }
+                let p_l = w_pos_left / w_left;
+                let p_r = (w_pos_all - w_pos_left) / w_right;
+                let child_imp = (w_left * self.cfg.criterion.impurity(p_l)
+                    + w_right * self.cfg.criterion.impurity(p_r))
+                    / w_total;
+                // Like scikit-learn, a split is admissible when its
+                // impurity decrease is >= the configured minimum; with the
+                // default of 0 this allows zero-gain splits (necessary for
+                // XOR-like data, where every first split has zero gain).
+                let gain = node_impurity - child_imp;
+                if gain >= self.cfg.min_impurity_decrease - 1e-15
+                    && best.as_ref().is_none_or(|b| gain > b.gain)
+                {
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold: midpoint(v, v_next),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Learner for DecisionTreeConfig {
+    fn fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Box<dyn Model> {
+        check_fit_inputs(x, y, weights);
+        let w = effective_weights(y.len(), weights);
+        let n_pos = y.iter().filter(|&&l| l != 0).count();
+        if n_pos == 0 || n_pos == y.len() {
+            return Box::new(ConstantModel(if n_pos == 0 { 0.0 } else { 1.0 }));
+        }
+        let mut builder = Builder {
+            x,
+            y,
+            w: &w,
+            cfg: self,
+            rng: SeededRng::new(seed),
+            nodes: Vec::new(),
+            scratch: Vec::with_capacity(y.len()),
+        };
+        let mut idx: Vec<usize> = (0..y.len()).collect();
+        let root = builder.build(&mut idx, 0);
+        // Both the leaf and the split path push the root node before any
+        // descendant, so the root always lands at slot 0.
+        debug_assert_eq!(root, 0);
+        Box::new(TreeModel {
+            nodes: builder.nodes,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<u8>) {
+        // XOR pattern: needs depth >= 2.
+        let pts = [
+            (0.0, 0.0, 0u8),
+            (0.0, 1.0, 1),
+            (1.0, 0.0, 1),
+            (1.0, 1.0, 0),
+        ];
+        let mut x = Matrix::with_capacity(4, 2);
+        let mut y = Vec::new();
+        for &(a, b, l) in &pts {
+            x.push_row(&[a, b]);
+            y.push(l);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let x = Matrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let m = DecisionTreeConfig::with_depth(3).fit(&x, &y, 0);
+        let test = Matrix::from_vec(2, 1, vec![1.5, 10.5]);
+        assert_eq!(m.predict(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let (x, y) = xor_data();
+        let m = DecisionTreeConfig::with_depth(2).fit(&x, &y, 0);
+        assert_eq!(m.predict(&x), y);
+    }
+
+    #[test]
+    fn stump_cannot_learn_xor() {
+        let (x, y) = xor_data();
+        let m = DecisionTreeConfig::stump().fit(&x, &y, 0);
+        assert_ne!(m.predict(&x), y);
+    }
+
+    #[test]
+    fn entropy_criterion_also_works() {
+        let x = Matrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let m = DecisionTreeConfig::c45(3).fit(&x, &y, 0);
+        assert_eq!(
+            m.predict(&Matrix::from_vec(2, 1, vec![0.5, 11.5])),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn single_class_returns_constant() {
+        let x = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let m = DecisionTreeConfig::default().fit(&x, &[1, 1, 1], 0);
+        assert_eq!(m.predict_proba(&x), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // Alternating labels force deep trees if allowed.
+        let x = Matrix::from_vec(16, 1, (0..16).map(f64::from).collect());
+        let y: Vec<u8> = (0..16).map(|i| (i % 2) as u8).collect();
+        let learner = DecisionTreeConfig::with_depth(2);
+        let boxed = learner.fit(&x, &y, 0);
+        // Downcast trick: verify via behaviour — a depth-2 tree has at
+        // most 4 leaves, so it cannot match 16 alternating labels.
+        let preds = boxed.predict(&x);
+        assert_ne!(preds, y);
+    }
+
+    #[test]
+    fn weights_dominate_split_choice() {
+        // Unweighted majority at each x is label 0, but the positives
+        // carry large weight, flipping leaf probabilities.
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.0, 1.0, 1.0]);
+        let y = vec![0, 1, 0, 1];
+        let w = vec![1.0, 9.0, 1.0, 9.0];
+        let m = DecisionTreeConfig::with_depth(2).fit_weighted(&x, &y, Some(&w), 0);
+        let p = m.predict_proba(&x);
+        assert!(p.iter().all(|&pi| pi > 0.5), "{p:?}");
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_tiny_splits() {
+        let x = Matrix::from_vec(5, 1, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let y = vec![1, 0, 0, 0, 0];
+        let cfg = DecisionTreeConfig {
+            min_samples_leaf: 2,
+            ..DecisionTreeConfig::with_depth(4)
+        };
+        let m = cfg.fit(&x, &y, 0);
+        // The lone positive cannot be isolated: its leaf has >= 2 samples,
+        // so its probability is at most 0.5.
+        let p = m.predict_proba(&Matrix::from_vec(1, 1, vec![0.0]));
+        assert!(p[0] <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn feature_subsampling_is_seeded() {
+        let (x, y) = xor_data();
+        let cfg = DecisionTreeConfig {
+            max_features: Some(1),
+            ..DecisionTreeConfig::with_depth(3)
+        };
+        let a = cfg.fit(&x, &y, 7).predict_proba(&x);
+        let b = cfg.fit(&x, &y, 7).predict_proba(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_ties() {
+        let x = Matrix::from_vec(4, 1, vec![1.0, 1.0, 1.0, 1.0]);
+        let y = vec![0, 1, 0, 1];
+        let m = DecisionTreeConfig::default().fit(&x, &y, 0);
+        let p = m.predict_proba(&x);
+        assert!(p.iter().all(|&pi| (pi - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn probabilities_are_leaf_fractions() {
+        // Only two distinct feature values, so only one split exists.
+        let x = Matrix::from_vec(6, 1, vec![0.0, 0.0, 0.0, 5.0, 5.0, 5.0]);
+        let y = vec![0, 0, 1, 1, 1, 0];
+        let cfg = DecisionTreeConfig::with_depth(1);
+        let m = cfg.fit(&x, &y, 0);
+        let p = m.predict_proba(&Matrix::from_vec(2, 1, vec![0.0, 5.0]));
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((p[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

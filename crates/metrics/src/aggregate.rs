@@ -1,0 +1,141 @@
+//! Aggregation across independent runs ("mean ± std of 10 runs").
+
+use crate::scores::MetricSet;
+use std::fmt;
+
+/// Mean and (population) standard deviation of a sequence of values.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean ± std of the given values (zeros for empty input).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for MeanStd {
+    /// Formats as `0.783±0.015`, the paper's table cell format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}±{:.3}", self.mean, self.std)
+    }
+}
+
+/// Collects [`MetricSet`]s from repeated runs and summarizes each metric.
+#[derive(Clone, Debug, Default)]
+pub struct RunAggregator {
+    runs: Vec<MetricSet>,
+}
+
+impl RunAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the metrics of one run.
+    pub fn push(&mut self, m: MetricSet) {
+        self.runs.push(m);
+    }
+
+    /// Number of runs recorded so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Mean ± std of each metric, in [`MetricSet::NAMES`] order.
+    pub fn summary(&self) -> [MeanStd; 4] {
+        let mut out = [MeanStd::default(); 4];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let vals: Vec<f64> = self.runs.iter().map(|m| m.as_array()[i]).collect();
+            *slot = MeanStd::of(&vals);
+        }
+        out
+    }
+
+    /// Mean ± std of AUCPRC only (many figures plot just this metric).
+    pub fn aucprc(&self) -> MeanStd {
+        MeanStd::of(&self.runs.iter().map(|m| m.aucprc).collect::<Vec<_>>())
+    }
+
+    /// Raw per-run metric sets.
+    pub fn runs(&self) -> &[MetricSet] {
+        &self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_of_constants() {
+        let ms = MeanStd::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(ms.mean, 2.0);
+        assert_eq!(ms.std, 0.0);
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let ms = MeanStd::of(&[1.0, 3.0]);
+        assert_eq!(ms.mean, 2.0);
+        assert_eq!(ms.std, 1.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(MeanStd::of(&[]), MeanStd::default());
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let ms = MeanStd {
+            mean: 0.7832,
+            std: 0.0151,
+        };
+        assert_eq!(ms.to_string(), "0.783±0.015");
+    }
+
+    #[test]
+    fn aggregator_summarizes_each_metric() {
+        let mut agg = RunAggregator::new();
+        agg.push(MetricSet {
+            aucprc: 0.8,
+            f1: 0.6,
+            g_mean: 0.5,
+            mcc: 0.4,
+        });
+        agg.push(MetricSet {
+            aucprc: 0.6,
+            f1: 0.8,
+            g_mean: 0.5,
+            mcc: 0.2,
+        });
+        let s = agg.summary();
+        assert!((s[0].mean - 0.7).abs() < 1e-12);
+        assert!((s[1].mean - 0.7).abs() < 1e-12);
+        assert_eq!(s[2].std, 0.0);
+        assert!((s[3].mean - 0.3).abs() < 1e-12);
+        assert_eq!(agg.len(), 2);
+        assert!((agg.aucprc().mean - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Binary confusion matrix (paper Table I).
+
+/// Confusion matrix for binary classification with positive = minority.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positives predicted positive.
+    pub tp: u64,
+    /// Negatives predicted positive.
+    pub fp: u64,
+    /// Negatives predicted negative.
+    pub tn: u64,
+    /// Positives predicted negative.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from hard 0/1 predictions.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_predictions(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut m = Self::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t != 0, p != 0) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Builds a confusion matrix by thresholding positive-class scores at
+    /// `threshold` (score >= threshold ⇒ predict positive).
+    pub fn from_scores(y_true: &[u8], scores: &[f64], threshold: f64) -> Self {
+        assert_eq!(y_true.len(), scores.len(), "length mismatch");
+        let mut m = Self::default();
+        for (&t, &s) in y_true.iter().zip(scores) {
+            match (t != 0, s >= threshold) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Recall = TP / (TP + FN); 0 when no positives exist.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Precision = TP / (TP + FP); 0 when nothing is predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Specificity (true negative rate) = TN / (TN + FP).
+    pub fn specificity(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Plain accuracy (reported only for diagnostics; see paper §II).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// False positive rate = FP / (FP + TN).
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_all_quadrants() {
+        let y = [1, 1, 1, 0, 0, 0, 0];
+        let p = [1, 0, 1, 1, 0, 0, 0];
+        let m = ConfusionMatrix::from_predictions(&y, &p);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.tn, 3);
+        assert_eq!(m.total(), 7);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            tn: 88,
+            fn_: 2,
+        };
+        assert!((m.recall() - 0.8).abs() < 1e-12);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.specificity() - 88.0 / 90.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.96).abs() < 1e-12);
+        assert!((m.fpr() - 2.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thresholding_matches_manual() {
+        let y = [1, 0, 1, 0];
+        let s = [0.9, 0.6, 0.4, 0.1];
+        let m = ConfusionMatrix::from_scores(&y, &s, 0.5);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (1, 1, 1, 1));
+        // Threshold is inclusive.
+        let m2 = ConfusionMatrix::from_scores(&y, &s, 0.6);
+        assert_eq!((m2.tp, m2.fp), (1, 1));
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero_not_nan() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Precision–recall and ROC curves from continuous scores.
+//!
+//! Points are generated at every distinct score threshold (ties grouped),
+//! sweeping from the most- to the least-confident prediction — the same
+//! construction scikit-learn uses, which the paper's numbers come from.
+
+/// A point on the PR curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrPoint {
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// The threshold (inclusive) generating this point.
+    pub threshold: f64,
+}
+
+/// A point on the ROC curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    /// False positive rate.
+    pub fpr: f64,
+    /// True positive rate (recall).
+    pub tpr: f64,
+    /// The threshold (inclusive) generating this point.
+    pub threshold: f64,
+}
+
+/// Indices of samples ordered by descending score, with per-sample label.
+fn ranked(y_true: &[u8], scores: &[f64]) -> Vec<(f64, bool)> {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let mut pairs: Vec<(f64, bool)> = scores
+        .iter()
+        .zip(y_true)
+        .map(|(&s, &t)| {
+            // NaN scores are mapped to -inf: a score the model could not
+            // produce ranks as the least confident prediction.
+            let s = if s.is_nan() { f64::NEG_INFINITY } else { s };
+            (s, t != 0)
+        })
+        .collect();
+    // Descending by score; total order is safe after the NaN mapping.
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
+    pairs
+}
+
+/// Computes the precision–recall curve.
+///
+/// The returned points are ordered by increasing recall and include the
+/// conventional anchor `(recall=0, precision=1)`. Returns an empty vector
+/// when there are no positive samples.
+pub fn pr_curve(y_true: &[u8], scores: &[f64]) -> Vec<PrPoint> {
+    let total_pos = y_true.iter().filter(|&&t| t != 0).count() as f64;
+    if total_pos == 0.0 {
+        return Vec::new();
+    }
+    let pairs = ranked(y_true, scores);
+    let mut points = vec![PrPoint {
+        recall: 0.0,
+        precision: 1.0,
+        threshold: f64::INFINITY,
+    }];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let threshold = pairs[i].0;
+        // Consume the whole tie group before emitting a point. The extra
+        // `i == start` check guarantees progress when threshold is NaN
+        // (NaN != NaN would otherwise spin forever).
+        let start = i;
+        while i < pairs.len() && (i == start || pairs[i].0 == threshold) {
+            if pairs[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push(PrPoint {
+            recall: tp / total_pos,
+            precision: tp / (tp + fp),
+            threshold,
+        });
+    }
+    points
+}
+
+/// Area under the precision–recall curve by trapezoidal integration over
+/// recall (the paper's AUCPRC; matches `sklearn.metrics.auc` on the PR
+/// curve). Returns 0 when there are no positives.
+pub fn aucprc(y_true: &[u8], scores: &[f64]) -> f64 {
+    let pts = pr_curve(y_true, scores);
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        area += (w[1].recall - w[0].recall) * (w[1].precision + w[0].precision) / 2.0;
+    }
+    area
+}
+
+/// Average precision: step-wise integral Σ (R_i − R_{i−1}) · P_i.
+///
+/// The more conservative PR-area estimate (`sklearn.metrics.
+/// average_precision_score`); exposed for completeness and ablations.
+pub fn average_precision(y_true: &[u8], scores: &[f64]) -> f64 {
+    let pts = pr_curve(y_true, scores);
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let mut ap = 0.0;
+    for w in pts.windows(2) {
+        ap += (w[1].recall - w[0].recall) * w[1].precision;
+    }
+    ap
+}
+
+/// Computes the ROC curve, ordered by increasing FPR, anchored at (0,0).
+pub fn roc_curve(y_true: &[u8], scores: &[f64]) -> Vec<RocPoint> {
+    let total_pos = y_true.iter().filter(|&&t| t != 0).count() as f64;
+    let total_neg = y_true.len() as f64 - total_pos;
+    if total_pos == 0.0 || total_neg == 0.0 {
+        return Vec::new();
+    }
+    let pairs = ranked(y_true, scores);
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let threshold = pairs[i].0;
+        let start = i;
+        while i < pairs.len() && (i == start || pairs[i].0 == threshold) {
+            if pairs[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            fpr: fp / total_neg,
+            tpr: tp / total_pos,
+            threshold,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal). Returns 0.5-equivalent only if
+/// the scores actually produce it; degenerate inputs return 0.
+pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
+    let pts = roc_curve(y_true, scores);
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let mut area = 0.0;
+    for w in pts.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_area_one() {
+        let y = [1, 1, 0, 0];
+        let s = [0.9, 0.8, 0.3, 0.1];
+        assert!((aucprc(&y, &s) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&y, &s) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&y, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_low_area() {
+        let y = [0, 0, 1, 1];
+        let s = [0.9, 0.8, 0.3, 0.1];
+        assert!(aucprc(&y, &s) < 0.5);
+        assert!(roc_auc(&y, &s) < 1e-12);
+    }
+
+    #[test]
+    fn random_equal_scores_ap_equals_prevalence() {
+        // All scores tied: the single PR point is (recall=1, precision=π).
+        let y = [1, 0, 0, 0];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert!((average_precision(&y, &s) - 0.25).abs() < 1e-12);
+        // ROC with one tie group is the diagonal.
+        assert!((roc_auc(&y, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_anchored_and_monotone_recall() {
+        let y = [1, 0, 1, 0, 1];
+        let s = [0.9, 0.7, 0.6, 0.4, 0.2];
+        let pts = pr_curve(&y, &s);
+        assert_eq!(pts[0].recall, 0.0);
+        assert_eq!(pts[0].precision, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+        }
+        assert!((pts.last().unwrap().recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_groups_emit_single_point() {
+        let y = [1, 0, 1, 0];
+        let s = [0.5, 0.5, 0.2, 0.2];
+        // Anchor + two threshold groups.
+        assert_eq!(pr_curve(&y, &s).len(), 3);
+    }
+
+    #[test]
+    fn no_positives_degenerates_gracefully() {
+        let y = [0, 0, 0];
+        let s = [0.1, 0.2, 0.3];
+        assert!(pr_curve(&y, &s).is_empty());
+        assert_eq!(aucprc(&y, &s), 0.0);
+        assert_eq!(roc_auc(&y, &s), 0.0);
+    }
+
+    #[test]
+    fn known_hand_computed_example() {
+        // Ranked: (0.8,+), (0.6,-), (0.4,+).
+        // Points: (R=.5, P=1), (R=.5, P=.5), (R=1, P=2/3).
+        let y = [1, 0, 1];
+        let s = [0.8, 0.6, 0.4];
+        let a = aucprc(&y, &s);
+        let expected = 0.5 * (1.0 + 1.0) / 2.0 + 0.0 + 0.5 * (0.5 + 2.0 / 3.0) / 2.0;
+        assert!((a - expected).abs() < 1e-12, "{a} vs {expected}");
+    }
+
+    #[test]
+    fn roc_auc_equals_rank_probability() {
+        // AUC == P(score_pos > score_neg) + 0.5 P(tie).
+        let y = [1, 1, 0, 0, 0];
+        let s = [0.9, 0.4, 0.6, 0.3, 0.4];
+        // pairs: (0.9 vs 0.6,0.3,0.4) = 3 wins; (0.4 vs 0.6)=0, (0.4 vs 0.3)=1, (0.4 vs 0.4)=tie
+        let expected = (3.0 + 1.0 + 0.5) / 6.0;
+        assert!((roc_auc(&y, &s) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_rank_last() {
+        let y = [1, 0];
+        let s = [f64::NAN, 0.5];
+        // NaN positive ranked last: first point is the negative.
+        let a = aucprc(&y, &s);
+        assert!(a.is_finite());
+        assert!(a <= 0.5 + 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! Evaluation criteria for imbalanced binary classification (paper §II).
+//!
+//! Accuracy is meaningless at IR ≈ 500:1, so the paper evaluates with
+//! confusion-matrix-derived scores — precision, recall, F1,
+//! G-mean (defined there as √(recall·precision)), MCC — plus the area
+//! under the precision–recall curve (AUCPRC). This crate implements all
+//! of them, along with the PR/ROC curves themselves and an aggregator for
+//! the "mean ± std over 10 independent runs" reporting protocol.
+
+pub mod aggregate;
+pub mod confusion;
+pub mod curves;
+pub mod scores;
+pub mod threshold;
+
+pub use aggregate::{MeanStd, RunAggregator};
+pub use confusion::ConfusionMatrix;
+pub use curves::{aucprc, average_precision, pr_curve, roc_auc, roc_curve};
+pub use scores::{f1_score, g_mean, mcc, MetricSet};
+pub use threshold::{tune_threshold, ThresholdObjective, TunedThreshold};

@@ -1,0 +1,150 @@
+//! Scalar scores derived from the confusion matrix, and the bundled
+//! [`MetricSet`] the experiment tables report.
+
+use crate::confusion::ConfusionMatrix;
+use crate::curves::aucprc;
+
+/// F1-score: harmonic mean of precision and recall.
+pub fn f1_score(m: &ConfusionMatrix) -> f64 {
+    let p = m.precision();
+    let r = m.recall();
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// G-mean as defined in the paper (§II): √(recall · precision).
+///
+/// Note this is the geometric mean of recall and *precision*, not the
+/// more common √(recall · specificity) variant — we follow the paper.
+pub fn g_mean(m: &ConfusionMatrix) -> f64 {
+    (m.recall() * m.precision()).sqrt()
+}
+
+/// Matthews correlation coefficient.
+///
+/// Computed in `f64` from the start; the product of the four marginals
+/// overflows `u64` on datasets past ~100k samples.
+pub fn mcc(m: &ConfusionMatrix) -> f64 {
+    let tp = m.tp as f64;
+    let fp = m.fp as f64;
+    let tn = m.tn as f64;
+    let fn_ = m.fn_ as f64;
+    let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (tp * tn - fp * fn_) / denom
+    }
+}
+
+/// The four criteria every results table in the paper reports, computed
+/// from positive-class scores (threshold 0.5 for the threshold metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricSet {
+    /// Area under the precision–recall curve.
+    pub aucprc: f64,
+    /// F1-score at threshold 0.5.
+    pub f1: f64,
+    /// G-mean (paper definition) at threshold 0.5.
+    pub g_mean: f64,
+    /// Matthews correlation coefficient at threshold 0.5.
+    pub mcc: f64,
+}
+
+impl MetricSet {
+    /// Evaluates all four criteria for scores in `[0, 1]`.
+    pub fn evaluate(y_true: &[u8], scores: &[f64]) -> Self {
+        let m = ConfusionMatrix::from_scores(y_true, scores, 0.5);
+        Self {
+            aucprc: aucprc(y_true, scores),
+            f1: f1_score(&m),
+            g_mean: g_mean(&m),
+            mcc: mcc(&m),
+        }
+    }
+
+    /// Values in the table order the paper uses (AUCPRC, F1, GM, MCC).
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.aucprc, self.f1, self.g_mean, self.mcc]
+    }
+
+    /// Metric names matching [`Self::as_array`] order.
+    pub const NAMES: [&'static str; 4] = ["AUCPRC", "F1", "GM", "MCC"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm(tp: u64, fp: u64, tn: u64, fn_: u64) -> ConfusionMatrix {
+        ConfusionMatrix { tp, fp, tn, fn_ }
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        // precision = 0.8, recall = 0.5 -> F1 = 2*0.4/1.3
+        let m = cm(4, 1, 90, 4);
+        assert!((f1_score(&m) - 2.0 * 0.8 * 0.5 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_nothing_found() {
+        assert_eq!(f1_score(&cm(0, 0, 10, 5)), 0.0);
+    }
+
+    #[test]
+    fn gmean_is_paper_definition() {
+        let m = cm(4, 1, 90, 4);
+        assert!((g_mean(&m) - (0.8f64 * 0.5).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_perfect_is_one() {
+        assert!((mcc(&cm(10, 0, 90, 0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_inverted_is_minus_one() {
+        assert!((mcc(&cm(0, 90, 0, 10)) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_random_is_near_zero() {
+        // Predictions independent of labels: MCC == 0 exactly when the
+        // confusion matrix factorizes.
+        assert!(mcc(&cm(5, 45, 45, 5)).abs() < 0.9);
+        assert_eq!(mcc(&cm(10, 90, 810, 90)), 0.0);
+    }
+
+    #[test]
+    fn mcc_no_overflow_on_large_counts() {
+        let m = cm(1_000_000, 2_000_000, 3_000_000, 500_000);
+        assert!(mcc(&m).is_finite());
+    }
+
+    #[test]
+    fn metric_set_perfect_classifier() {
+        let y = [1, 1, 0, 0, 0];
+        let s = [0.9, 0.8, 0.2, 0.1, 0.3];
+        let ms = MetricSet::evaluate(&y, &s);
+        assert!((ms.aucprc - 1.0).abs() < 1e-12);
+        assert!((ms.f1 - 1.0).abs() < 1e-12);
+        assert!((ms.g_mean - 1.0).abs() < 1e-12);
+        assert!((ms.mcc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_set_array_order() {
+        let ms = MetricSet {
+            aucprc: 0.1,
+            f1: 0.2,
+            g_mean: 0.3,
+            mcc: 0.4,
+        };
+        assert_eq!(ms.as_array(), [0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(MetricSet::NAMES[0], "AUCPRC");
+    }
+}

@@ -1,0 +1,166 @@
+//! Decision-threshold selection on a validation set.
+//!
+//! The paper evaluates threshold metrics (F1/G-mean/MCC) at 0.5; in
+//! deployment the threshold is usually tuned on `D_dev` (which the
+//! paper's protocol holds out at the original distribution for exactly
+//! this kind of use). This module sweeps every distinct score once,
+//! maintaining running confusion counts, so tuning is O(n log n).
+
+use crate::confusion::ConfusionMatrix;
+use crate::scores::{f1_score, g_mean, mcc};
+
+/// Objective to maximize when tuning the threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThresholdObjective {
+    /// F1-score.
+    F1,
+    /// G-mean (paper definition).
+    GMean,
+    /// Matthews correlation coefficient.
+    Mcc,
+}
+
+impl ThresholdObjective {
+    fn eval(self, m: &ConfusionMatrix) -> f64 {
+        match self {
+            ThresholdObjective::F1 => f1_score(m),
+            ThresholdObjective::GMean => g_mean(m),
+            ThresholdObjective::Mcc => mcc(m),
+        }
+    }
+}
+
+/// The tuned threshold and the objective value it achieves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunedThreshold {
+    /// Score cutoff: predict positive when `score >= threshold`.
+    pub threshold: f64,
+    /// Objective value at that cutoff (on the tuning data).
+    pub objective: f64,
+}
+
+/// Finds the threshold maximizing `objective` over all distinct cutoffs.
+///
+/// Returns a 0.5/0.0 default when the labels are single-class (no
+/// threshold is meaningful then).
+pub fn tune_threshold(
+    y_true: &[u8],
+    scores: &[f64],
+    objective: ThresholdObjective,
+) -> TunedThreshold {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let total_pos = y_true.iter().filter(|&&l| l != 0).count() as u64;
+    let total_neg = y_true.len() as u64 - total_pos;
+    if total_pos == 0 || total_neg == 0 {
+        return TunedThreshold {
+            threshold: 0.5,
+            objective: 0.0,
+        };
+    }
+
+    let mut pairs: Vec<(f64, bool)> = scores
+        .iter()
+        .zip(y_true)
+        .map(|(&s, &t)| (if s.is_nan() { f64::NEG_INFINITY } else { s }, t != 0))
+        .collect();
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let mut best = TunedThreshold {
+        threshold: f64::INFINITY, // predict nothing positive
+        objective: objective.eval(&ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: total_neg,
+            fn_: total_pos,
+        }),
+    };
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut i = 0;
+    while i < pairs.len() {
+        let threshold = pairs[i].0;
+        let start = i;
+        while i < pairs.len() && (i == start || pairs[i].0 == threshold) {
+            if pairs[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let m = ConfusionMatrix {
+            tp,
+            fp,
+            tn: total_neg - fp,
+            fn_: total_pos - tp,
+        };
+        let value = objective.eval(&m);
+        if value > best.objective {
+            best = TunedThreshold {
+                threshold,
+                objective: value,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_finds_a_separating_threshold() {
+        let y = [1, 1, 0, 0, 0];
+        let s = [0.9, 0.8, 0.3, 0.2, 0.1];
+        for obj in [
+            ThresholdObjective::F1,
+            ThresholdObjective::GMean,
+            ThresholdObjective::Mcc,
+        ] {
+            let t = tune_threshold(&y, &s, obj);
+            assert!((t.objective - 1.0).abs() < 1e-12, "{obj:?}");
+            assert!(t.threshold > 0.3 && t.threshold <= 0.8, "{obj:?}: {}", t.threshold);
+        }
+    }
+
+    #[test]
+    fn beats_the_default_half_threshold_when_scores_are_shifted() {
+        // A well-ranked but badly calibrated model: all scores below 0.5.
+        let y = [1, 1, 1, 0, 0, 0, 0, 0];
+        let s = [0.4, 0.35, 0.3, 0.2, 0.15, 0.1, 0.05, 0.01];
+        let at_half = f1_score(&ConfusionMatrix::from_scores(&y, &s, 0.5));
+        assert_eq!(at_half, 0.0);
+        let tuned = tune_threshold(&y, &s, ThresholdObjective::F1);
+        assert!((tuned.objective - 1.0).abs() < 1e-12);
+        assert!(tuned.threshold <= 0.3 && tuned.threshold > 0.2);
+    }
+
+    #[test]
+    fn overlapping_scores_pick_the_best_tradeoff() {
+        // One positive ranked below a negative: F1-optimal cutoff keeps
+        // the two clean positives.
+        let y = [1, 1, 0, 1, 0];
+        let s = [0.9, 0.8, 0.6, 0.5, 0.4];
+        let tuned = tune_threshold(&y, &s, ThresholdObjective::F1);
+        // Candidates: t=0.8 -> F1 of (2 TP, 0 FP, 1 FN) = 0.8;
+        // t=0.5 -> (3 TP, 1 FP) = 0.857.
+        assert!((tuned.objective - 6.0 / 7.0).abs() < 1e-9);
+        assert_eq!(tuned.threshold, 0.5);
+    }
+
+    #[test]
+    fn single_class_degenerates() {
+        let t = tune_threshold(&[0, 0], &[0.1, 0.9], ThresholdObjective::Mcc);
+        assert_eq!(t.threshold, 0.5);
+        assert_eq!(t.objective, 0.0);
+    }
+
+    #[test]
+    fn tuned_threshold_is_an_actual_score() {
+        let y = [1, 0, 1, 0, 1, 0];
+        let s = [0.7, 0.65, 0.62, 0.3, 0.8, 0.1];
+        let t = tune_threshold(&y, &s, ThresholdObjective::GMean);
+        assert!(s.contains(&t.threshold) || t.threshold.is_infinite());
+    }
+}

@@ -1,0 +1,65 @@
+//! Re-sampling baselines for imbalanced classification.
+//!
+//! Implements every method of the paper's Table V comparison:
+//!
+//! | Category | Methods |
+//! |---|---|
+//! | Under-sampling | `RandUnder`, `NearMiss` (v1/v2/v3), `Clean` (NCR), `ENN`, `TomekLink`, `AllKNN`, `OSS` |
+//! | Over-sampling | `RandOver`, `SMOTE`, `ADASYN`, `BorderSMOTE` |
+//! | Hybrid | `SMOTEENN`, `SMOTETomek` |
+//!
+//! All distance-based methods share the brute-force k-NN kernel from
+//! `spe-learners`; their O(n²·d) cost is intentional — it is precisely
+//! the inefficiency the paper measures in Table V's timing column.
+
+pub mod cleaning;
+pub mod nearmiss;
+pub mod random;
+pub mod smote;
+
+use spe_data::Dataset;
+
+pub use cleaning::{AllKnn, EditedNearestNeighbours, NeighbourhoodCleaningRule, OneSideSelection, TomekLinks};
+pub use nearmiss::{NearMiss, NearMissVersion};
+pub use random::{RandomOverSampler, RandomUnderSampler};
+pub use smote::{generate_synthetics, Adasyn, BorderlineSmote, Smote, SmoteEnn, SmoteTomek};
+
+/// A dataset re-sampler: transforms a training set into a (usually more
+/// balanced or cleaner) training set.
+pub trait Sampler: Send + Sync {
+    /// Produces the re-sampled dataset. `seed` drives any randomness;
+    /// deterministic cleaning rules ignore it.
+    fn resample(&self, data: &Dataset, seed: u64) -> Dataset;
+
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// No-op sampler — the `ORG` row of Table V (train on the original set).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoResampling;
+
+impl Sampler for NoResampling {
+    fn resample(&self, data: &Dataset, _seed: u64) -> Dataset {
+        data.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "ORG"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_data::Matrix;
+
+    #[test]
+    fn no_resampling_is_identity() {
+        let d = Dataset::new(Matrix::from_vec(2, 1, vec![1.0, 2.0]), vec![0, 1]);
+        let r = NoResampling.resample(&d, 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.x().as_slice(), d.x().as_slice());
+        assert_eq!(NoResampling.name(), "ORG");
+    }
+}

@@ -1,0 +1,169 @@
+//! Random under- and over-sampling (the `RandUnder` / `RandOver`
+//! baselines; also the primitive inside EasyEnsemble / UnderBagging /
+//! RUSBoost).
+
+use crate::Sampler;
+use spe_data::{Dataset, SeededRng};
+
+/// Randomly drops majority samples until `|N'| = ratio · |P|`.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomUnderSampler {
+    /// Majority-to-minority ratio after sampling (paper baselines: 1.0).
+    pub ratio: f64,
+}
+
+impl Default for RandomUnderSampler {
+    fn default() -> Self {
+        Self { ratio: 1.0 }
+    }
+}
+
+impl RandomUnderSampler {
+    /// Draws the majority *indices* for one balanced subset — exposed so
+    /// ensemble methods can resample many times without copying the
+    /// minority set repeatedly.
+    pub fn sample_majority_indices(
+        &self,
+        majority: &[usize],
+        n_minority: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<usize> {
+        let target = ((n_minority as f64) * self.ratio).round().max(1.0) as usize;
+        rng.sample_from(majority, target)
+    }
+}
+
+impl Sampler for RandomUnderSampler {
+    fn resample(&self, data: &Dataset, seed: u64) -> Dataset {
+        let idx = data.class_index();
+        if idx.minority.is_empty() || idx.majority.is_empty() {
+            return data.clone();
+        }
+        let mut rng = SeededRng::new(seed);
+        let mut keep = self.sample_majority_indices(&idx.majority, idx.minority.len(), &mut rng);
+        keep.extend_from_slice(&idx.minority);
+        rng.shuffle(&mut keep);
+        data.select(&keep)
+    }
+
+    fn name(&self) -> &'static str {
+        "RandUnder"
+    }
+}
+
+/// Randomly duplicates minority samples until classes are balanced.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomOverSampler {
+    /// Minority-to-majority ratio after sampling (1.0 = fully balanced).
+    pub ratio: f64,
+}
+
+impl Default for RandomOverSampler {
+    fn default() -> Self {
+        Self { ratio: 1.0 }
+    }
+}
+
+impl Sampler for RandomOverSampler {
+    fn resample(&self, data: &Dataset, seed: u64) -> Dataset {
+        let idx = data.class_index();
+        if idx.minority.is_empty() || idx.majority.is_empty() {
+            return data.clone();
+        }
+        let target = ((idx.majority.len() as f64) * self.ratio).round() as usize;
+        if target <= idx.minority.len() {
+            return data.clone();
+        }
+        let extra = target - idx.minority.len();
+        let mut rng = SeededRng::new(seed);
+        let mut keep: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..extra {
+            keep.push(idx.minority[rng.below(idx.minority.len())]);
+        }
+        rng.shuffle(&mut keep);
+        data.select(&keep)
+    }
+
+    fn name(&self) -> &'static str {
+        "RandOver"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_data::Matrix;
+
+    fn imbalanced(n_pos: usize, n_neg: usize) -> Dataset {
+        let n = n_pos + n_neg;
+        let x = Matrix::from_vec(n, 1, (0..n).map(|i| i as f64).collect());
+        let y = (0..n).map(|i| u8::from(i < n_pos)).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn under_sampling_balances() {
+        let d = imbalanced(10, 200);
+        let r = RandomUnderSampler::default().resample(&d, 1);
+        assert_eq!(r.n_positive(), 10);
+        assert_eq!(r.n_negative(), 10);
+    }
+
+    #[test]
+    fn under_sampling_keeps_all_minority() {
+        let d = imbalanced(5, 100);
+        let r = RandomUnderSampler::default().resample(&d, 2);
+        // Minority feature values are 0..5 and must all survive.
+        let mut pos_feats: Vec<i64> = r
+            .x()
+            .iter_rows()
+            .zip(r.y())
+            .filter(|(_, &l)| l == 1)
+            .map(|(row, _)| row[0] as i64)
+            .collect();
+        pos_feats.sort_unstable();
+        assert_eq!(pos_feats, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn under_sampling_ratio_scales_majority() {
+        let d = imbalanced(10, 200);
+        let r = RandomUnderSampler { ratio: 3.0 }.resample(&d, 3);
+        assert_eq!(r.n_negative(), 30);
+    }
+
+    #[test]
+    fn over_sampling_balances() {
+        let d = imbalanced(10, 200);
+        let r = RandomOverSampler::default().resample(&d, 4);
+        assert_eq!(r.n_positive(), 200);
+        assert_eq!(r.n_negative(), 200);
+    }
+
+    #[test]
+    fn over_sampling_only_duplicates_minority() {
+        let d = imbalanced(3, 50);
+        let r = RandomOverSampler::default().resample(&d, 5);
+        for (row, &l) in r.x().iter_rows().zip(r.y()) {
+            if l == 1 {
+                assert!(row[0] < 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_class_passthrough() {
+        let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]);
+        let d = Dataset::new(x, vec![0, 0, 0]);
+        assert_eq!(RandomUnderSampler::default().resample(&d, 0).len(), 3);
+        assert_eq!(RandomOverSampler::default().resample(&d, 0).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = imbalanced(10, 100);
+        let a = RandomUnderSampler::default().resample(&d, 9);
+        let b = RandomUnderSampler::default().resample(&d, 9);
+        assert_eq!(a.x().as_slice(), b.x().as_slice());
+    }
+}

@@ -1,0 +1,51 @@
+//! Fraud detection: the paper's motivating scenario (§I).
+//!
+//! Trains SPE over three very different base classifiers on the
+//! simulated Credit Fraud task (IR ≈ 579:1) and contrasts each with the
+//! same classifier trained on a randomly under-sampled set — showing the
+//! framework's model-adaptive behaviour: the hardness distribution is
+//! computed w.r.t. *the classifier being boosted*.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use spe::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let data = credit_fraud_sim(40_000, 7);
+    println!(
+        "credit-fraud sim: {} transactions, {} frauds (IR = {:.0}:1)",
+        data.len(),
+        data.n_positive(),
+        data.imbalance_ratio()
+    );
+    let split = train_val_test_split(&data, 0.6, 0.2, 7);
+
+    let bases: Vec<(&str, SharedLearner)> = vec![
+        ("KNN", Arc::new(KnnConfig::new(5))),
+        ("DT", Arc::new(DecisionTreeConfig::with_depth(10))),
+        ("LR", Arc::new(LogisticRegressionConfig::default())),
+    ];
+
+    println!(
+        "\n{:<6} {:>16} {:>16}",
+        "base", "RandUnder AUCPRC", "SPE-10 AUCPRC"
+    );
+    for (name, base) in bases {
+        // Random under-sampling baseline.
+        let balanced = RandomUnderSampler::default().resample(&split.train, 1);
+        let plain = base.fit(balanced.x(), balanced.y(), 1);
+        let auc_plain = aucprc(split.test.y(), &plain.predict_proba(split.test.x()));
+
+        // SPE around the same base classifier.
+        let spe = SelfPacedEnsembleConfig::with_base(10, base).fit_dataset(&split.train, 1);
+        let auc_spe = aucprc(split.test.y(), &spe.predict_proba(split.test.x()));
+
+        println!("{name:<6} {auc_plain:>16.3} {auc_spe:>16.3}");
+    }
+
+    println!("\nEach base classifier improves under SPE because the");
+    println!("under-sampling adapts to that classifier's own hardness map.");
+}

@@ -1,0 +1,77 @@
+//! # Self-paced Ensemble (SPE) — Rust reproduction
+//!
+//! A complete, from-scratch Rust implementation of *"Self-paced Ensemble
+//! for Highly Imbalanced Massive Data Classification"* (Liu et al.,
+//! ICDE 2020), including every substrate the paper's evaluation needs:
+//! nine base classifiers, fourteen re-sampling baselines, six imbalance
+//! ensembles, imbalanced-classification metrics, and generators for all
+//! evaluated datasets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spe::prelude::*;
+//!
+//! // A highly imbalanced synthetic task (IR = 10).
+//! let data = checkerboard(&CheckerboardConfig::small(200, 2_000), 42);
+//! let split = train_val_test_split(&data, 0.6, 0.2, 42);
+//!
+//! // Train SPE with 10 decision-tree members (paper defaults: k = 20
+//! // bins, absolute-error hardness).
+//! let spe = SelfPacedEnsembleConfig::new(10).fit_dataset(&split.train, 42);
+//!
+//! // Score with the paper's criteria. The random-ranking baseline on
+//! // this task is the positive prevalence, ≈ 0.09; SPE lands far above
+//! // it even at this toy scale (≈ 0.57 at the paper's full 11k scale).
+//! let probs = spe.predict_proba(split.test.x());
+//! let metrics = MetricSet::evaluate(split.test.y(), &probs);
+//! assert!(metrics.aucprc > 0.2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`data`] | matrices, datasets, splits, standardization, RNG |
+//! | [`metrics`] | AUCPRC, F1, G-mean, MCC, PR/ROC curves |
+//! | [`learners`] | KNN, CART, LR, SVM, MLP, AdaBoost, Bagging, RF, GBDT |
+//! | [`sampling`] | RandUnder/Over, NearMiss, ENN, Tomek, AllKNN, OSS, NCR, SMOTE, ADASYN, hybrids |
+//! | [`ensembles`] | Easy, Cascade, UnderBagging, SMOTEBagging, RUSBoost, SMOTEBoost |
+//! | [`core`] | **SPE itself**: hardness, bins, self-paced sampler, ensemble |
+//! | [`datasets`] | checkerboard, overlap study, real-world simulators |
+
+pub use spe_core as core;
+pub use spe_data as data;
+pub use spe_datasets as datasets;
+pub use spe_ensembles as ensembles;
+pub use spe_learners as learners;
+pub use spe_metrics as metrics;
+pub use spe_sampling as sampling;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use spe_core::{
+        AlphaSchedule, HardnessFn, SelfPacedEnsemble, SelfPacedEnsembleConfig, SelfPacedSampler,
+    };
+    pub use spe_data::{
+        train_val_test_split, Dataset, Matrix, SeededRng, Standardizer, StratifiedSplit,
+    };
+    pub use spe_datasets::{
+        checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim,
+        record_linkage_sim, CheckerboardConfig, KddVariant, OverlapConfig, REAL_WORLD_SPECS,
+    };
+    pub use spe_ensembles::{
+        BalanceCascade, EasyEnsemble, RusBoost, SmoteBagging, SmoteBoost, UnderBagging,
+    };
+    pub use spe_learners::{
+        AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GaussianNbConfig, GbdtConfig,
+        KnnConfig, Learner, LogisticRegressionConfig, MlpConfig, Model, RandomForestConfig,
+        SharedLearner, SvmConfig,
+    };
+    pub use spe_metrics::{aucprc, ConfusionMatrix, MeanStd, MetricSet, RunAggregator};
+    pub use spe_sampling::{
+        Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NearMissVersion,
+        NeighbourhoodCleaningRule, NoResampling, OneSideSelection, RandomOverSampler,
+        RandomUnderSampler, Sampler, Smote, SmoteEnn, SmoteTomek, TomekLinks,
+    };
+}
