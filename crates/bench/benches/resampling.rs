@@ -77,5 +77,10 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_resamplers, bench_self_paced_sampler, bench_scaling);
+criterion_group!(
+    benches,
+    bench_resamplers,
+    bench_self_paced_sampler,
+    bench_scaling
+);
 criterion_main!(benches);

@@ -59,9 +59,15 @@ fn bench_base_learners(c: &mut Criterion) {
     let learners: Vec<(&str, Box<dyn Learner>)> = vec![
         ("DT", Box::new(DecisionTreeConfig::with_depth(10))),
         ("KNN", Box::new(spe_learners::KnnConfig::new(5))),
-        ("LR", Box::new(spe_learners::LogisticRegressionConfig::default())),
+        (
+            "LR",
+            Box::new(spe_learners::LogisticRegressionConfig::default()),
+        ),
         ("GBDT10", Box::new(spe_learners::GbdtConfig::new(10))),
-        ("AdaBoost10", Box::new(spe_learners::AdaBoostConfig::new(10))),
+        (
+            "AdaBoost10",
+            Box::new(spe_learners::AdaBoostConfig::new(10)),
+        ),
     ];
     for (name, l) in &learners {
         group.bench_function(*name, |b| {

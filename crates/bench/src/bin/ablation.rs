@@ -26,18 +26,39 @@ fn main() {
     let args = Args::parse(5);
     let base: SharedLearner = Arc::new(DecisionTreeConfig::with_depth(10));
     let variants: Vec<(&str, AlphaSchedule, HardnessFn)> = vec![
-        ("SPE (full)", AlphaSchedule::SelfPaced, HardnessFn::AbsoluteError),
-        ("harmonize (alpha=0)", AlphaSchedule::Constant(0.0), HardnessFn::AbsoluteError),
-        ("uniform-bins (alpha=1e6)", AlphaSchedule::Constant(1e6), HardnessFn::AbsoluteError),
-        ("random (no hardness)", AlphaSchedule::Uniform, HardnessFn::AbsoluteError),
-        ("SPE + squared error", AlphaSchedule::SelfPaced, HardnessFn::SquaredError),
-        ("SPE + cross entropy", AlphaSchedule::SelfPaced, HardnessFn::CrossEntropy),
+        (
+            "SPE (full)",
+            AlphaSchedule::SelfPaced,
+            HardnessFn::AbsoluteError,
+        ),
+        (
+            "harmonize (alpha=0)",
+            AlphaSchedule::Constant(0.0),
+            HardnessFn::AbsoluteError,
+        ),
+        (
+            "uniform-bins (alpha=1e6)",
+            AlphaSchedule::Constant(1e6),
+            HardnessFn::AbsoluteError,
+        ),
+        (
+            "random (no hardness)",
+            AlphaSchedule::Uniform,
+            HardnessFn::AbsoluteError,
+        ),
+        (
+            "SPE + squared error",
+            AlphaSchedule::SelfPaced,
+            HardnessFn::SquaredError,
+        ),
+        (
+            "SPE + cross entropy",
+            AlphaSchedule::SelfPaced,
+            HardnessFn::CrossEntropy,
+        ),
     ];
 
-    let mut table = ExperimentTable::new(
-        "ablation",
-        &["Variant", "Checkerboard", "CreditFraud"],
-    );
+    let mut table = ExperimentTable::new("ablation", &["Variant", "Checkerboard", "CreditFraud"]);
 
     let mut cells: Vec<[Vec<f64>; 2]> = variants.iter().map(|_| [Vec::new(), Vec::new()]).collect();
     for run in 0..args.runs {
@@ -56,13 +77,14 @@ fn main() {
         for (di, data) in datasets.iter().enumerate() {
             let split = train_val_test_split(data, 0.6, 0.2, seed);
             for ((_, schedule, hardness), cell) in variants.iter().zip(&mut cells) {
-                let cfg = SelfPacedEnsembleConfig {
-                    n_estimators: 10,
-                    k_bins: 20,
-                    hardness: *hardness,
-                    base: Arc::clone(&base),
-                    alpha_schedule: *schedule,
-                };
+                let cfg = SelfPacedEnsembleConfig::builder()
+                    .n_estimators(10)
+                    .k_bins(20)
+                    .hardness(*hardness)
+                    .base(Arc::clone(&base))
+                    .alpha_schedule(*schedule)
+                    .build()
+                    .expect("valid ablation config");
                 let model = cfg.fit_dataset(&split.train, seed);
                 cell[di].push(aucprc(split.test.y(), &model.predict_proba(split.test.x())));
             }

@@ -35,7 +35,14 @@ fn main() {
     );
     let mut hist = ExperimentTable::new(
         "fig2_histogram",
-        &["Regime", "IR", "Classifier", "Bin", "Population", "Contribution"],
+        &[
+            "Regime",
+            "IR",
+            "Classifier",
+            "Bin",
+            "Population",
+            "Contribution",
+        ],
     );
 
     for overlapped in [false, true] {

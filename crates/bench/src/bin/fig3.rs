@@ -29,10 +29,7 @@ fn main() {
     let hardness = trace.hardness.last().expect("trace has iterations").clone();
     let n_pos = split.train.n_positive();
 
-    let mut table = ExperimentTable::new(
-        "fig3",
-        &["Subset", "Bin", "Population", "Contribution"],
-    );
+    let mut table = ExperimentTable::new("fig3", &["Subset", "Bin", "Population", "Contribution"]);
 
     // (a) Original majority set.
     let bins = HardnessBins::cut(&hardness, k);

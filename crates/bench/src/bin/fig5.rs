@@ -26,7 +26,14 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         "fig5",
-        &["cov", "iteration", "SPE", "SPE_std", "Cascade", "Cascade_std"],
+        &[
+            "cov",
+            "iteration",
+            "SPE",
+            "SPE_std",
+            "Cascade",
+            "Cascade_std",
+        ],
     );
 
     for cov in [0.05, 0.10, 0.15] {

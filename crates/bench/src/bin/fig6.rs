@@ -38,8 +38,12 @@ fn write_proba_field(dir: &Path, name: &str, model: &dyn Model, res: usize) {
         .zip(&probs)
         .map(|(r, &p)| vec![r[0], r[1], p])
         .collect();
-    write_csv(&dir.join(format!("fig6_proba_{name}.csv")), &["x0", "x1", "proba"], &rows)
-        .expect("write proba field");
+    write_csv(
+        &dir.join(format!("fig6_proba_{name}.csv")),
+        &["x0", "x1", "proba"],
+        &rows,
+    )
+    .expect("write proba field");
 }
 
 fn main() {
@@ -58,7 +62,10 @@ fn main() {
 
     // Clean and SMOTE: dump the resampled set and the single model.
     for (name, sampler) in [
-        ("clean", Box::new(NeighbourhoodCleaningRule::default()) as Box<dyn Sampler>),
+        (
+            "clean",
+            Box::new(NeighbourhoodCleaningRule::default()) as Box<dyn Sampler>,
+        ),
         ("smote", Box::new(Smote::default())),
     ] {
         let resampled = sampler.resample(&split.train, seed);

@@ -29,10 +29,7 @@ fn main() {
     };
     let c45: SharedLearner = Arc::new(DecisionTreeConfig::c45(10));
 
-    let mut table = ExperimentTable::new(
-        "fig7",
-        &["Dataset", "Method", "n", "AUCPRC", "std"],
-    );
+    let mut table = ExperimentTable::new("fig7", &["Dataset", "Method", "n", "AUCPRC", "std"]);
 
     for (dataset_name, n_rows, with_smote) in [
         ("Credit Fraud", args.sized(40_000), true),
@@ -41,19 +38,42 @@ fn main() {
         for &n in &sizes {
             eprintln!("[fig7] {dataset_name}, n = {n} ...");
             let mut methods: Vec<(&str, Box<dyn Learner>)> = vec![
-                ("SPE", Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45)))),
-                ("Cascade", Box::new(BalanceCascade::with_base(n, Arc::clone(&c45)))),
-                ("UnderBagging", Box::new(UnderBagging::with_base(n, Arc::clone(&c45)))),
-                ("RUSBoost", Box::new(RusBoost { n_rounds: n, base: Arc::clone(&c45) })),
+                (
+                    "SPE",
+                    Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45))),
+                ),
+                (
+                    "Cascade",
+                    Box::new(BalanceCascade::with_base(n, Arc::clone(&c45))),
+                ),
+                (
+                    "UnderBagging",
+                    Box::new(UnderBagging::with_base(n, Arc::clone(&c45))),
+                ),
+                (
+                    "RUSBoost",
+                    Box::new(RusBoost {
+                        n_rounds: n,
+                        base: Arc::clone(&c45),
+                    }),
+                ),
             ];
             if with_smote {
                 methods.push((
                     "SMOTEBagging",
-                    Box::new(SmoteBagging { n_estimators: n, base: Arc::clone(&c45), k: 5 }),
+                    Box::new(SmoteBagging {
+                        n_estimators: n,
+                        base: Arc::clone(&c45),
+                        k: 5,
+                    }),
                 ));
                 methods.push((
                     "SMOTEBoost",
-                    Box::new(SmoteBoost { n_rounds: n, base: Arc::clone(&c45), k: 5 }),
+                    Box::new(SmoteBoost {
+                        n_rounds: n,
+                        base: Arc::clone(&c45),
+                        k: 5,
+                    }),
                 ));
             }
             let mut aucs: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];

@@ -30,10 +30,7 @@ fn main() {
     ];
     let base: SharedLearner = Arc::new(DecisionTreeConfig::with_depth(10));
 
-    let mut table = ExperimentTable::new(
-        "fig8",
-        &["Dataset", "Hardness", "k", "AUCPRC", "std"],
-    );
+    let mut table = ExperimentTable::new("fig8", &["Dataset", "Hardness", "k", "AUCPRC", "std"]);
 
     for (dataset_name, n_rows) in [
         ("Credit Fraud", args.sized(40_000)),
@@ -51,11 +48,13 @@ fn main() {
                         payment_sim(n_rows, seed)
                     };
                     let split = train_val_test_split(&data, 0.6, 0.2, seed);
-                    let cfg = SelfPacedEnsembleConfig {
-                        k_bins: k,
-                        hardness: h,
-                        ..SelfPacedEnsembleConfig::with_base(10, Arc::clone(&base))
-                    };
+                    let cfg = SelfPacedEnsembleConfig::builder()
+                        .n_estimators(10)
+                        .base(Arc::clone(&base))
+                        .k_bins(k)
+                        .hardness(h)
+                        .build()
+                        .expect("valid fig8 config");
                     let model = cfg.fit_dataset(&split.train, seed);
                     aucs.push(aucprc(split.test.y(), &model.predict_proba(split.test.x())));
                 }

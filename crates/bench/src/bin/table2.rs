@@ -22,12 +22,32 @@ fn main() {
     // Paper hyper-parameters (Table II, "Hyper" column).
     let classifiers: Vec<(&str, &str, SharedLearner)> = vec![
         ("KNN", "k_neighbors=5", Arc::new(KnnConfig::new(5))),
-        ("DT", "max_depth=10", Arc::new(DecisionTreeConfig::with_depth(10))),
-        ("MLP", "hidden_unit=128", Arc::new(MlpConfig::with_hidden(128))),
+        (
+            "DT",
+            "max_depth=10",
+            Arc::new(DecisionTreeConfig::with_depth(10)),
+        ),
+        (
+            "MLP",
+            "hidden_unit=128",
+            Arc::new(MlpConfig::with_hidden(128)),
+        ),
         ("SVM", "C=1000", Arc::new(SvmConfig::rbf(1000.0, 1.0))),
-        ("AdaBoost10", "n_estimator=10", Arc::new(AdaBoostConfig::new(10))),
-        ("Bagging10", "n_estimator=10", Arc::new(BaggingConfig::new(10))),
-        ("RandForest10", "n_estimator=10", Arc::new(RandomForestConfig::new(10))),
+        (
+            "AdaBoost10",
+            "n_estimator=10",
+            Arc::new(AdaBoostConfig::new(10)),
+        ),
+        (
+            "Bagging10",
+            "n_estimator=10",
+            Arc::new(BaggingConfig::new(10)),
+        ),
+        (
+            "RandForest10",
+            "n_estimator=10",
+            Arc::new(RandomForestConfig::new(10)),
+        ),
         ("GBDT10", "boost_rounds=10", Arc::new(GbdtConfig::new(10))),
     ];
 
@@ -39,7 +59,16 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         "table2",
-        &["Model", "Hyper", "RandUnder", "Clean", "SMOTE", "Easy10", "Cascade10", "SPE10"],
+        &[
+            "Model",
+            "Hyper",
+            "RandUnder",
+            "Clean",
+            "SMOTE",
+            "Easy10",
+            "Cascade10",
+            "SPE10",
+        ],
     );
 
     for (model_name, hyper, base) in classifiers {

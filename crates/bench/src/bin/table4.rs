@@ -92,7 +92,14 @@ fn main() {
     let mut table = ExperimentTable::new(
         "table4",
         &[
-            "Dataset", "Model", "Metric", "RandUnder", "Clean", "SMOTE", "Easy10", "Cascade10",
+            "Dataset",
+            "Model",
+            "Metric",
+            "RandUnder",
+            "Clean",
+            "SMOTE",
+            "Easy10",
+            "Cascade10",
             "SPE10",
         ],
     );
@@ -119,7 +126,14 @@ fn main() {
             // Column layout is fixed; fill "--" where methods were skipped.
             let mut cells: Vec<String> = Vec::new();
             let mut agg_iter = aggs.iter();
-            for col in ["RandUnder", "Clean", "SMOTE", "Easy10", "Cascade10", "SPE10"] {
+            for col in [
+                "RandUnder",
+                "Clean",
+                "SMOTE",
+                "Easy10",
+                "Cascade10",
+                "SPE10",
+            ] {
                 let skipped = !task.distance_methods && (col == "Clean" || col == "SMOTE");
                 if skipped {
                     cells.push("--".into());

@@ -11,7 +11,9 @@ use spe_bench::methods::spe_with;
 use spe_data::{train_val_test_split, Dataset};
 use spe_datasets::credit_fraud_sim;
 use spe_learners::traits::SharedLearner;
-use spe_learners::{AdaBoostConfig, DecisionTreeConfig, GbdtConfig, KnnConfig, LogisticRegressionConfig};
+use spe_learners::{
+    AdaBoostConfig, DecisionTreeConfig, GbdtConfig, KnnConfig, LogisticRegressionConfig,
+};
 use spe_metrics::{aucprc, MeanStd};
 use spe_sampling::{
     Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NeighbourhoodCleaningRule,
@@ -24,19 +26,43 @@ use std::time::Instant;
 fn samplers() -> Vec<(&'static str, &'static str, Box<dyn Sampler>)> {
     vec![
         ("No re-sampling", "ORG", Box::new(NoResampling)),
-        ("Under-sampling", "RandUnder", Box::new(RandomUnderSampler::default())),
+        (
+            "Under-sampling",
+            "RandUnder",
+            Box::new(RandomUnderSampler::default()),
+        ),
         ("Under-sampling", "NearMiss", Box::new(NearMiss::default())),
-        ("Under-sampling", "Clean", Box::new(NeighbourhoodCleaningRule::default())),
-        ("Under-sampling", "ENN", Box::new(EditedNearestNeighbours::default())),
+        (
+            "Under-sampling",
+            "Clean",
+            Box::new(NeighbourhoodCleaningRule::default()),
+        ),
+        (
+            "Under-sampling",
+            "ENN",
+            Box::new(EditedNearestNeighbours::default()),
+        ),
         ("Under-sampling", "TomekLink", Box::new(TomekLinks)),
         ("Under-sampling", "AllKNN", Box::new(AllKnn::default())),
         ("Under-sampling", "OSS", Box::new(OneSideSelection)),
-        ("Over-sampling", "RandOver", Box::new(RandomOverSampler::default())),
+        (
+            "Over-sampling",
+            "RandOver",
+            Box::new(RandomOverSampler::default()),
+        ),
         ("Over-sampling", "SMOTE", Box::new(Smote::default())),
         ("Over-sampling", "ADASYN", Box::new(Adasyn::default())),
-        ("Over-sampling", "BorderSMOTE", Box::new(BorderlineSmote::default())),
+        (
+            "Over-sampling",
+            "BorderSMOTE",
+            Box::new(BorderlineSmote::default()),
+        ),
         ("Hybrid-sampling", "SMOTEENN", Box::new(SmoteEnn::default())),
-        ("Hybrid-sampling", "SMOTETomek", Box::new(SmoteTomek::default())),
+        (
+            "Hybrid-sampling",
+            "SMOTETomek",
+            Box::new(SmoteTomek::default()),
+        ),
     ]
 }
 
@@ -58,7 +84,14 @@ fn main() {
     let mut table = ExperimentTable::new(
         "table5",
         &[
-            "Category", "Method", "LR", "KNN", "DT", "AdaBoost10", "GBDT10", "#Sample",
+            "Category",
+            "Method",
+            "LR",
+            "KNN",
+            "DT",
+            "AdaBoost10",
+            "GBDT10",
+            "#Sample",
             "Time(s)",
         ],
     );
@@ -96,7 +129,10 @@ fn main() {
             let t0 = Instant::now();
             let resampled: Dataset = sampler.resample(&split.train, seed);
             let elapsed = t0.elapsed().as_secs_f64();
-            eprintln!("[table5]   {name}: {} samples, {elapsed:.2}s", resampled.len());
+            eprintln!(
+                "[table5]   {name}: {} samples, {elapsed:.2}s",
+                resampled.len()
+            );
             acc.times.push(elapsed);
             acc.n_samples.push(resampled.len() as f64);
             for ((_, base), auc_store) in clfs.iter().zip(&mut acc.aucs) {

@@ -21,11 +21,21 @@ fn main() {
     let n_rows = args.sized(40_000);
     let c45: SharedLearner = Arc::new(DecisionTreeConfig::c45(10));
 
-    let sizes = if args.quick { vec![10] } else { vec![10, 20, 50] };
+    let sizes = if args.quick {
+        vec![10]
+    } else {
+        vec![10, 20, 50]
+    };
     let mut table = ExperimentTable::new(
         "table6",
         &[
-            "n", "Metric", "RUSBoost", "SMOTEBoost", "UnderBagging", "SMOTEBagging", "Cascade",
+            "n",
+            "Metric",
+            "RUSBoost",
+            "SMOTEBoost",
+            "UnderBagging",
+            "SMOTEBagging",
+            "Cascade",
             "SPE",
         ],
     );
@@ -33,12 +43,41 @@ fn main() {
     for &n in &sizes {
         eprintln!("[table6] n = {n} ...");
         let methods: Vec<(&str, Box<dyn Learner>)> = vec![
-            ("RUSBoost", Box::new(RusBoost { n_rounds: n, base: Arc::clone(&c45) })),
-            ("SMOTEBoost", Box::new(SmoteBoost { n_rounds: n, base: Arc::clone(&c45), k: 5 })),
-            ("UnderBagging", Box::new(UnderBagging::with_base(n, Arc::clone(&c45)))),
-            ("SMOTEBagging", Box::new(SmoteBagging { n_estimators: n, base: Arc::clone(&c45), k: 5 })),
-            ("Cascade", Box::new(BalanceCascade::with_base(n, Arc::clone(&c45)))),
-            ("SPE", Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45)))),
+            (
+                "RUSBoost",
+                Box::new(RusBoost {
+                    n_rounds: n,
+                    base: Arc::clone(&c45),
+                }),
+            ),
+            (
+                "SMOTEBoost",
+                Box::new(SmoteBoost {
+                    n_rounds: n,
+                    base: Arc::clone(&c45),
+                    k: 5,
+                }),
+            ),
+            (
+                "UnderBagging",
+                Box::new(UnderBagging::with_base(n, Arc::clone(&c45))),
+            ),
+            (
+                "SMOTEBagging",
+                Box::new(SmoteBagging {
+                    n_estimators: n,
+                    base: Arc::clone(&c45),
+                    k: 5,
+                }),
+            ),
+            (
+                "Cascade",
+                Box::new(BalanceCascade::with_base(n, Arc::clone(&c45))),
+            ),
+            (
+                "SPE",
+                Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45))),
+            ),
         ];
         let mut aggs: Vec<RunAggregator> = methods.iter().map(|_| RunAggregator::new()).collect();
         let mut sample_counts: Vec<f64> = vec![0.0; methods.len()];

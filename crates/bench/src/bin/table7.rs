@@ -23,20 +23,54 @@ fn main() {
     let n = 10;
 
     let methods: Vec<(&str, Box<dyn Learner>)> = vec![
-        ("RUSBoost10", Box::new(RusBoost { n_rounds: n, base: Arc::clone(&c45) })),
-        ("SMOTEBoost10", Box::new(SmoteBoost { n_rounds: n, base: Arc::clone(&c45), k: 5 })),
-        ("UnderBagging10", Box::new(UnderBagging::with_base(n, Arc::clone(&c45)))),
-        ("SMOTEBagging10", Box::new(SmoteBagging { n_estimators: n, base: Arc::clone(&c45), k: 5 })),
-        ("Cascade10", Box::new(BalanceCascade::with_base(n, Arc::clone(&c45)))),
-        ("SPE10", Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45)))),
+        (
+            "RUSBoost10",
+            Box::new(RusBoost {
+                n_rounds: n,
+                base: Arc::clone(&c45),
+            }),
+        ),
+        (
+            "SMOTEBoost10",
+            Box::new(SmoteBoost {
+                n_rounds: n,
+                base: Arc::clone(&c45),
+                k: 5,
+            }),
+        ),
+        (
+            "UnderBagging10",
+            Box::new(UnderBagging::with_base(n, Arc::clone(&c45))),
+        ),
+        (
+            "SMOTEBagging10",
+            Box::new(SmoteBagging {
+                n_estimators: n,
+                base: Arc::clone(&c45),
+                k: 5,
+            }),
+        ),
+        (
+            "Cascade10",
+            Box::new(BalanceCascade::with_base(n, Arc::clone(&c45))),
+        ),
+        (
+            "SPE10",
+            Box::new(SelfPacedEnsembleConfig::with_base(n, Arc::clone(&c45))),
+        ),
     ];
 
     let ratios = [0.0, 0.25, 0.5, 0.75];
     let mut table = ExperimentTable::new(
         "table7",
         &[
-            "MissingRatio", "RUSBoost10", "SMOTEBoost10", "UnderBagging10", "SMOTEBagging10",
-            "Cascade10", "SPE10",
+            "MissingRatio",
+            "RUSBoost10",
+            "SMOTEBoost10",
+            "UnderBagging10",
+            "SMOTEBagging10",
+            "Cascade10",
+            "SPE10",
         ],
     );
 

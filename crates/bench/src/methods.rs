@@ -9,8 +9,9 @@ use spe_metrics::MetricSet;
 use spe_sampling::Sampler;
 use std::sync::Arc;
 
-/// A trainable method: dataset + seed → trained model.
-pub type FitFn = Box<dyn Fn(&Dataset, u64) -> Box<dyn Model>>;
+/// A trainable method: dataset + seed → trained model. `Send + Sync` so
+/// cross-validation folds can train on the shared runtime concurrently.
+pub type FitFn = Box<dyn Fn(&Dataset, u64) -> Box<dyn Model> + Send + Sync>;
 
 /// Sampler followed by a single classifier (`RandUnder`, `Clean`,
 /// `SMOTE`, ... rows of Tables II/IV/V).
@@ -41,10 +42,12 @@ pub fn cascade_with(n: usize, base: SharedLearner) -> FitFn {
 /// absolute-error hardness).
 pub fn spe_with(n: usize, base: SharedLearner) -> FitFn {
     Box::new(move |data, seed| {
-        Box::new(
-            SelfPacedEnsembleConfig::with_base(n, Arc::clone(&base))
-                .fit_dataset(data, seed),
-        )
+        let cfg = SelfPacedEnsembleConfig::builder()
+            .n_estimators(n)
+            .base(Arc::clone(&base))
+            .build()
+            .expect("valid SPE config");
+        Box::new(cfg.fit_dataset(data, seed))
     })
 }
 
@@ -116,7 +119,14 @@ mod tests {
         let names: Vec<&str> = with.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            ["RandUnder", "Clean", "SMOTE", "Easy10", "Cascade10", "SPE10"]
+            [
+                "RandUnder",
+                "Clean",
+                "SMOTE",
+                "Easy10",
+                "Cascade10",
+                "SPE10"
+            ]
         );
         let without = paper_method_lineup(base, 10, false);
         assert_eq!(without.len(), 4);

@@ -1,0 +1,143 @@
+//! Chainable, validating builder for [`SelfPacedEnsembleConfig`].
+//!
+//! Construction through the builder moves configuration mistakes from a
+//! panic inside `fit` to an [`SpeError::InvalidConfig`] at `build()`:
+//!
+//! ```
+//! use spe_core::SelfPacedEnsembleConfig;
+//!
+//! let cfg = SelfPacedEnsembleConfig::builder()
+//!     .n_estimators(20)
+//!     .k_bins(10)
+//!     .build()
+//!     .expect("valid configuration");
+//! assert_eq!(cfg.n_estimators, 20);
+//! assert!(SelfPacedEnsembleConfig::builder().n_estimators(0).build().is_err());
+//! ```
+
+use crate::ensemble::SelfPacedEnsembleConfig;
+use crate::hardness::HardnessFn;
+use crate::sampler::AlphaSchedule;
+use spe_data::SpeError;
+use spe_learners::traits::SharedLearner;
+use spe_runtime::Runtime;
+
+/// Builder returned by [`SelfPacedEnsembleConfig::builder`].
+///
+/// Every setter is chainable; unset fields keep the paper defaults
+/// (10 estimators, 20 bins, absolute-error hardness, C4.5-style trees,
+/// self-paced α schedule, environment-driven runtime).
+#[derive(Clone, Debug, Default)]
+pub struct SelfPacedEnsembleBuilder {
+    cfg: SelfPacedEnsembleConfig,
+}
+
+impl SelfPacedEnsembleBuilder {
+    /// Builder initialized with the paper defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of base classifiers `n` (must be positive at `build`).
+    pub fn n_estimators(mut self, n: usize) -> Self {
+        self.cfg.n_estimators = n;
+        self
+    }
+
+    /// Number of hardness bins `k` (must be positive at `build`).
+    pub fn k_bins(mut self, k: usize) -> Self {
+        self.cfg.k_bins = k;
+        self
+    }
+
+    /// Hardness function `H`.
+    pub fn hardness(mut self, hardness: HardnessFn) -> Self {
+        self.cfg.hardness = hardness;
+        self
+    }
+
+    /// Base learner `f` trained on each `P ∪ N'`.
+    pub fn base(mut self, base: SharedLearner) -> Self {
+        self.cfg.base = base;
+        self
+    }
+
+    /// Self-paced factor schedule (the non-default variants are the
+    /// §VI-C ablations).
+    pub fn alpha_schedule(mut self, schedule: AlphaSchedule) -> Self {
+        self.cfg.alpha_schedule = schedule;
+        self
+    }
+
+    /// Parallelism configuration installed around each fit.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.cfg.runtime = runtime;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    /// [`SpeError::InvalidConfig`] when `n_estimators` or `k_bins` is
+    /// zero.
+    pub fn build(self) -> Result<SelfPacedEnsembleConfig, SpeError> {
+        if self.cfg.n_estimators == 0 {
+            return Err(SpeError::InvalidConfig(
+                "need at least one estimator".into(),
+            ));
+        }
+        if self.cfg.k_bins == 0 {
+            return Err(SpeError::InvalidConfig("need at least one bin".into()));
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_learners::DecisionTreeConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn defaults_match_config_default() {
+        let built = SelfPacedEnsembleBuilder::new().build().unwrap();
+        let default = SelfPacedEnsembleConfig::default();
+        assert_eq!(built.n_estimators, default.n_estimators);
+        assert_eq!(built.k_bins, default.k_bins);
+        assert_eq!(built.base.name(), default.base.name());
+        assert_eq!(built.runtime, default.runtime);
+    }
+
+    #[test]
+    fn setters_chain() {
+        let cfg = SelfPacedEnsembleConfig::builder()
+            .n_estimators(7)
+            .k_bins(5)
+            .hardness(HardnessFn::SquaredError)
+            .base(Arc::new(DecisionTreeConfig::with_depth(3)))
+            .alpha_schedule(AlphaSchedule::Uniform)
+            .runtime(Runtime::with_threads(2))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.n_estimators, 7);
+        assert_eq!(cfg.k_bins, 5);
+        assert_eq!(cfg.hardness, HardnessFn::SquaredError);
+        assert_eq!(cfg.alpha_schedule, AlphaSchedule::Uniform);
+        assert_eq!(cfg.runtime.num_threads(), Some(2));
+    }
+
+    #[test]
+    fn zero_values_rejected_at_build() {
+        let err = SelfPacedEnsembleConfig::builder()
+            .n_estimators(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one estimator"));
+        let err = SelfPacedEnsembleConfig::builder()
+            .k_bins(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one bin"));
+    }
+}

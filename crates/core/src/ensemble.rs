@@ -2,16 +2,21 @@
 
 use crate::hardness::HardnessFn;
 use crate::sampler::{AlphaSchedule, SelfPacedSampler};
-use spe_data::{Dataset, Matrix, SeededRng};
+use spe_data::{Dataset, Matrix, SeededRng, SpeError, NEGATIVE, POSITIVE};
 use spe_learners::ensemble::SoftVoteEnsemble;
-use spe_learners::traits::{Learner, Model, SharedLearner};
+use spe_learners::traits::{validate_fit_inputs, Learner, Model, SharedLearner};
 use spe_learners::DecisionTreeConfig;
+use spe_runtime::Runtime;
 use std::sync::Arc;
 
 /// Configuration for a Self-paced Ensemble.
 ///
 /// Defaults follow the paper: `k = 20` bins, absolute-error hardness,
 /// 10 base classifiers, C4.5-style trees as the base learner.
+///
+/// Prefer [`SelfPacedEnsembleConfig::builder`] for constructing custom
+/// configurations — it validates at `build()` time and returns
+/// [`SpeError::InvalidConfig`] instead of panicking during `fit`.
 #[derive(Clone)]
 pub struct SelfPacedEnsembleConfig {
     /// Number of base classifiers `n`.
@@ -25,6 +30,9 @@ pub struct SelfPacedEnsembleConfig {
     /// α schedule (paper default: `tan(iπ/2n)`); the other variants are
     /// ablations, see [`AlphaSchedule`].
     pub alpha_schedule: AlphaSchedule,
+    /// Parallelism config installed for the duration of each fit (the
+    /// default defers to `SPE_THREADS` / hardware parallelism).
+    pub runtime: Runtime,
 }
 
 impl std::fmt::Debug for SelfPacedEnsembleConfig {
@@ -34,6 +42,7 @@ impl std::fmt::Debug for SelfPacedEnsembleConfig {
             .field("k_bins", &self.k_bins)
             .field("hardness", &self.hardness)
             .field("base", &self.base.name())
+            .field("runtime", &self.runtime)
             .finish()
     }
 }
@@ -46,6 +55,7 @@ impl Default for SelfPacedEnsembleConfig {
             hardness: HardnessFn::AbsoluteError,
             base: Arc::new(DecisionTreeConfig::default()),
             alpha_schedule: AlphaSchedule::SelfPaced,
+            runtime: Runtime::default(),
         }
     }
 }
@@ -68,26 +78,83 @@ impl SelfPacedEnsembleConfig {
         }
     }
 
+    /// Starts a [builder](crate::builder::SelfPacedEnsembleBuilder) for
+    /// a validated custom configuration.
+    pub fn builder() -> crate::builder::SelfPacedEnsembleBuilder {
+        crate::builder::SelfPacedEnsembleBuilder::new()
+    }
+
     /// Trains the ensemble (Algorithm 1). Returns the trained model with
     /// its per-iteration diagnostics.
+    ///
+    /// # Panics
+    /// Panics on the conditions [`Self::try_fit_dataset`] reports as
+    /// errors (invalid config, single-class data); the panic message is
+    /// the error's `Display` output.
     pub fn fit_dataset(&self, data: &Dataset, seed: u64) -> SelfPacedEnsemble {
         self.fit_dataset_traced(data, seed).0
+    }
+
+    /// Like [`Self::fit_dataset`] but panicking-free: returns
+    /// [`SpeError`] when the configuration or data cannot be trained on.
+    pub fn try_fit_dataset(
+        &self,
+        data: &Dataset,
+        seed: u64,
+    ) -> Result<SelfPacedEnsemble, SpeError> {
+        Ok(self.try_fit_dataset_traced(data, seed)?.0)
     }
 
     /// Like [`Self::fit_dataset`], additionally returning the
     /// per-iteration under-sampling trace (which majority rows each
     /// member trained on, and their hardness) — used by the Fig. 3 and
     /// Fig. 6 experiments.
+    ///
+    /// # Panics
+    /// Same conditions as [`Self::fit_dataset`].
     pub fn fit_dataset_traced(&self, data: &Dataset, seed: u64) -> (SelfPacedEnsemble, FitTrace) {
-        assert!(self.n_estimators > 0, "need at least one estimator");
-        assert!(self.k_bins > 0, "need at least one bin");
+        self.try_fit_dataset_traced(data, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`Self::fit_dataset_traced`]: validates
+    /// configuration and class balance up front, then runs Algorithm 1
+    /// with this config's [`Runtime`] installed.
+    pub fn try_fit_dataset_traced(
+        &self,
+        data: &Dataset,
+        seed: u64,
+    ) -> Result<(SelfPacedEnsemble, FitTrace), SpeError> {
+        if self.n_estimators == 0 {
+            return Err(SpeError::InvalidConfig(
+                "need at least one estimator".into(),
+            ));
+        }
+        if self.k_bins == 0 {
+            return Err(SpeError::InvalidConfig("need at least one bin".into()));
+        }
+        if data.is_empty() {
+            return Err(SpeError::EmptyDataset);
+        }
+
+        let idx = data.class_index();
+        if idx.minority.is_empty() {
+            return Err(SpeError::EmptyClass { label: POSITIVE });
+        }
+        if idx.majority.is_empty() {
+            return Err(SpeError::EmptyClass { label: NEGATIVE });
+        }
+
+        Ok(self.runtime.install(|| self.fit_validated(data, seed)))
+    }
+
+    /// Algorithm 1 proper; all preconditions already checked.
+    fn fit_validated(&self, data: &Dataset, seed: u64) -> (SelfPacedEnsemble, FitTrace) {
         let mut rng = SeededRng::new(seed);
 
         let idx = data.class_index();
         let n_pos = idx.minority.len();
         let n_neg = idx.majority.len();
-        assert!(n_pos > 0, "SPE requires at least one minority sample");
-        assert!(n_neg > 0, "SPE requires at least one majority sample");
 
         // Materialize the class subsets once; every iteration only varies
         // the majority selection.
@@ -96,16 +163,14 @@ impl SelfPacedEnsembleConfig {
         let majority_y = vec![0u8; n_neg];
 
         let n = self.n_estimators;
-        let sampler = SelfPacedSampler { k_bins: self.k_bins };
+        let sampler = SelfPacedSampler {
+            k_bins: self.k_bins,
+        };
 
         // f0: random under-sampling (Algorithm 1, line 2).
         let first_sel = rng.sample_indices(n_neg, n_pos.min(n_neg));
-        let mut models: Vec<Box<dyn Model>> = vec![self.train_member(
-            &minority_x,
-            &majority_x,
-            &first_sel,
-            rng.fork(0),
-        )];
+        let mut models: Vec<Box<dyn Model>> =
+            vec![self.train_member(&minority_x, &majority_x, &first_sel, rng.fork(0))];
         let mut alphas = vec![0.0_f64];
         let mut trace = FitTrace {
             majority_rows: idx.majority.clone(),
@@ -142,8 +207,12 @@ impl SelfPacedEnsembleConfig {
             };
 
             // Train fi on P ∪ N' (line 10).
-            let model =
-                self.train_member(&minority_x, &majority_x, &outcome.selected, rng.fork(i as u64));
+            let model = self.train_member(
+                &minority_x,
+                &majority_x,
+                &outcome.selected,
+                rng.fork(i as u64),
+            );
             for (s, p) in proba_sum.iter_mut().zip(model.predict_proba(&majority_x)) {
                 *s += p;
             }
@@ -244,6 +313,20 @@ impl Learner for SelfPacedEnsembleConfig {
         debug_assert!(weights.is_none(), "SPE does not support sample weights");
         let data = Dataset::new(x.clone(), y.to_vec());
         Box::new(self.fit_dataset(&data, seed))
+    }
+
+    /// Fallible fit surfacing SPE's extra preconditions (two-class data,
+    /// non-degenerate config) as [`SpeError`] values.
+    fn try_fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Result<Box<dyn Model>, SpeError> {
+        validate_fit_inputs(x, y, weights)?;
+        let data = Dataset::new(x.clone(), y.to_vec());
+        Ok(Box::new(self.try_fit_dataset(&data, seed)?))
     }
 
     fn name(&self) -> &'static str {
@@ -382,5 +465,65 @@ mod tests {
         let x = Matrix::zeros(5, 1);
         let d = Dataset::new(x, vec![0; 5]);
         let _ = SelfPacedEnsembleConfig::default().fit_dataset(&d, 0);
+    }
+
+    #[test]
+    fn try_fit_dataset_reports_errors_as_values() {
+        let d = Dataset::new(Matrix::zeros(5, 1), vec![0; 5]);
+        assert_eq!(
+            SelfPacedEnsembleConfig::default()
+                .try_fit_dataset(&d, 0)
+                .err(),
+            Some(SpeError::EmptyClass { label: POSITIVE })
+        );
+        let all_pos = Dataset::new(Matrix::zeros(5, 1), vec![1; 5]);
+        assert_eq!(
+            SelfPacedEnsembleConfig::default()
+                .try_fit_dataset(&all_pos, 0)
+                .err(),
+            Some(SpeError::EmptyClass { label: NEGATIVE })
+        );
+        let cfg = SelfPacedEnsembleConfig::new(0);
+        let ok = overlapping(10, 100, 20);
+        assert!(matches!(
+            cfg.try_fit_dataset(&ok, 0),
+            Err(SpeError::InvalidConfig(_))
+        ));
+        let empty = Dataset::new(Matrix::zeros(0, 1), Vec::new());
+        assert_eq!(
+            SelfPacedEnsembleConfig::default()
+                .try_fit_dataset(&empty, 0)
+                .err(),
+            Some(SpeError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn try_fit_matches_panicking_fit() {
+        let d = overlapping(20, 200, 21);
+        let a = SelfPacedEnsembleConfig::new(4)
+            .fit_dataset(&d, 22)
+            .predict_proba(d.x());
+        let b = SelfPacedEnsembleConfig::new(4)
+            .try_fit_dataset(&d, 22)
+            .unwrap()
+            .predict_proba(d.x());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runtime_cap_does_not_change_results() {
+        let d = overlapping(20, 200, 23);
+        let sequential = SelfPacedEnsembleConfig {
+            runtime: Runtime::with_threads(1),
+            ..SelfPacedEnsembleConfig::new(4)
+        };
+        let parallel = SelfPacedEnsembleConfig {
+            runtime: Runtime::with_threads(4),
+            ..SelfPacedEnsembleConfig::new(4)
+        };
+        let a = sequential.fit_dataset(&d, 24).predict_proba(d.x());
+        let b = parallel.fit_dataset(&d, 24).predict_proba(d.x());
+        assert_eq!(a, b);
     }
 }

@@ -24,11 +24,13 @@
 //! [`ensemble`] ([`SelfPacedEnsemble`], Algorithm 1).
 
 pub mod bins;
+pub mod builder;
 pub mod ensemble;
 pub mod hardness;
 pub mod sampler;
 
 pub use bins::{BinStats, HardnessBins};
+pub use builder::SelfPacedEnsembleBuilder;
 pub use ensemble::{FitTrace, SelfPacedEnsemble, SelfPacedEnsembleConfig};
 pub use hardness::HardnessFn;
 pub use sampler::{self_paced_factor, AlphaSchedule, SelfPacedSampler};

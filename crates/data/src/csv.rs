@@ -23,9 +23,7 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
     let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty CSV".into()))??;
+    let header = lines.next().ok_or_else(|| bad("empty CSV".into()))??;
     let cols: Vec<&str> = header.split(',').collect();
     if cols.len() < 2 {
         return Err(bad("need at least one feature column and a label".into()));
@@ -52,7 +50,10 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
                 0.0
             } else {
                 cell.parse().map_err(|_| {
-                    bad(format!("line {}: cannot parse {cell:?} as a number", line_no + 2))
+                    bad(format!(
+                        "line {}: cannot parse {cell:?} as a number",
+                        line_no + 2
+                    ))
                 })?
             };
             if ci == label_col {
@@ -61,7 +62,10 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
                 } else if value == 1.0 {
                     1
                 } else {
-                    return Err(bad(format!("line {}: label {value} is not 0/1", line_no + 2)));
+                    return Err(bad(format!(
+                        "line {}: label {value} is not 0/1",
+                        line_no + 2
+                    )));
                 });
             } else {
                 if fi >= n_features {
@@ -72,7 +76,11 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
             }
         }
         if fi != n_features {
-            return Err(bad(format!("line {}: expected {} features, got {fi}", line_no + 2, n_features)));
+            return Err(bad(format!(
+                "line {}: expected {} features, got {fi}",
+                line_no + 2,
+                n_features
+            )));
         }
         x.push_row(&row);
         y.push(label.ok_or_else(|| bad(format!("line {}: missing label", line_no + 2)))?);
@@ -84,11 +92,7 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
 }
 
 /// Writes a header row plus data rows of `f64` values.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<f64>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }

@@ -15,6 +15,7 @@
 
 pub mod csv;
 pub mod dataset;
+pub mod error;
 pub mod matrix;
 pub mod missing;
 pub mod rng;
@@ -22,9 +23,10 @@ pub mod split;
 pub mod stats;
 
 pub use dataset::{ClassIndex, Dataset};
+pub use error::SpeError;
 pub use matrix::Matrix;
 pub use rng::SeededRng;
-pub use split::{train_val_test_split, StratifiedSplit};
+pub use split::{stratified_k_fold, train_val_test_split, StratifiedSplit};
 pub use stats::Standardizer;
 
 /// Label value used for the minority / positive class throughout the

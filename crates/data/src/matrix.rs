@@ -148,6 +148,27 @@ impl Matrix {
         self.rows += 1;
     }
 
+    /// Copies the contiguous row range `range` into a new matrix.
+    ///
+    /// Row-major layout makes this a single memcpy; parallel predictors
+    /// use it to hand each worker a chunk of rows.
+    ///
+    /// # Panics
+    /// Panics if `range.end > rows` or `range.start > range.end`.
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> Matrix {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {range:?} out of bounds ({} rows)",
+            self.rows
+        );
+        let n = range.len();
+        Matrix {
+            data: self.data[range.start * self.cols..range.end * self.cols].to_vec(),
+            rows: n,
+            cols: self.cols,
+        }
+    }
+
     /// Gathers the given row indices into a new matrix (rows may repeat).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::with_capacity(indices.len(), self.cols);
@@ -243,6 +264,24 @@ mod tests {
         assert_eq!(s.row(0), &[5.0, 6.0]);
         assert_eq!(s.row(1), &[1.0, 2.0]);
         assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn row_range_copies_contiguous_rows() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mid = m.row_range(1..3);
+        assert_eq!(mid.rows(), 2);
+        assert_eq!(mid.row(0), &[3.0, 4.0]);
+        assert_eq!(mid.row(1), &[5.0, 6.0]);
+        assert_eq!(m.row_range(0..0).rows(), 0);
+        assert_eq!(m.row_range(0..3), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn row_range_rejects_out_of_bounds() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.row_range(1..3);
     }
 
     #[test]

@@ -76,6 +76,53 @@ pub fn stratified_two_way(data: &Dataset, frac: f64, seed: u64) -> (Dataset, Dat
     (s.train, s.validation.concat(&s.test))
 }
 
+/// Stratified k-fold partition: returns `k` disjoint `(train, test)`
+/// pairs covering the dataset, each test fold preserving the class
+/// ratio as closely as integer rounding allows.
+///
+/// Fold assignment round-robins each class's shuffled indices, so every
+/// fold's minority count differs by at most one — essential at extreme
+/// imbalance, where a plain random k-fold can produce minority-free
+/// test folds.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > data.len()`.
+pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k-fold needs k >= 2 (got {k})");
+    assert!(
+        k <= data.len(),
+        "k-fold needs k <= n samples ({k} > {})",
+        data.len()
+    );
+    let mut rng = SeededRng::new(seed);
+    let idx = data.class_index();
+    let mut fold_of = vec![0usize; data.len()];
+    for class in [&idx.minority, &idx.majority] {
+        let mut order = class.clone();
+        rng.shuffle(&mut order);
+        for (pos, &row) in order.iter().enumerate() {
+            fold_of[row] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let mut train_idx = Vec::new();
+            let mut test_idx = Vec::new();
+            for (row, &fold) in fold_of.iter().enumerate() {
+                if fold == f {
+                    test_idx.push(row);
+                } else {
+                    train_idx.push(row);
+                }
+            }
+            // Shuffle the training rows so class blocks are not
+            // contiguous (matters for mini-batch learners).
+            rng.shuffle(&mut train_idx);
+            (data.select(&train_idx), data.select(&test_idx))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +181,52 @@ mod tests {
         let b = train_val_test_split(&d, 0.6, 0.2, 9);
         assert_eq!(a.train.y(), b.train.y());
         assert_eq!(a.train.x().as_slice(), b.train.x().as_slice());
+    }
+
+    #[test]
+    fn k_fold_partitions_are_disjoint_and_stratified() {
+        let d = imbalanced(20, 200);
+        let folds = stratified_k_fold(&d, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<i64> = Vec::new();
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 220);
+            // Every test fold keeps the 1:10 class ratio exactly.
+            assert_eq!(test.n_positive(), 4);
+            assert_eq!(test.n_negative(), 40);
+            for r in test.x().iter_rows() {
+                seen.push(r[0] as i64);
+            }
+        }
+        // Test folds tile the dataset.
+        seen.sort_unstable();
+        assert_eq!(seen, (0..220).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn k_fold_keeps_minority_at_extreme_imbalance() {
+        let d = imbalanced(7, 700);
+        for (_, test) in stratified_k_fold(&d, 5, 2) {
+            assert!(test.n_positive() >= 1);
+        }
+    }
+
+    #[test]
+    fn k_fold_deterministic_given_seed() {
+        let d = imbalanced(10, 100);
+        let a = stratified_k_fold(&d, 3, 7);
+        let b = stratified_k_fold(&d, 3, 7);
+        for ((ta, sa), (tb, sb)) in a.iter().zip(&b) {
+            assert_eq!(ta.y(), tb.y());
+            assert_eq!(sa.x().as_slice(), sb.x().as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_fold_rejects_k_one() {
+        let d = imbalanced(5, 50);
+        let _ = stratified_k_fold(&d, 1, 0);
     }
 
     #[test]

@@ -129,7 +129,13 @@ mod tests {
         // Overlap proxy: fraction of minority samples whose nearest cell
         // center has majority color.
         let frac_confused = |cov: f64| {
-            let d = checkerboard(&CheckerboardConfig { cov, ..CheckerboardConfig::small(2000, 2000) }, 3);
+            let d = checkerboard(
+                &CheckerboardConfig {
+                    cov,
+                    ..CheckerboardConfig::small(2000, 2000)
+                },
+                3,
+            );
             let mut confused = 0usize;
             let mut total = 0usize;
             for (row, &l) in d.x().iter_rows().zip(d.y()) {

@@ -273,9 +273,9 @@ pub fn kddcup_sim(n: usize, variant: KddVariant, seed: u64) -> Dataset {
     let modes: Vec<(f64, f64, f64)> = (0..MODES)
         .map(|_| {
             (
-                (rng.normal(4.5, 1.2)).exp(),       // count scale
-                rng.range(0.2, 1.0),                // rate level
-                rng.range(0.0, 1.0),                // flag probability
+                (rng.normal(4.5, 1.2)).exp(), // count scale
+                rng.range(0.2, 1.0),          // rate level
+                rng.range(0.0, 1.0),          // flag probability
             )
         })
         .collect();

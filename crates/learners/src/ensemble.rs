@@ -39,18 +39,28 @@ impl SoftVoteEnsemble {
     /// Average probability of the first `k` members only — lets the
     /// Fig. 5 / Fig. 7 experiments trace performance versus ensemble
     /// size without retraining.
+    ///
+    /// Rows fan out across the shared runtime in contiguous chunks;
+    /// within each chunk members are still accumulated in fixed order
+    /// 0..k, and each row's average depends only on that row, so the
+    /// result is bit-identical to the sequential loop for every thread
+    /// count.
     pub fn predict_proba_prefix(&self, x: &Matrix, k: usize) -> Vec<f64> {
         let k = k.clamp(1, self.models.len());
-        let mut acc = vec![0.0; x.rows()];
-        for m in &self.models[..k] {
-            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
-                *a += p;
+        let chunks = spe_runtime::par_chunks(x.rows(), 256, |range| {
+            let sub = x.row_range(range);
+            let mut acc = vec![0.0; sub.rows()];
+            for m in &self.models[..k] {
+                for (a, p) in acc.iter_mut().zip(m.predict_proba(&sub)) {
+                    *a += p;
+                }
             }
-        }
-        for a in &mut acc {
-            *a /= k as f64;
-        }
-        acc
+            for a in &mut acc {
+                *a /= k as f64;
+            }
+            acc
+        });
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -72,41 +82,17 @@ pub struct TrainJob {
     pub seed: u64,
 }
 
-/// Trains one model per job, fanning jobs across threads.
+/// Trains one model per job, fanning jobs across the shared runtime.
 ///
 /// Members of Bagging / Random Forest / EasyEnsemble are independent, so
-/// this is embarrassingly parallel; results come back in job order.
+/// this is embarrassingly parallel; results come back in job order. Each
+/// job carries its own pre-assigned seed, so the trained models are
+/// bit-identical no matter how the jobs are scheduled.
 pub fn fit_parallel(learner: &dyn Learner, jobs: Vec<TrainJob>) -> Vec<Box<dyn Model>> {
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = crate::neighbors::num_threads().min(n);
-    if threads <= 1 || n == 1 {
-        return jobs
-            .into_iter()
-            .map(|j| learner.fit_weighted(&j.x, &j.y, j.w.as_deref(), j.seed))
-            .collect();
-    }
-    let mut slots: Vec<Option<Box<dyn Model>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let mut jobs: Vec<Option<TrainJob>> = jobs.into_iter().map(Some).collect();
-    let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (slot_chunk, job_chunk) in slots.chunks_mut(chunk).zip(jobs.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, job) in slot_chunk.iter_mut().zip(job_chunk.iter_mut()) {
-                    let j = job.take().expect("job taken twice");
-                    *slot = Some(learner.fit_weighted(&j.x, &j.y, j.w.as_deref(), j.seed));
-                }
-            });
-        }
+    spe_runtime::par_map_indexed(jobs.len(), |i| {
+        let j = &jobs[i];
+        learner.fit_weighted(&j.x, &j.y, j.w.as_deref(), j.seed)
     })
-    .expect("training worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.expect("missing trained model"))
-        .collect()
 }
 
 #[cfg(test)]

@@ -78,7 +78,7 @@ impl Learner for RandomForestConfig {
                     x: x.select_rows(&idx),
                     y: idx.iter().map(|&i| y[i]).collect(),
                     w: weights.map(|w| idx.iter().map(|&i| w[i]).collect()),
-                    seed: seed.wrapping_add(101 + m as u64),
+                    seed: spe_runtime::fork_seed(seed.wrapping_add(101), m as u64),
                 }
             })
             .collect();
@@ -120,8 +120,8 @@ mod tests {
     fn finds_signal_among_noise_features() {
         let (x, y) = noisy_clusters(150, 1);
         let m = RandomForestConfig::new(15).fit(&x, &y, 2);
-        let acc = m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

@@ -10,8 +10,7 @@
 use crate::logistic::sigmoid;
 use crate::regtree::{RegTree, RegTreeConfig};
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner,
-    Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
 use spe_data::{Matrix, SeededRng};
 
@@ -223,7 +222,10 @@ mod tests {
         let mut y = Vec::new();
         for _ in 0..n_per {
             let t = rng.range(0.0, std::f64::consts::PI);
-            x.push_row(&[t.cos() + rng.normal(0.0, 0.1), t.sin() + rng.normal(0.0, 0.1)]);
+            x.push_row(&[
+                t.cos() + rng.normal(0.0, 0.1),
+                t.sin() + rng.normal(0.0, 0.1),
+            ]);
             y.push(0);
         }
         for _ in 0..n_per {
@@ -241,8 +243,8 @@ mod tests {
     fn fits_nonlinear_boundary() {
         let (x, y) = two_moons_ish(200, 1);
         let m = GbdtConfig::new(80).fit(&x, &y, 2);
-        let acc = m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

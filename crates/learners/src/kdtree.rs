@@ -136,11 +136,17 @@ impl<'a> KdTree<'a> {
                     }
                     let d = squared_distance(query, self.data.row(p));
                     if heap.len() < k {
-                        heap.push(HeapEntry(Neighbor { index: p, dist_sq: d }));
+                        heap.push(HeapEntry(Neighbor {
+                            index: p,
+                            dist_sq: d,
+                        }));
                     } else if let Some(top) = heap.peek() {
                         if d < top.0.dist_sq {
                             heap.pop();
-                            heap.push(HeapEntry(Neighbor { index: p, dist_sq: d }));
+                            heap.push(HeapEntry(Neighbor {
+                                index: p,
+                                dist_sq: d,
+                            }));
                         }
                     }
                 }
@@ -152,13 +158,17 @@ impl<'a> KdTree<'a> {
                 right,
             } => {
                 let diff = query[dim] - value;
-                let (near, far) = if diff <= 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if diff <= 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.search(near, query, k, exclude, heap);
                 // Prune the far side unless the splitting plane is closer
                 // than the current k-th best.
                 let plane_dist = diff * diff;
-                let need_far = heap.len() < k
-                    || heap.peek().is_some_and(|top| plane_dist < top.0.dist_sq);
+                let need_far =
+                    heap.len() < k || heap.peek().is_some_and(|top| plane_dist < top.0.dist_sq);
                 if need_far {
                     self.search(far, query, k, exclude, heap);
                 }

@@ -92,7 +92,10 @@ mod tests {
 
     fn line_data() -> (Matrix, Vec<u8>) {
         // Negatives at 0..5, positives at 10..15.
-        let xs: Vec<f64> = (0..5).map(f64::from).chain((10..15).map(f64::from)).collect();
+        let xs: Vec<f64> = (0..5)
+            .map(f64::from)
+            .chain((10..15).map(f64::from))
+            .collect();
         let y = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
         (Matrix::from_vec(10, 1, xs), y)
     }

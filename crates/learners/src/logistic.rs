@@ -5,8 +5,7 @@
 //! the training data), so raw, arbitrarily-scaled inputs are fine.
 
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner,
-    Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
 use spe_data::{Matrix, SeededRng, Standardizer};
 
@@ -183,12 +182,7 @@ mod tests {
         let (x, y) = gaussian_blobs(200, 3.0, 1);
         let m = LogisticRegressionConfig::default().fit(&x, &y, 2);
         let preds = m.predict(&x);
-        let acc = preds
-            .iter()
-            .zip(&y)
-            .filter(|(p, t)| p == t)
-            .count() as f64
-            / y.len() as f64;
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 
@@ -225,8 +219,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = gaussian_blobs(50, 1.0, 7);
-        let a = LogisticRegressionConfig::default().fit(&x, &y, 9).predict_proba(&x);
-        let b = LogisticRegressionConfig::default().fit(&x, &y, 9).predict_proba(&x);
+        let a = LogisticRegressionConfig::default()
+            .fit(&x, &y, 9)
+            .predict_proba(&x);
+        let b = LogisticRegressionConfig::default()
+            .fit(&x, &y, 9)
+            .predict_proba(&x);
         assert_eq!(a, b);
     }
 }

@@ -10,8 +10,7 @@
 
 use crate::logistic::sigmoid;
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner,
-    Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
 use spe_data::{Matrix, SeededRng, Standardizer};
 
@@ -166,7 +165,9 @@ impl Learner for MlpConfig {
         let mut params = Params {
             w1: (0..h * d).map(|_| rng.normal(0.0, he)).collect(),
             b1: vec![0.0; h],
-            w2: (0..h).map(|_| rng.normal(0.0, (2.0 / h as f64).sqrt())).collect(),
+            w2: (0..h)
+                .map(|_| rng.normal(0.0, (2.0 / h as f64).sqrt()))
+                .collect(),
             b2: 0.0,
             d,
             h,
@@ -256,12 +257,7 @@ mod tests {
         let mut rng = SeededRng::new(seed);
         let mut x = Matrix::with_capacity(4 * n_per, 2);
         let mut y = Vec::new();
-        for &(cx, cy, l) in &[
-            (0.0, 0.0, 0u8),
-            (1.0, 1.0, 0),
-            (0.0, 1.0, 1),
-            (1.0, 0.0, 1),
-        ] {
+        for &(cx, cy, l) in &[(0.0, 0.0, 0u8), (1.0, 1.0, 0), (0.0, 1.0, 1), (1.0, 0.0, 1)] {
             for _ in 0..n_per {
                 x.push_row(&[rng.normal(cx, 0.1), rng.normal(cy, 0.1)]);
                 y.push(l);
@@ -279,13 +275,8 @@ mod tests {
             ..MlpConfig::default()
         };
         let m = cfg.fit(&x, &y, 2);
-        let acc = m
-            .predict(&x)
-            .iter()
-            .zip(&y)
-            .filter(|(p, t)| p == t)
-            .count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

@@ -142,8 +142,8 @@ mod tests {
     fn separates_gaussian_blobs() {
         let (x, y) = blobs(300, 2.5, 1);
         let m = GaussianNbConfig::default().fit(&x, &y, 0);
-        let acc = m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

@@ -2,11 +2,12 @@
 //!
 //! Shared kernel between the KNN classifier and every distance-based
 //! re-sampler in `spe-sampling` (NearMiss, ENN, TomekLink, SMOTE, ...).
-//! Queries fan out across threads with `crossbeam::scope`; each query is
-//! an O(n·d) scan with a bounded max-heap of size k, so total work is
-//! O(q·n·d + q·n·log k). The paper's complaint about distance-based
-//! methods — quadratic cost in the dataset size — is this kernel run with
-//! q = n; Table V's timing column reproduces exactly that behaviour.
+//! Queries fan out across the shared `spe-runtime` pool in contiguous
+//! chunks; each query is an O(n·d) scan with a bounded max-heap of size
+//! k, so total work is O(q·n·d + q·n·log k). The paper's complaint about
+//! distance-based methods — quadratic cost in the dataset size — is this
+//! kernel run with q = n; Table V's timing column reproduces exactly
+//! that behaviour.
 
 use spe_data::matrix::squared_distance;
 use spe_data::Matrix;
@@ -63,11 +64,17 @@ pub fn knn_query(
         }
         let d = squared_distance(query, row);
         if heap.len() < k {
-            heap.push(HeapEntry(Neighbor { index: i, dist_sq: d }));
+            heap.push(HeapEntry(Neighbor {
+                index: i,
+                dist_sq: d,
+            }));
         } else if let Some(top) = heap.peek() {
             if d < top.0.dist_sq {
                 heap.pop();
-                heap.push(HeapEntry(Neighbor { index: i, dist_sq: d }));
+                heap.push(HeapEntry(Neighbor {
+                    index: i,
+                    dist_sq: d,
+                }));
             }
         }
     }
@@ -76,11 +83,14 @@ pub fn knn_query(
     out
 }
 
-/// k-NN search for a batch of queries, parallelized across threads.
+/// k-NN search for a batch of queries, parallelized across the shared
+/// runtime pool.
 ///
 /// Returns one neighbor list per query row. With `leave_one_out` set,
 /// query row `i` excludes reference row `i` (the matrices must then be
-/// the same object or at least aligned).
+/// the same object or at least aligned). Each query's result depends
+/// only on that query, so the batch output is identical for every
+/// thread count.
 pub fn knn_batch(
     reference: &Matrix,
     queries: &Matrix,
@@ -92,38 +102,21 @@ pub fn knn_batch(
         queries.cols(),
         "reference/query dimensionality mismatch"
     );
-    let n = queries.rows();
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-    let threads = num_threads().min(n.max(1));
-    if threads <= 1 || n < 64 {
-        for (i, slot) in results.iter_mut().enumerate() {
-            let excl = leave_one_out.then_some(i);
-            *slot = knn_query(reference, queries.row(i), k, excl);
-        }
-        return results;
-    }
-    let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            scope.spawn(move |_| {
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    let i = start + off;
-                    let excl = leave_one_out.then_some(i);
-                    *slot = knn_query(reference, queries.row(i), k, excl);
-                }
-            });
-        }
-    })
-    .expect("knn worker thread panicked");
-    results
+    let chunks = spe_runtime::par_chunks(queries.rows(), 64, |range| {
+        range
+            .map(|i| {
+                let excl = leave_one_out.then_some(i);
+                knn_query(reference, queries.row(i), k, excl)
+            })
+            .collect::<Vec<Vec<Neighbor>>>()
+    });
+    chunks.into_iter().flatten().collect()
 }
 
-/// Number of worker threads to use for data-parallel loops.
+/// Number of worker threads available for data-parallel loops (the
+/// shared runtime's effective parallelism for this thread).
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    spe_runtime::current_threads()
 }
 
 #[cfg(test)]

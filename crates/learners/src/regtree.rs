@@ -194,8 +194,7 @@ impl<'a> RegBuilder<'a> {
                 }
                 let g_r = g_all - g_l;
                 let h_r = h_all - h_l;
-                let gain =
-                    g_l * g_l / (h_l + lambda) + g_r * g_r / (h_r + lambda) - parent_score;
+                let gain = g_l * g_l / (h_l + lambda) + g_r * g_r / (h_r + lambda) - parent_score;
                 if gain > best_gain {
                     best_gain = gain;
                     best = Some((f, crate::tree_util::midpoint(v, v_next)));

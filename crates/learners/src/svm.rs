@@ -10,8 +10,7 @@
 
 use crate::logistic::sigmoid;
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner,
-    Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
 use spe_data::{Matrix, SeededRng, Standardizer};
 
@@ -71,7 +70,9 @@ struct RffMap {
 impl RffMap {
     fn sample(dim_in: usize, dim_out: usize, gamma: f64, rng: &mut SeededRng) -> Self {
         let std = (2.0 * gamma).sqrt();
-        let omega = (0..dim_in * dim_out).map(|_| rng.normal(0.0, std)).collect();
+        let omega = (0..dim_in * dim_out)
+            .map(|_| rng.normal(0.0, std))
+            .collect();
         let offsets = (0..dim_out)
             .map(|_| rng.range(0.0, 2.0 * std::f64::consts::PI))
             .collect();
@@ -313,12 +314,7 @@ mod tests {
     }
 
     fn accuracy(m: &dyn Model, x: &Matrix, y: &[u8]) -> f64 {
-        m.predict(x)
-            .iter()
-            .zip(y)
-            .filter(|(p, t)| p == t)
-            .count() as f64
-            / y.len() as f64
+        m.predict(x).iter().zip(y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `Learner` / `Model` trait pair every classifier implements.
 
-use spe_data::Matrix;
+use spe_data::{Matrix, SpeError};
 use std::sync::Arc;
 
 /// A trained classifier: immutable, thread-safe, probability-scoring.
@@ -45,6 +45,29 @@ pub trait Learner: Send + Sync {
         self.fit_weighted(x, y, None, seed)
     }
 
+    /// Fallible counterpart of [`Learner::fit_weighted`]: validates the
+    /// inputs and returns [`SpeError`] instead of panicking.
+    ///
+    /// The default implementation runs [`validate_fit_inputs`] and then
+    /// delegates to `fit_weighted`; learners with extra preconditions
+    /// (e.g. SPE's two-class requirement) override it to surface those
+    /// as errors too.
+    fn try_fit_weighted(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        weights: Option<&[f64]>,
+        seed: u64,
+    ) -> Result<Box<dyn Model>, SpeError> {
+        validate_fit_inputs(x, y, weights)?;
+        Ok(self.fit_weighted(x, y, weights, seed))
+    }
+
+    /// Fallible counterpart of [`Learner::fit`] (uniform weights).
+    fn try_fit(&self, x: &Matrix, y: &[u8], seed: u64) -> Result<Box<dyn Model>, SpeError> {
+        self.try_fit_weighted(x, y, None, seed)
+    }
+
     /// Short display name used in experiment tables (e.g. `"DT"`).
     fn name(&self) -> &'static str;
 }
@@ -52,16 +75,39 @@ pub trait Learner: Send + Sync {
 /// Shared, thread-safe handle to a learner configuration.
 pub type SharedLearner = Arc<dyn Learner>;
 
-/// Validates the common `fit` preconditions; called by every learner.
-pub fn check_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) {
-    assert_eq!(x.rows(), y.len(), "feature/label length mismatch");
-    assert!(!y.is_empty(), "cannot fit on an empty dataset");
+/// Validates the common `fit` preconditions, reporting violations as
+/// [`SpeError`] values.
+pub fn validate_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) -> Result<(), SpeError> {
+    if x.rows() != y.len() {
+        return Err(SpeError::DimensionMismatch {
+            what: "feature/label",
+            expected: x.rows(),
+            got: y.len(),
+        });
+    }
+    if y.is_empty() {
+        return Err(SpeError::EmptyDataset);
+    }
     if let Some(w) = weights {
-        assert_eq!(w.len(), y.len(), "weight length mismatch");
-        assert!(
-            w.iter().all(|&v| v.is_finite() && v >= 0.0),
-            "weights must be finite and non-negative"
-        );
+        if w.len() != y.len() {
+            return Err(SpeError::DimensionMismatch {
+                what: "weight",
+                expected: y.len(),
+                got: w.len(),
+            });
+        }
+        if !w.iter().all(|&v| v.is_finite() && v >= 0.0) {
+            return Err(SpeError::InvalidWeights);
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`validate_fit_inputs`]; called by every
+/// learner on its infallible `fit` path.
+pub fn check_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) {
+    if let Err(e) = validate_fit_inputs(x, y, weights) {
+        panic!("{e}");
     }
 }
 
@@ -136,5 +182,62 @@ mod tests {
     #[should_panic(expected = "weights must be finite")]
     fn check_fit_inputs_catches_negative_weight() {
         check_fit_inputs(&Matrix::zeros(2, 1), &[0, 1], Some(&[0.5, -0.1]));
+    }
+
+    #[test]
+    fn validate_fit_inputs_reports_errors_as_values() {
+        assert_eq!(
+            validate_fit_inputs(&Matrix::zeros(3, 1), &[0, 1], None),
+            Err(SpeError::DimensionMismatch {
+                what: "feature/label",
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            validate_fit_inputs(&Matrix::zeros(0, 1), &[], None),
+            Err(SpeError::EmptyDataset)
+        );
+        assert_eq!(
+            validate_fit_inputs(&Matrix::zeros(2, 1), &[0, 1], Some(&[1.0])),
+            Err(SpeError::DimensionMismatch {
+                what: "weight",
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            validate_fit_inputs(&Matrix::zeros(2, 1), &[0, 1], Some(&[1.0, f64::NAN])),
+            Err(SpeError::InvalidWeights)
+        );
+        assert!(validate_fit_inputs(&Matrix::zeros(2, 1), &[0, 1], Some(&[1.0, 2.0])).is_ok());
+    }
+
+    #[test]
+    fn try_fit_surfaces_validation_errors() {
+        struct Stub;
+        impl Learner for Stub {
+            fn fit_weighted(
+                &self,
+                _x: &Matrix,
+                _y: &[u8],
+                _w: Option<&[f64]>,
+                _seed: u64,
+            ) -> Box<dyn Model> {
+                Box::new(ConstantModel(0.5))
+            }
+            fn name(&self) -> &'static str {
+                "Stub"
+            }
+        }
+        let err = match Stub.try_fit(&Matrix::zeros(2, 1), &[0], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("expected validation error"),
+        };
+        assert!(matches!(err, SpeError::DimensionMismatch { .. }));
+        let ok = Stub
+            .try_fit(&Matrix::zeros(2, 1), &[0, 1], 0)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(ok.predict_proba(&Matrix::zeros(1, 1)), vec![0.5]);
     }
 }

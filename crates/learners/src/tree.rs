@@ -254,12 +254,7 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn best_split(
-        &mut self,
-        idx: &[usize],
-        node_impurity: f64,
-        w_total: f64,
-    ) -> Option<BestSplit> {
+    fn best_split(&mut self, idx: &[usize], node_impurity: f64, w_total: f64) -> Option<BestSplit> {
         let mut best: Option<BestSplit> = None;
         let features = self.candidate_features();
         let min_leaf = self.cfg.min_samples_leaf;
@@ -271,8 +266,7 @@ impl<'a> Builder<'a> {
                 let pos_w = if self.y[i] != 0 { self.w[i] } else { 0.0 };
                 self.scratch.push((self.x.get(i, f), self.w[i], pos_w));
             }
-            self.scratch
-                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            self.scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
             let mut w_left = 0.0;
             let mut w_pos_left = 0.0;
@@ -362,12 +356,7 @@ mod tests {
 
     fn xor_data() -> (Matrix, Vec<u8>) {
         // XOR pattern: needs depth >= 2.
-        let pts = [
-            (0.0, 0.0, 0u8),
-            (0.0, 1.0, 1),
-            (1.0, 0.0, 1),
-            (1.0, 1.0, 0),
-        ];
+        let pts = [(0.0, 0.0, 0u8), (0.0, 1.0, 1), (1.0, 0.0, 1), (1.0, 1.0, 0)];
         let mut x = Matrix::with_capacity(4, 2);
         let mut y = Vec::new();
         for &(a, b, l) in &pts {

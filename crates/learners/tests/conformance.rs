@@ -55,7 +55,11 @@ fn probabilities_stay_in_unit_interval() {
     let probe = Matrix::from_vec(2, 3, vec![100.0, -100.0, 50.0, -100.0, 100.0, -50.0]);
     for (name, l) in all_learners() {
         let m = l.fit(&x, &y, 2);
-        for p in m.predict_proba(&probe).into_iter().chain(m.predict_proba(&x)) {
+        for p in m
+            .predict_proba(&probe)
+            .into_iter()
+            .chain(m.predict_proba(&x))
+        {
             assert!((0.0..=1.0).contains(&p), "{name}: probability {p}");
             assert!(p.is_finite(), "{name}: non-finite probability");
         }
@@ -67,8 +71,8 @@ fn separable_blobs_are_learned() {
     let (x, y) = blobs(100, 3);
     for (name, l) in all_learners() {
         let m = l.fit(&x, &y, 4);
-        let acc = m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64
-            / y.len() as f64;
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.9, "{name}: train accuracy {acc}");
     }
 }
@@ -112,7 +116,10 @@ fn zero_weight_samples_are_ignored() {
     for (name, l) in all_learners() {
         let m = l.fit_weighted(&x, &y, Some(&w), 10);
         let p = m.predict_proba(&probe)[0];
-        assert!(p < 0.5, "{name}: poisoned zero-weight points leaked (p = {p})");
+        assert!(
+            p < 0.5,
+            "{name}: poisoned zero-weight points leaked (p = {p})"
+        );
     }
 }
 
@@ -127,7 +134,11 @@ fn weight_scale_invariance() {
         let a = l.fit_weighted(&x, &y, Some(&w1), 12).predict(&x);
         let b = l.fit_weighted(&x, &y, Some(&w1000), 12).predict(&x);
         let agree = a.iter().zip(&b).filter(|(p, q)| p == q).count() as f64 / y.len() as f64;
-        assert!(agree > 0.95, "{name}: weight-scale changed {:.0}% of predictions", (1.0 - agree) * 100.0);
+        assert!(
+            agree > 0.95,
+            "{name}: weight-scale changed {:.0}% of predictions",
+            (1.0 - agree) * 100.0
+        );
     }
 }
 

@@ -120,7 +120,11 @@ mod tests {
         ] {
             let t = tune_threshold(&y, &s, obj);
             assert!((t.objective - 1.0).abs() < 1e-12, "{obj:?}");
-            assert!(t.threshold > 0.3 && t.threshold <= 0.8, "{obj:?}: {}", t.threshold);
+            assert!(
+                t.threshold > 0.3 && t.threshold <= 0.8,
+                "{obj:?}: {}",
+                t.threshold
+            );
         }
     }
 

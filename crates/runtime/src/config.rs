@@ -1,0 +1,113 @@
+//! Runtime configuration: how many threads parallel primitives may use.
+//!
+//! Resolution order, highest priority first:
+//!
+//! 1. An installed [`Runtime`] with `num_threads = Some(n)` (scoped via
+//!    [`Runtime::install`]).
+//! 2. An installed ancestor `Runtime` (install with `None` inherits the
+//!    surrounding cap rather than resetting it).
+//! 3. The global pool size — `SPE_THREADS` env var if set to a positive
+//!    integer, hardware parallelism otherwise.
+
+use std::cell::Cell;
+
+/// Declarative parallelism config carried by builders and estimators.
+///
+/// `Runtime::default()` leaves everything to the environment: thread
+/// count comes from `SPE_THREADS` or hardware parallelism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Runtime {
+    num_threads: Option<usize>,
+}
+
+thread_local! {
+    // The innermost installed cap; `None` means "no explicit cap".
+    static INSTALLED_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+impl Runtime {
+    /// Runtime that defers entirely to the environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps parallel primitives at `n` threads (`n = 1` forces fully
+    /// sequential execution). Zero is treated as "no cap".
+    pub fn with_threads(n: usize) -> Self {
+        Self {
+            num_threads: if n == 0 { None } else { Some(n) },
+        }
+    }
+
+    /// The configured cap, if any.
+    pub fn num_threads(&self) -> Option<usize> {
+        self.num_threads
+    }
+
+    /// Runs `f` with this runtime's thread cap installed for the
+    /// current thread. A runtime with no explicit cap inherits the
+    /// surrounding one (so nesting an unconfigured runtime inside a
+    /// capped region keeps the cap). The previous cap is restored even
+    /// if `f` panics.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_CAP.with(|c| c.get());
+        let effective = self.num_threads.or(prev);
+        INSTALLED_CAP.with(|c| c.set(effective));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_CAP.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Effective parallelism for the current thread: the installed cap if
+/// one is active, otherwise the global pool size (never below 1).
+pub fn current_threads() -> usize {
+    let cap = INSTALLED_CAP.with(|c| c.get());
+    match cap {
+        Some(n) => n.max(1),
+        None => crate::pool::global().threads(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runtime_has_no_cap() {
+        assert_eq!(Runtime::new().num_threads(), None);
+        assert_eq!(Runtime::with_threads(0).num_threads(), None);
+    }
+
+    #[test]
+    fn install_caps_and_restores() {
+        let before = current_threads();
+        Runtime::with_threads(1).install(|| {
+            assert_eq!(current_threads(), 1);
+            // An unconfigured nested runtime inherits the cap.
+            Runtime::new().install(|| {
+                assert_eq!(current_threads(), 1);
+            });
+            // A configured nested runtime overrides, then restores.
+            Runtime::with_threads(2).install(|| {
+                assert_eq!(current_threads(), 2);
+            });
+            assert_eq!(current_threads(), 1);
+        });
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let before = current_threads();
+        let _ = std::panic::catch_unwind(|| {
+            Runtime::with_threads(1).install(|| panic!("boom"));
+        });
+        assert_eq!(current_threads(), before);
+    }
+}

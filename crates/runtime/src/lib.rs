@@ -1,0 +1,194 @@
+//! # spe-runtime
+//!
+//! Shared deterministic thread-pool runtime for the self-paced-ensemble
+//! workspace.
+//!
+//! All parallelism in the workspace flows through two primitives backed
+//! by one lazily-initialized work-stealing pool:
+//!
+//! * [`par_map_indexed`] — maps a function over `0..n`, returning
+//!   results in input order. Used for per-member ensemble training and
+//!   per-row prediction.
+//! * [`par_chunks`] — splits `0..n` into contiguous index ranges and
+//!   processes each range on some thread, with results stitched back in
+//!   range order. Used for batch k-NN and soft-vote aggregation, where
+//!   per-item dispatch would be too fine-grained.
+//!
+//! ## Determinism contract
+//!
+//! Both primitives guarantee: **the output is a pure function of the
+//! inputs — never of the thread count or schedule.** Results are written
+//! by input index; chunk boundaries depend only on `n` and the
+//! parallelism cap, and each item's computation must not depend on its
+//! chunk-mates (all workspace callers satisfy this). Randomized callers
+//! derive per-task seeds with [`seed::fork_seed`] *before* dispatch, so
+//! `SPE_THREADS=1` and `SPE_THREADS=32` produce bit-for-bit identical
+//! models.
+//!
+//! ## Thread-count resolution
+//!
+//! 1. [`Runtime::with_threads`] installed via [`Runtime::install`]
+//!    (scoped, per-thread);
+//! 2. the `SPE_THREADS` environment variable (read once, when the
+//!    global pool first initializes);
+//! 3. hardware parallelism.
+
+pub mod config;
+pub mod pool;
+pub mod seed;
+
+pub use config::{current_threads, Runtime};
+pub use pool::{default_threads, global, Pool};
+pub use seed::{fork_seed, fork_seeds, splitmix64};
+
+/// Maps `f` over `0..n` in parallel, collecting results in index order.
+///
+/// `f` runs at most once per index; the output at position `i` is
+/// exactly `f(i)`. With an effective thread count of 1 (or `n <= 1`)
+/// this degrades to a plain sequential loop with no pool involvement.
+///
+/// Panics in `f` propagate to the caller after all in-flight tasks
+/// finish.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    let threads = current_threads();
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = Some(f(i))) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool::global().run_scope(tasks);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("task completed"))
+        .collect()
+}
+
+/// Splits `0..n` into contiguous ranges of at least `min_chunk` items,
+/// applies `f` to each range in parallel, and returns the per-range
+/// results in range order.
+///
+/// Chunk boundaries are a pure function of `(n, min_chunk, effective
+/// thread count)` — but because callers' per-item work is independent of
+/// chunk-mates, the *stitched* output is identical for every thread
+/// count. Typical use flattens the returned `Vec<R>` where `R` is
+/// itself a `Vec` of per-item results.
+pub fn par_chunks<R, F>(n: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Send + Sync,
+{
+    let ranges = chunk_ranges(n, min_chunk, current_threads());
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let f = &f;
+    par_map_indexed(ranges.len(), |i| f(ranges[i].clone()))
+}
+
+/// Contiguous near-equal ranges covering `0..n`: at most
+/// `threads * 4` chunks (for stealing granularity), none smaller than
+/// `min_chunk` except possibly the tail-adjusted remainder.
+fn chunk_ranges(n: usize, min_chunk: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let max_chunks = (threads.max(1) * 4).max(1);
+    let n_chunks = (n / min_chunk).clamp(1, max_chunks);
+    let base = n / n_chunks;
+    let extra = n % n_chunks;
+    let mut ranges = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    for i in 0..n_chunks {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_indexed_preserves_order() {
+        let out = par_map_indexed(257, |i| i * i);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_empty_and_single() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_chunks_covers_all_indices() {
+        let chunks = par_chunks(1000, 64, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..1000).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn chunk_ranges_respect_min_chunk() {
+        for n in [0usize, 1, 7, 63, 64, 65, 1000, 4096] {
+            for threads in [1usize, 2, 8] {
+                let ranges = chunk_ranges(n, 64, threads);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                if n >= 64 {
+                    for r in &ranges {
+                        assert!(r.len() >= 64 / 2, "range {r:?} too small for n={n}");
+                    }
+                }
+                assert!(ranges.len() <= threads * 4 || ranges.len() == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_are_thread_count_stable_per_item() {
+        // The *stitched* order is what matters: flattening chunk results
+        // must equal the sequential order for any thread count.
+        for threads in [1usize, 2, 3, 7, 16] {
+            let ranges = chunk_ranges(500, 10, threads);
+            let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+            assert_eq!(flat, (0..500).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn sequential_cap_matches_parallel_output() {
+        let parallel = par_map_indexed(100, |i| seed::fork_seed(42, i as u64));
+        let sequential = Runtime::with_threads(1)
+            .install(|| par_map_indexed(100, |i| seed::fork_seed(42, i as u64)));
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn par_map_handles_non_send_free_results() {
+        // Results only need Send, not 'static: borrow from the caller.
+        let data: Vec<String> = (0..50).map(|i| format!("row-{i}")).collect();
+        let refs = par_map_indexed(data.len(), |i| data[i].as_str());
+        for (i, s) in refs.iter().enumerate() {
+            assert_eq!(*s, format!("row-{i}"));
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The work-stealing thread pool.
+//!
+//! One global [`Pool`] is lazily initialized on first parallel call; its
+//! size comes from the `SPE_THREADS` environment variable, falling back
+//! to the hardware parallelism. Tasks flow through a global
+//! [`Injector`] queue; each worker owns a local deque and steals from
+//! the injector or from siblings when its own queue drains.
+//!
+//! # Blocking and nesting
+//!
+//! [`Pool::run_scope`] blocks the calling thread until every submitted
+//! task has finished — but the caller does not idle: it *helps*, pulling
+//! pending tasks and executing them in place. Because waiting threads
+//! help, nested parallelism (a pool task that itself calls a `par_*`
+//! primitive) cannot deadlock: the inner wait drains the very tasks it
+//! is waiting for.
+//!
+//! # Panics
+//!
+//! A panicking task does not kill its worker; the first panic payload is
+//! captured and re-thrown on the thread that called `run_scope`, after
+//! all sibling tasks have completed (so borrowed data is never observed
+//! by a still-running task once `run_scope` unwinds).
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A unit of work with its lifetime erased (see [`Pool::run_scope`] for
+/// why that is sound).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    idle_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Pulls the next runnable task: local queue first, then the global
+    /// injector (batched), then sibling deques.
+    fn find_task(&self, local: Option<&Worker<Task>>) -> Option<Task> {
+        if let Some(l) = local {
+            if let Some(t) = l.pop() {
+                return Some(t);
+            }
+        }
+        loop {
+            let steal = match local {
+                Some(l) => self.injector.steal_batch_and_pop(l),
+                None => self.injector.steal(),
+            };
+            match steal {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        for s in &self.stealers {
+            loop {
+                match s.steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(local: Worker<Task>, shared: Arc<Shared>) {
+    loop {
+        if let Some(task) = shared.find_task(Some(&local)) {
+            task();
+        } else {
+            // Nothing runnable: park briefly. The timeout (rather than
+            // an unbounded wait) covers the race where work lands in a
+            // sibling deque between our scan and the park.
+            let mut guard = shared.idle_lock.lock();
+            if shared.injector.is_empty() {
+                shared.wake.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Countdown latch for one `run_scope` call, with help-while-waiting.
+struct ScopeLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl ScopeLatch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock();
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn wait_brief(&self) {
+        let mut guard = self.lock.lock();
+        if !self.is_done() {
+            self.done.wait_for(&mut guard, Duration::from_millis(1));
+        }
+    }
+}
+
+/// A work-stealing thread pool.
+///
+/// Workers are detached daemon threads; the pool is expected to live for
+/// the process lifetime (use [`global`]). `threads` counts the calling
+/// thread: a pool of size `t` spawns `t - 1` workers and relies on the
+/// caller helping inside [`Pool::run_scope`].
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Builds a pool that targets `threads`-way parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let n_workers = threads - 1;
+        let locals: Vec<Worker<Task>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers: locals.iter().map(Worker::stealer).collect(),
+            idle_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        for local in locals {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("spe-runtime-worker".into())
+                .spawn(move || worker_loop(local, shared))
+                .expect("failed to spawn spe-runtime worker");
+        }
+        Self { shared, threads }
+    }
+
+    /// Parallelism this pool targets (workers + the helping caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion, in parallel where workers are
+    /// available, and returns only when all have finished.
+    ///
+    /// # Soundness
+    ///
+    /// Tasks may borrow from the caller's stack (`'scope` outlives this
+    /// call, not `'static`). The lifetime is erased before the tasks are
+    /// queued, which is sound because this function never returns — not
+    /// even by unwinding — until every queued task has run to completion
+    /// (panicking tasks count as completed once their unwind is caught).
+    pub fn run_scope<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.threads <= 1 || tasks.len() == 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        let latch = Arc::new(ScopeLatch::new(tasks.len()));
+        let panic_slot: Arc<Mutex<Option<Box<dyn Any + Send>>>> = Arc::new(Mutex::new(None));
+        for task in tasks {
+            let latch = Arc::clone(&latch);
+            let panic_slot = Arc::clone(&panic_slot);
+            let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                if let Err(payload) = result {
+                    let mut slot = panic_slot.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+                latch.complete_one();
+            });
+            // SAFETY: lifetime erasure 'scope -> 'static; see above.
+            let wrapped: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(wrapped) };
+            self.shared.injector.push(wrapped);
+        }
+        self.shared.wake.notify_all();
+        // Help: the calling thread executes pending tasks instead of
+        // blocking, which also makes nested run_scope calls safe.
+        while !latch.is_done() {
+            match self.shared.find_task(None) {
+                Some(task) => task(),
+                None => latch.wait_brief(),
+            }
+        }
+        let payload = panic_slot.lock().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Reads `SPE_THREADS` from a raw environment value: positive integers
+/// override, everything else (unset, empty, zero, garbage) means "auto".
+pub fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Pool size used when the global pool initializes: `SPE_THREADS` if set
+/// to a positive integer, hardware parallelism otherwise.
+pub fn default_threads() -> usize {
+    parse_thread_override(std::env::var("SPE_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, spawned on first use with [`default_threads`].
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_scope_executes_every_task() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scope(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn run_scope_allows_borrowed_writes() {
+        let pool = Pool::new(3);
+        let mut data = vec![0u64; 100];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move || *slot = i as u64 * 2) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scope(tasks);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Arc::new(Pool::new(2));
+        let total = Arc::new(AtomicU64::new(0));
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                        .map(|_| {
+                            let total = Arc::clone(&total);
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run_scope(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scope(outer);
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_after_all_complete() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        tasks.push(Box::new(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+            panic!("task panic");
+        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_scope(tasks);
+        }));
+        assert!(result.is_err());
+        assert_eq!(counter.load(Ordering::Relaxed), 17);
+        // The pool stays usable after a panic.
+        let after = AtomicUsize::new(0);
+        pool.run_scope(
+            (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        after.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect(),
+        );
+        assert_eq!(after.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("abc")), None);
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut slots = [0usize; 2];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .map(|s| Box::new(move || *s += 1) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.run_scope(tasks);
+        assert_eq!(slots, [1, 1]);
+    }
+}

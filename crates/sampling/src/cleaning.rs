@@ -12,7 +12,9 @@ use spe_learners::neighbors::{knn_batch, knn_query};
 
 /// Keeps everything except the listed (sorted, deduped) indices.
 fn drop_indices(data: &Dataset, remove: &[usize]) -> Dataset {
-    let keep: Vec<usize> = (0..data.len()).filter(|i| remove.binary_search(i).is_err()).collect();
+    let keep: Vec<usize> = (0..data.len())
+        .filter(|i| remove.binary_search(i).is_err())
+        .collect();
     data.select(&keep)
 }
 
@@ -233,7 +235,7 @@ mod tests {
     /// Majority cluster with a few majority outliers sitting inside the
     /// minority cluster.
     fn noisy_clusters() -> Dataset {
-        let mut rng = SeededRng::new(7);
+        let mut rng = SeededRng::new(9);
         let mut x = Matrix::with_capacity(65, 2);
         let mut y = Vec::new();
         for _ in 0..40 {
@@ -282,11 +284,7 @@ mod tests {
     fn tomek_removes_only_link_members() {
         // A clear Tomek link: one majority/minority pair adjacent, plus
         // far-away bulk on both sides.
-        let x = Matrix::from_vec(
-            6,
-            1,
-            vec![0.0, 0.2, -5.0, -5.2, 5.0, 5.2],
-        );
+        let x = Matrix::from_vec(6, 1, vec![0.0, 0.2, -5.0, -5.2, 5.0, 5.2]);
         let d = Dataset::new(x, vec![0, 1, 0, 0, 1, 1]);
         let r = TomekLinks.resample(&d, 0);
         // The majority sample at 0.0 forms a link with the minority at
@@ -332,6 +330,9 @@ mod tests {
         let d = Dataset::new(x, vec![0, 0, 0]);
         assert_eq!(EditedNearestNeighbours::default().resample(&d, 0).len(), 3);
         assert_eq!(TomekLinks.resample(&d, 0).len(), 3);
-        assert_eq!(NeighbourhoodCleaningRule::default().resample(&d, 0).len(), 3);
+        assert_eq!(
+            NeighbourhoodCleaningRule::default().resample(&d, 0).len(),
+            3
+        );
     }
 }

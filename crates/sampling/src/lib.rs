@@ -19,7 +19,9 @@ pub mod smote;
 
 use spe_data::Dataset;
 
-pub use cleaning::{AllKnn, EditedNearestNeighbours, NeighbourhoodCleaningRule, OneSideSelection, TomekLinks};
+pub use cleaning::{
+    AllKnn, EditedNearestNeighbours, NeighbourhoodCleaningRule, OneSideSelection, TomekLinks,
+};
 pub use nearmiss::{NearMiss, NearMissVersion};
 pub use random::{RandomOverSampler, RandomUnderSampler};
 pub use smote::{generate_synthetics, Adasyn, BorderlineSmote, Smote, SmoteEnn, SmoteTomek};

@@ -106,8 +106,7 @@ impl Sampler for NearMiss {
         let target = idx.minority.len();
 
         // Candidate majority rows (positions within idx.majority).
-        let (candidates, scores, keep_largest): (Vec<usize>, Vec<f64>, bool) = match self.version
-        {
+        let (candidates, scores, keep_largest): (Vec<usize>, Vec<f64>, bool) = match self.version {
             NearMissVersion::V1 => {
                 let s = Self::mean_distances(&majority_x, &minority_x, self.k, false);
                 ((0..idx.majority.len()).collect(), s, false)

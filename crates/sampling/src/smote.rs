@@ -227,7 +227,14 @@ impl Sampler for Adasyn {
         if r_sum <= 0.0 {
             // No majority contamination anywhere: uniform seeding.
             let seeds: Vec<usize> = (0..idx.minority.len()).collect();
-            synthesize(&minority_x, &neighbors, &seeds, total_new, &mut rng, &mut synthetic);
+            synthesize(
+                &minority_x,
+                &neighbors,
+                &seeds,
+                total_new,
+                &mut rng,
+                &mut synthetic,
+            );
         } else {
             for (s, &ri) in r.iter().enumerate() {
                 let gi = ((ri / r_sum) * total_new as f64).round() as usize;
@@ -371,7 +378,11 @@ mod tests {
         let d = Dataset::new(x, y);
         let r = Adasyn::default().resample(&d, 10);
         // Rounding per-seed counts makes the balance approximate.
-        assert!(r.n_positive() >= 90 && r.n_positive() <= 110, "{}", r.n_positive());
+        assert!(
+            r.n_positive() >= 90 && r.n_positive() <= 110,
+            "{}",
+            r.n_positive()
+        );
     }
 
     #[test]

@@ -86,7 +86,12 @@ fn deterministic_for_equal_seeds() {
         let a = s.resample(&d, 8);
         let b = s.resample(&d, 8);
         assert_eq!(a.y(), b.y(), "{} labels differ", s.name());
-        assert_eq!(a.x().as_slice(), b.x().as_slice(), "{} features differ", s.name());
+        assert_eq!(
+            a.x().as_slice(),
+            b.x().as_slice(),
+            "{} features differ",
+            s.name()
+        );
     }
 }
 

@@ -61,7 +61,10 @@ impl Learner for GaussianNb {
         _seed: u64,
     ) -> Box<dyn Model> {
         let d = x.cols();
-        let mut classes = [(0.0, vec![0.0; d], vec![0.0; d]), (0.0, vec![0.0; d], vec![0.0; d])];
+        let mut classes = [
+            (0.0, vec![0.0; d], vec![0.0; d]),
+            (0.0, vec![0.0; d], vec![0.0; d]),
+        ];
         let mut totals = [0.0, 0.0];
         for (i, row) in x.iter_rows().enumerate() {
             let w = weights.map_or(1.0, |w| w[i]);
@@ -114,8 +117,12 @@ fn main() {
 
     // The same classifier inside SPE: each member sees a different
     // self-paced majority subset and the soft vote sharpens the ranking.
-    let spe =
-        SelfPacedEnsembleConfig::with_base(10, Arc::new(GaussianNb)).fit_dataset(&split.train, 0);
+    let spe = SelfPacedEnsembleConfig::builder()
+        .n_estimators(10)
+        .base(Arc::new(GaussianNb))
+        .build()
+        .expect("valid config")
+        .fit_dataset(&split.train, 0);
     let auc_spe = aucprc(split.test.y(), &spe.predict_proba(split.test.x()));
 
     println!("GaussianNB alone : AUCPRC = {auc_solo:.3}");

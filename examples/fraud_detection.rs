@@ -40,7 +40,13 @@ fn main() {
         let auc_plain = aucprc(split.test.y(), &plain.predict_proba(split.test.x()));
 
         // SPE around the same base classifier.
-        let spe = SelfPacedEnsembleConfig::with_base(10, base).fit_dataset(&split.train, 1);
+        let spe = SelfPacedEnsembleConfig::builder()
+            .n_estimators(10)
+            .base(base)
+            .build()
+            .expect("valid config")
+            .try_fit_dataset(&split.train, 1)
+            .expect("train split has both classes");
         let auc_spe = aucprc(split.test.y(), &spe.predict_proba(split.test.x()));
 
         println!("{name:<6} {auc_plain:>16.3} {auc_spe:>16.3}");

@@ -29,11 +29,19 @@ fn evaluate(name: &str, variant: KddVariant) {
 
     // EasyEnsemble, BalanceCascade, SPE — all with 10 members.
     let easy = EasyEnsemble::new(10).fit(split.train.x(), split.train.y(), 5);
-    let cascade = BalanceCascade::with_base(10, Arc::clone(&base))
-        .fit(split.train.x(), split.train.y(), 5);
-    let spe = SelfPacedEnsembleConfig::with_base(10, base).fit_dataset(&split.train, 5);
+    let cascade =
+        BalanceCascade::with_base(10, Arc::clone(&base)).fit(split.train.x(), split.train.y(), 5);
+    let spe = SelfPacedEnsembleConfig::builder()
+        .n_estimators(10)
+        .base(base)
+        .build()
+        .expect("valid config")
+        .fit_dataset(&split.train, 5);
 
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "method", "AUCPRC", "F1", "GM", "MCC");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "method", "AUCPRC", "F1", "GM", "MCC"
+    );
     for (m_name, probs) in [
         ("RandUnder", rand_under.predict_proba(split.test.x())),
         ("Easy10", easy.predict_proba(split.test.x())),

@@ -29,10 +29,19 @@ fn main() {
     let rand_under = tree.fit(balanced.x(), balanced.y(), 0);
 
     // SPE with 10 tree members (paper defaults: k = 20 bins, absolute
-    // error hardness).
-    let spe = SelfPacedEnsembleConfig::new(10).fit_dataset(&split.train, 0);
+    // error hardness). The builder validates at `build()`, and
+    // `try_fit_dataset` reports degenerate data as an error value.
+    let spe = SelfPacedEnsembleConfig::builder()
+        .n_estimators(10)
+        .build()
+        .expect("valid config")
+        .try_fit_dataset(&split.train, 0)
+        .expect("train split has both classes");
 
-    println!("\n{:<12} {:>8} {:>8} {:>8} {:>8}", "method", "AUCPRC", "F1", "GM", "MCC");
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "method", "AUCPRC", "F1", "GM", "MCC"
+    );
     for (name, probs) in [
         ("tree", plain.predict_proba(split.test.x())),
         ("rand-under", rand_under.predict_proba(split.test.x())),
@@ -45,5 +54,11 @@ fn main() {
         );
     }
 
-    println!("\nself-paced factor schedule: {:?}", spe.alphas().iter().map(|a| (a * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "\nself-paced factor schedule: {:?}",
+        spe.alphas()
+            .iter()
+            .map(|a| (a * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 }

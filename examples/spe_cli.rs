@@ -4,10 +4,14 @@
 //!
 //! ```sh
 //! # Against a bundled synthetic file:
-//! cargo run --release --example spe_cli                      # demo CSV
-//! cargo run --release --example spe_cli -- data.csv          # your data
-//! cargo run --release --example spe_cli -- data.csv 20 gbdt  # 20 members, GBDT base
+//! cargo run --release --example spe_cli                        # demo CSV
+//! cargo run --release --example spe_cli -- data.csv            # your data
+//! cargo run --release --example spe_cli -- data.csv 20 gbdt    # 20 members, GBDT base
+//! cargo run --release --example spe_cli -- data.csv 20 gbdt 4  # ... on 4 threads
 //! ```
+//!
+//! Thread count can also come from `SPE_THREADS`; results are identical
+//! for every setting.
 
 use spe::prelude::*;
 use std::path::PathBuf;
@@ -30,8 +34,13 @@ fn base_by_name(name: &str) -> SharedLearner {
 fn main() {
     let mut args = std::env::args().skip(1);
     let path: Option<PathBuf> = args.next().map(PathBuf::from);
-    let n_members: usize = args.next().map_or(10, |v| v.parse().expect("n must be an integer"));
+    let n_members: usize = args
+        .next()
+        .map_or(10, |v| v.parse().expect("n must be an integer"));
     let base_name = args.next().unwrap_or_else(|| "dt".into());
+    let threads: usize = args
+        .next()
+        .map_or(0, |v| v.parse().expect("threads must be an integer"));
 
     // Without a file argument, write and use a demo CSV so the example
     // is runnable out of the box.
@@ -39,7 +48,10 @@ fn main() {
         let demo = std::env::temp_dir().join("spe_cli_demo.csv");
         let data = credit_fraud_sim(20_000, 7);
         spe::data::csv::write_dataset(&demo, &data).expect("write demo CSV");
-        println!("no input given — using a generated demo at {}", demo.display());
+        println!(
+            "no input given — using a generated demo at {}",
+            demo.display()
+        );
         demo
     });
 
@@ -55,7 +67,15 @@ fn main() {
     let split = train_val_test_split(&data, 0.6, 0.2, 0);
     let base = base_by_name(&base_name);
     println!("training SPE with {n_members} x {base_name} members ...");
-    let model = SelfPacedEnsembleConfig::with_base(n_members, base).fit_dataset(&split.train, 0);
+    let cfg = SelfPacedEnsembleConfig::builder()
+        .n_estimators(n_members)
+        .base(base)
+        .runtime(Runtime::with_threads(threads))
+        .build()
+        .unwrap_or_else(|e| panic!("bad configuration: {e}"));
+    let model = cfg
+        .try_fit_dataset(&split.train, 0)
+        .unwrap_or_else(|e| panic!("cannot train on {}: {e}", path.display()));
 
     let probs = model.predict_proba(split.test.x());
     let m = MetricSet::evaluate(split.test.y(), &probs);

@@ -17,8 +17,13 @@
 //! let split = train_val_test_split(&data, 0.6, 0.2, 42);
 //!
 //! // Train SPE with 10 decision-tree members (paper defaults: k = 20
-//! // bins, absolute-error hardness).
-//! let spe = SelfPacedEnsembleConfig::new(10).fit_dataset(&split.train, 42);
+//! // bins, absolute-error hardness). Members train in parallel on the
+//! // shared runtime; results are identical for every thread count.
+//! let cfg = SelfPacedEnsembleConfig::builder()
+//!     .n_estimators(10)
+//!     .build()
+//!     .expect("valid config");
+//! let spe = cfg.try_fit_dataset(&split.train, 42).expect("two classes present");
 //!
 //! // Score with the paper's criteria. The random-ranking baseline on
 //! // this task is the positive prevalence, ≈ 0.09; SPE lands far above
@@ -32,6 +37,7 @@
 //!
 //! | Module | Contents |
 //! |---|---|
+//! | [`runtime`] | shared deterministic thread pool, seed forking |
 //! | [`data`] | matrices, datasets, splits, standardization, RNG |
 //! | [`metrics`] | AUCPRC, F1, G-mean, MCC, PR/ROC curves |
 //! | [`learners`] | KNN, CART, LR, SVM, MLP, AdaBoost, Bagging, RF, GBDT |
@@ -46,29 +52,33 @@ pub use spe_datasets as datasets;
 pub use spe_ensembles as ensembles;
 pub use spe_learners as learners;
 pub use spe_metrics as metrics;
+pub use spe_runtime as runtime;
 pub use spe_sampling as sampling;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use spe_core::{
-        AlphaSchedule, HardnessFn, SelfPacedEnsemble, SelfPacedEnsembleConfig, SelfPacedSampler,
+        AlphaSchedule, HardnessFn, SelfPacedEnsemble, SelfPacedEnsembleBuilder,
+        SelfPacedEnsembleConfig, SelfPacedSampler,
     };
     pub use spe_data::{
-        train_val_test_split, Dataset, Matrix, SeededRng, Standardizer, StratifiedSplit,
+        stratified_k_fold, train_val_test_split, Dataset, Matrix, SeededRng, SpeError,
+        Standardizer, StratifiedSplit,
     };
     pub use spe_datasets::{
-        checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim,
-        record_linkage_sim, CheckerboardConfig, KddVariant, OverlapConfig, REAL_WORLD_SPECS,
+        checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim, record_linkage_sim,
+        CheckerboardConfig, KddVariant, OverlapConfig, REAL_WORLD_SPECS,
     };
     pub use spe_ensembles::{
         BalanceCascade, EasyEnsemble, RusBoost, SmoteBagging, SmoteBoost, UnderBagging,
     };
     pub use spe_learners::{
-        AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GaussianNbConfig, GbdtConfig,
-        KnnConfig, Learner, LogisticRegressionConfig, MlpConfig, Model, RandomForestConfig,
-        SharedLearner, SvmConfig,
+        AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GaussianNbConfig, GbdtConfig, KnnConfig,
+        Learner, LogisticRegressionConfig, MlpConfig, Model, RandomForestConfig, SharedLearner,
+        SvmConfig,
     };
     pub use spe_metrics::{aucprc, ConfusionMatrix, MeanStd, MetricSet, RunAggregator};
+    pub use spe_runtime::{fork_seed, fork_seeds, Runtime};
     pub use spe_sampling::{
         Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NearMissVersion,
         NeighbourhoodCleaningRule, NoResampling, OneSideSelection, RandomOverSampler,

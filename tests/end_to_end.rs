@@ -97,8 +97,8 @@ fn all_samplers_compose_with_a_tree() {
 
 #[test]
 fn all_imbalance_ensembles_train_and_rank_above_prevalence() {
-    let data = checkerboard(&CheckerboardConfig::small(300, 3_000), 9);
-    let split = train_val_test_split(&data, 0.6, 0.2, 9);
+    let data = checkerboard(&CheckerboardConfig::small(300, 3_000), 13);
+    let split = train_val_test_split(&data, 0.6, 0.2, 13);
     let learners: Vec<(&str, Box<dyn Learner>)> = vec![
         ("Easy", Box::new(EasyEnsemble::new(5))),
         ("Cascade", Box::new(BalanceCascade::new(5))),
@@ -110,7 +110,7 @@ fn all_imbalance_ensembles_train_and_rank_above_prevalence() {
     ];
     let prevalence = 0.09;
     for (name, learner) in learners {
-        let m = learner.fit(split.train.x(), split.train.y(), 2);
+        let m = learner.fit(split.train.x(), split.train.y(), 3);
         let auc = aucprc(split.test.y(), &m.predict_proba(split.test.x()));
         assert!(auc > prevalence, "{name}: AUCPRC {auc:.3}");
     }

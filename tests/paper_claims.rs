@@ -42,7 +42,9 @@ fn claim_spe_beats_cascade_under_heavy_overlap() {
     let spe = mean_test_auc(
         &overlapped_checkerboard,
         &move |d, s| {
-            Box::new(SelfPacedEnsembleConfig::with_base(10, Arc::clone(&spe_base)).fit_dataset(d, s))
+            Box::new(
+                SelfPacedEnsembleConfig::with_base(10, Arc::clone(&spe_base)).fit_dataset(d, s),
+            )
         },
         4,
     );
@@ -83,10 +85,7 @@ fn claim_hardness_functions_are_interchangeable() {
     }
     let max = aucs.iter().cloned().fold(f64::MIN, f64::max);
     let min = aucs.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(
-        max - min < 0.12,
-        "hardness functions diverge: {aucs:?}"
-    );
+    assert!(max - min < 0.12, "hardness functions diverge: {aucs:?}");
 }
 
 #[test]
@@ -137,10 +136,7 @@ fn claim_self_paced_schedule_beats_no_hardness() {
     };
     let full = auc_of(AlphaSchedule::SelfPaced);
     let random = auc_of(AlphaSchedule::Uniform);
-    assert!(
-        full > random,
-        "self-paced {full:.3} vs random {random:.3}"
-    );
+    assert!(full > random, "self-paced {full:.3} vs random {random:.3}");
 }
 
 #[test]

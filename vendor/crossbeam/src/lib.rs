@@ -1,0 +1,297 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace consumes:
+//!
+//! - [`scope`] — structured scoped threads, implemented over
+//!   `std::thread::scope` (which landed in std after crossbeam
+//!   popularised the pattern);
+//! - [`deque`] — `Injector` / `Worker` / `Stealer` work-stealing queues
+//!   with crossbeam's API, backed by mutex-protected `VecDeque`s rather
+//!   than lock-free Chase–Lev deques. The tasks scheduled through these
+//!   queues in this workspace are coarse (whole model fits, row blocks),
+//!   so queue contention is negligible and the mutex implementation is
+//!   behaviourally indistinguishable.
+
+use std::any::Any;
+
+/// Scoped-thread handle returned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Spawning handle passed to the closure of [`scope`] and to every
+/// spawned thread (crossbeam lets spawned threads spawn siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; its closure receives the scope handle so
+    /// it can spawn further siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&handle)),
+        }
+    }
+}
+
+/// Creates a scope in which threads may borrow from the enclosing stack
+/// frame; all spawned threads are joined before `scope` returns.
+///
+/// Returns `Err` with the panic payload if any unjoined spawned thread
+/// panicked (crossbeam's contract), `Ok` with the closure result
+/// otherwise.
+#[allow(clippy::type_complexity)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod deque {
+    //! Work-stealing queues with crossbeam's `Injector` / `Worker` /
+    //! `Stealer` API, mutex-backed.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried (never
+        /// produced by this mutex-backed implementation, but kept so
+        /// caller loops match the upstream API).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True when the steal produced a task.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Extracts the task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Global FIFO task injector shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves a batch of tasks into `dest`'s local queue and pops one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.queue);
+            let n = q.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            // Take roughly half the backlog, capped like crossbeam does.
+            let take = (n / 2 + 1).min(32);
+            let first = q.pop_front().expect("checked non-empty");
+            if take > 1 {
+                let mut local = lock(&dest.queue);
+                for _ in 1..take {
+                    match q.pop_front() {
+                        Some(t) => local.push_back(t),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    /// A worker's local queue.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO local queue.
+        pub fn new_fifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// True when the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a stealer handle other threads can take tasks with.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// Handle for stealing from another worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the owner's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0usize; 8];
+        let r = super::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i + 1);
+            }
+            42
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn scope_propagates_panic_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn injector_fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert!(matches!(inj.steal(), Steal::Success(1)));
+        assert!(matches!(inj.steal(), Steal::Success(2)));
+        assert!(matches!(inj.steal(), Steal::<i32>::Empty));
+    }
+
+    #[test]
+    fn steal_batch_moves_backlog_to_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let first = inj.steal_batch_and_pop(&w).success().unwrap();
+        assert_eq!(first, 0);
+        assert!(!w.is_empty());
+        let mut drained = Vec::new();
+        while let Some(t) = w.pop() {
+            drained.push(t);
+        }
+        // Half the backlog (rounded up) minus the popped one.
+        assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stealer_takes_from_back() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert!(matches!(s.steal(), Steal::Success(2)));
+        assert_eq!(w.pop(), Some(1));
+    }
+}

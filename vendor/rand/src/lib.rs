@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the exact API subset the workspace consumes — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen` / `Rng::gen_range` — backed
+//! by xoshiro256++ (Blackman & Vigna 2019) seeded through SplitMix64.
+//!
+//! The streams differ from upstream `rand`'s ChaCha-based `StdRng`, but
+//! every consumer in this workspace only requires a deterministic,
+//! statistically sound generator behind a fixed seed, which xoshiro256++
+//! provides. Swapping the real crate back in requires no source changes.
+
+pub mod rngs {
+    /// Deterministic PRNG (xoshiro256++), API-compatible stand-in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Raw 64-bit output source.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Values `Rng::gen` can produce uniformly over their whole domain.
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits — the same
+    /// construction upstream `rand` uses.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Samples uniformly from the range.
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl UniformRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = (self.end - self.start) as u64;
+        // Lemire's multiply-shift with rejection: unbiased.
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span || span.is_power_of_two() {
+                return self.start + (m >> 64) as usize;
+            }
+        }
+    }
+}
+
+impl UniformRange for std::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = self.end - self.start;
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span || span.is_power_of_two() {
+                return self.start + (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+impl UniformRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Sampling methods every generator gets for free.
+pub trait Rng: RngCore {
+    /// Uniform sample over the full domain of `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a range.
+    #[inline]
+    fn gen_range<Rg: UniformRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_range(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.gen_range(0..7usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = r.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
