@@ -9,6 +9,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -q -p spe-learners --features fault-injection (fault-injection suite)"
+cargo test -q -p spe-learners --features fault-injection
+
+echo "==> cargo test -q --doc"
+cargo test -q --doc
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 /// Evaluates a model's probability field on a `res x res` grid spanning
 /// the checkerboard and writes `x0,x1,proba` rows.
-fn write_proba_field(dir: &Path, name: &str, model: &dyn Model, res: usize) {
+fn write_proba_field(dir: &Path, name: &str, model: &dyn Model, res: usize) -> std::io::Result<()> {
     let mut grid = Matrix::with_capacity(res * res, 2);
     for i in 0..res {
         for j in 0..res {
@@ -43,10 +43,9 @@ fn write_proba_field(dir: &Path, name: &str, model: &dyn Model, res: usize) {
         &["x0", "x1", "proba"],
         &rows,
     )
-    .expect("write proba field");
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(1);
     let dir = experiments_dir();
     let res = 60;
@@ -69,10 +68,9 @@ fn main() {
         ("smote", Box::new(Smote::default())),
     ] {
         let resampled = sampler.resample(&split.train, seed);
-        write_dataset(&dir.join(format!("fig6_train_{name}.csv")), &resampled)
-            .expect("write training set");
+        write_dataset(&dir.join(format!("fig6_train_{name}.csv")), &resampled)?;
         let model = base.fit(resampled.x(), resampled.y(), seed);
-        write_proba_field(&dir, name, model.as_ref(), res);
+        write_proba_field(&dir, name, model.as_ref(), res)?;
         println!("fig6: {name} ({} training samples)", resampled.len());
     }
 
@@ -86,13 +84,12 @@ fn main() {
             keep.extend_from_slice(&idx.minority);
             let bag = split.train.select(&keep);
             if m == 5 || m == 10 {
-                write_dataset(&dir.join(format!("fig6_train_easy_iter{m}.csv")), &bag)
-                    .expect("write bag");
+                write_dataset(&dir.join(format!("fig6_train_easy_iter{m}.csv")), &bag)?;
             }
             models.push(base.fit(bag.x(), bag.y(), seed + m as u64));
         }
         let ensemble = spe_learners::ensemble::SoftVoteEnsemble::new(models);
-        write_proba_field(&dir, "easy", &ensemble, res);
+        write_proba_field(&dir, "easy", &ensemble, res)?;
         println!("fig6: easy (10 bags)");
     }
 
@@ -100,12 +97,12 @@ fn main() {
     {
         let cascade = spe_ensembles::BalanceCascade::with_base(10, Arc::clone(&base));
         let model = cascade.fit_dataset(&split.train, seed);
-        write_proba_field(&dir, "cascade", &model, res);
+        write_proba_field(&dir, "cascade", &model, res)?;
         println!("fig6: cascade");
     }
     {
         let spe_cfg = SelfPacedEnsembleConfig::with_base(10, Arc::clone(&base));
-        let (model, trace) = spe_cfg.fit_dataset_traced(&split.train, seed);
+        let (model, trace) = spe_cfg.try_fit_dataset_traced(&split.train, seed)?;
         // Reconstruct the training sets of the 5th and 10th member.
         let idx = split.train.class_index();
         for m in [5usize, 10] {
@@ -113,12 +110,12 @@ fn main() {
             let mut keep: Vec<usize> = sel.iter().map(|&p| trace.majority_rows[p]).collect();
             keep.extend_from_slice(&idx.minority);
             let subset: Dataset = split.train.select(&keep);
-            write_dataset(&dir.join(format!("fig6_train_spe_iter{m}.csv")), &subset)
-                .expect("write SPE subset");
+            write_dataset(&dir.join(format!("fig6_train_spe_iter{m}.csv")), &subset)?;
         }
-        write_proba_field(&dir, "spe", &model, res);
+        write_proba_field(&dir, "spe", &model, res)?;
         println!("fig6: spe (traced iterations 5 and 10)");
     }
 
     println!("Fig. 6 artifacts written to {}", dir.display());
+    Ok(())
 }

@@ -2,7 +2,7 @@
 //! experiment binaries.
 
 use crate::methods::FitFn;
-use spe_data::{stratified_k_fold, Dataset};
+use spe_data::{stratified_k_fold, Dataset, SanitizePolicy, Sanitizer, SpeError};
 use spe_metrics::MetricSet;
 use std::path::PathBuf;
 
@@ -21,34 +21,58 @@ impl Args {
     /// Parses `--runs N`, `--scale F` and `--quick` from `std::env`.
     /// `default_runs` differs per experiment (heavier ones default
     /// lower; the paper's protocol is 10).
+    ///
+    /// Exits the process with a friendly message (status 2) on a bad
+    /// command line; use [`Args::try_parse_from`] for an error value.
     pub fn parse(default_runs: usize) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::try_parse_from(default_runs, &argv).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("usage: [--runs N] [--scale F] [--quick]");
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses experiment arguments from an explicit argv slice,
+    /// reporting problems as [`SpeError::InvalidConfig`] instead of
+    /// panicking.
+    pub fn try_parse_from(default_runs: usize, argv: &[String]) -> Result<Self, SpeError> {
         let mut out = Self {
             runs: default_runs,
             scale: 1.0,
             quick: false,
         };
-        let mut args = std::env::args().skip(1);
+        let mut args = argv.iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--runs" => {
                     out.runs = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--runs needs an integer");
+                        .ok_or_else(|| SpeError::InvalidConfig("--runs needs an integer".into()))?;
                 }
                 "--scale" => {
                     out.scale = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--scale needs a number");
+                        .ok_or_else(|| SpeError::InvalidConfig("--scale needs a number".into()))?;
                 }
                 "--quick" => out.quick = true,
-                other => panic!("unknown argument {other}; supported: --runs N --scale F --quick"),
+                other => {
+                    return Err(SpeError::InvalidConfig(format!(
+                        "unknown argument {other}; supported: --runs N --scale F --quick"
+                    )));
+                }
             }
         }
-        assert!(out.runs > 0, "--runs must be positive");
-        assert!(out.scale > 0.0, "--scale must be positive");
-        out
+        if out.runs == 0 {
+            return Err(SpeError::InvalidConfig("--runs must be positive".into()));
+        }
+        // NaN must fail too, so test the accepting range rather than `<= 0`.
+        if out.scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(SpeError::InvalidConfig("--scale must be positive".into()));
+        }
+        Ok(out)
     }
 
     /// Applies the size multiplier to a default sample count.
@@ -65,13 +89,38 @@ impl Args {
 /// so the result is bit-identical for every thread count (including
 /// `SPE_THREADS=1`).
 pub fn cross_validate(fit: &FitFn, data: &Dataset, k: usize, seed: u64) -> Vec<MetricSet> {
+    try_cross_validate(fit, data, k, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`cross_validate`]: rejects dirty input up front with
+/// a typed error and converts a panic inside any fold into
+/// [`SpeError::Panicked`] naming the fold, instead of unwinding through
+/// (and aborting) the whole benchmark run.
+pub fn try_cross_validate(
+    fit: &FitFn,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<MetricSet>, SpeError> {
+    // Benchmarks never want silent repair: a non-finite cell in a
+    // generated dataset is a bug upstream, so always Reject.
+    Sanitizer::new(SanitizePolicy::Reject).sanitize(data)?;
     let folds = stratified_k_fold(data, k, seed);
     let fold_seeds = spe_runtime::fork_seeds(seed, folds.len());
-    spe_runtime::par_map_indexed(folds.len(), |i| {
+    spe_runtime::try_par_map_indexed(folds.len(), |i| {
         let (train, test) = &folds[i];
         let model = fit(train, fold_seeds[i]);
         MetricSet::evaluate(test.y(), &model.predict_proba(test.x()))
     })
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| {
+        r.map_err(|p| SpeError::Panicked {
+            context: format!("cv fold {i}"),
+            message: p.message,
+        })
+    })
+    .collect()
 }
 
 /// Directory for experiment CSVs (`target/experiments`).
@@ -211,6 +260,59 @@ mod tests {
         for (ma, mb) in a.iter().zip(&b) {
             assert_eq!(ma.aucprc.to_bits(), mb.aucprc.to_bits());
             assert_eq!(ma.f1.to_bits(), mb.f1.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_cross_validate_reports_fold_panics_and_dirty_data() {
+        use spe_data::Matrix;
+        use spe_learners::traits::Model;
+
+        let mut x = Matrix::with_capacity(40, 1);
+        let mut y = Vec::new();
+        for i in 0..40 {
+            x.push_row(&[i as f64]);
+            y.push(u8::from(i % 4 == 0));
+        }
+        let data = Dataset::new(x, y);
+
+        let boom: FitFn = Box::new(|_train: &Dataset, _seed: u64| -> Box<dyn Model> {
+            panic!("fold exploded");
+        });
+        let err = try_cross_validate(&boom, &data, 4, 1).unwrap_err();
+        assert!(matches!(err, SpeError::Panicked { .. }));
+        assert!(err.to_string().contains("cv fold"));
+        assert!(err.to_string().contains("fold exploded"));
+
+        let mut dirty = data.clone();
+        dirty.x_mut().row_mut(3)[0] = f64::NAN;
+        let fit: FitFn = Box::new(|_train: &Dataset, _seed: u64| -> Box<dyn Model> {
+            unreachable!("sanitizer must reject before any fold runs")
+        });
+        assert_eq!(
+            try_cross_validate(&fit, &dirty, 4, 1).unwrap_err(),
+            SpeError::NonFiniteFeature { row: 3, col: 0 }
+        );
+    }
+
+    #[test]
+    fn try_parse_from_reports_bad_args() {
+        let ok = Args::try_parse_from(3, &["--runs".into(), "5".into(), "--quick".into()]).unwrap();
+        assert_eq!(ok.runs, 5);
+        assert!(ok.quick);
+        for argv in [
+            vec!["--runs".to_string()],
+            vec!["--runs".to_string(), "abc".to_string()],
+            vec!["--scale".to_string(), "0".to_string()],
+            vec!["--bogus".to_string()],
+        ] {
+            assert!(
+                matches!(
+                    Args::try_parse_from(3, &argv),
+                    Err(SpeError::InvalidConfig(_))
+                ),
+                "{argv:?}"
+            );
         }
     }
 

@@ -18,9 +18,9 @@
 use crate::ensemble::SelfPacedEnsembleConfig;
 use crate::hardness::HardnessFn;
 use crate::sampler::AlphaSchedule;
-use spe_data::SpeError;
+use spe_data::{SanitizePolicy, SpeError};
 use spe_learners::traits::SharedLearner;
-use spe_runtime::Runtime;
+use spe_runtime::{Runtime, TrainingBudget};
 
 /// Builder returned by [`SelfPacedEnsembleConfig::builder`].
 ///
@@ -75,11 +75,40 @@ impl SelfPacedEnsembleBuilder {
         self
     }
 
+    /// Non-finite-feature handling for the fallible fit entry points
+    /// (default: reject with a typed error).
+    pub fn sanitize(mut self, policy: SanitizePolicy) -> Self {
+        self.cfg.sanitize = policy;
+        self
+    }
+
+    /// Extra fit attempts granted to a faulty member before its slot is
+    /// dropped (default 2).
+    pub fn max_member_retries(mut self, retries: usize) -> Self {
+        self.cfg.max_member_retries = retries;
+        self
+    }
+
+    /// Minimum successfully-trained members required for the fit to
+    /// return `Ok` (default 1; must not exceed `n_estimators` at
+    /// `build`).
+    pub fn min_members(mut self, min: usize) -> Self {
+        self.cfg.min_members = min;
+        self
+    }
+
+    /// Cooperative wall-clock budget installed around each fit
+    /// (default: unlimited).
+    pub fn budget(mut self, budget: TrainingBudget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
     /// [`SpeError::InvalidConfig`] when `n_estimators` or `k_bins` is
-    /// zero.
+    /// zero, or when `min_members` exceeds `n_estimators`.
     pub fn build(self) -> Result<SelfPacedEnsembleConfig, SpeError> {
         if self.cfg.n_estimators == 0 {
             return Err(SpeError::InvalidConfig(
@@ -88,6 +117,12 @@ impl SelfPacedEnsembleBuilder {
         }
         if self.cfg.k_bins == 0 {
             return Err(SpeError::InvalidConfig("need at least one bin".into()));
+        }
+        if self.cfg.min_members > self.cfg.n_estimators {
+            return Err(SpeError::InvalidConfig(format!(
+                "min_members ({}) exceeds n_estimators ({})",
+                self.cfg.min_members, self.cfg.n_estimators
+            )));
         }
         Ok(self.cfg)
     }
@@ -125,6 +160,34 @@ mod tests {
         assert_eq!(cfg.hardness, HardnessFn::SquaredError);
         assert_eq!(cfg.alpha_schedule, AlphaSchedule::Uniform);
         assert_eq!(cfg.runtime.num_threads(), Some(2));
+    }
+
+    #[test]
+    fn robustness_setters_chain() {
+        let cfg = SelfPacedEnsembleConfig::builder()
+            .n_estimators(8)
+            .sanitize(SanitizePolicy::ImputeMean)
+            .max_member_retries(5)
+            .min_members(3)
+            .budget(TrainingBudget::wall_clock(std::time::Duration::from_secs(
+                9,
+            )))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sanitize, SanitizePolicy::ImputeMean);
+        assert_eq!(cfg.max_member_retries, 5);
+        assert_eq!(cfg.min_members, 3);
+        assert_eq!(cfg.budget.limit(), Some(std::time::Duration::from_secs(9)));
+    }
+
+    #[test]
+    fn min_members_above_n_estimators_rejected() {
+        let err = SelfPacedEnsembleConfig::builder()
+            .n_estimators(4)
+            .min_members(5)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("min_members"));
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! `SelfPacedEnsemble` — Algorithm 1 of the paper.
 
 use crate::hardness::HardnessFn;
+use crate::report::{FitReport, MemberOutcome};
 use crate::sampler::{AlphaSchedule, SelfPacedSampler};
-use spe_data::{Dataset, Matrix, SeededRng, SpeError, NEGATIVE, POSITIVE};
+use spe_data::{Dataset, Matrix, SanitizePolicy, Sanitizer, SeededRng, SpeError};
 use spe_learners::ensemble::SoftVoteEnsemble;
 use spe_learners::traits::{validate_fit_inputs, Learner, Model, SharedLearner};
 use spe_learners::DecisionTreeConfig;
-use spe_runtime::Runtime;
+use spe_runtime::{fork_seed, panic_message, Runtime, TrainingBudget};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Configuration for a Self-paced Ensemble.
@@ -33,6 +35,21 @@ pub struct SelfPacedEnsembleConfig {
     /// Parallelism config installed for the duration of each fit (the
     /// default defers to `SPE_THREADS` / hardware parallelism).
     pub runtime: Runtime,
+    /// How [`Self::try_fit_dataset`] handles non-finite feature values
+    /// before training (default: reject with a typed error).
+    pub sanitize: SanitizePolicy,
+    /// Extra fit attempts (with freshly derived seeds) granted to a
+    /// member whose base-learner fit panics or emits non-finite
+    /// probabilities, before the member is dropped (default 2).
+    pub max_member_retries: usize,
+    /// Minimum members that must train for the fit to succeed; fewer
+    /// yields [`SpeError::TrainingFailed`] (default 1, floored at 1).
+    pub min_members: usize,
+    /// Cooperative wall-clock budget installed for the duration of each
+    /// fit (default: unlimited). When the deadline passes, remaining
+    /// member slots are skipped and iterative base learners cut their
+    /// internal loops short.
+    pub budget: TrainingBudget,
 }
 
 impl std::fmt::Debug for SelfPacedEnsembleConfig {
@@ -43,6 +60,10 @@ impl std::fmt::Debug for SelfPacedEnsembleConfig {
             .field("hardness", &self.hardness)
             .field("base", &self.base.name())
             .field("runtime", &self.runtime)
+            .field("sanitize", &self.sanitize)
+            .field("max_member_retries", &self.max_member_retries)
+            .field("min_members", &self.min_members)
+            .field("budget", &self.budget)
             .finish()
     }
 }
@@ -56,6 +77,10 @@ impl Default for SelfPacedEnsembleConfig {
             base: Arc::new(DecisionTreeConfig::default()),
             alpha_schedule: AlphaSchedule::SelfPaced,
             runtime: Runtime::default(),
+            sanitize: SanitizePolicy::Reject,
+            max_member_retries: 2,
+            min_members: 1,
+            budget: TrainingBudget::unlimited(),
         }
     }
 }
@@ -118,8 +143,9 @@ impl SelfPacedEnsembleConfig {
     }
 
     /// Fallible counterpart of [`Self::fit_dataset_traced`]: validates
-    /// configuration and class balance up front, then runs Algorithm 1
-    /// with this config's [`Runtime`] installed.
+    /// configuration, sanitizes the input per [`Self::sanitize`], then
+    /// runs Algorithm 1 with this config's [`Runtime`] and
+    /// [`TrainingBudget`] installed and per-member fault isolation.
     pub fn try_fit_dataset_traced(
         &self,
         data: &Dataset,
@@ -133,23 +159,37 @@ impl SelfPacedEnsembleConfig {
         if self.k_bins == 0 {
             return Err(SpeError::InvalidConfig("need at least one bin".into()));
         }
+        if self.min_members > self.n_estimators {
+            return Err(SpeError::InvalidConfig(format!(
+                "min_members ({}) exceeds n_estimators ({})",
+                self.min_members, self.n_estimators
+            )));
+        }
         if data.is_empty() {
             return Err(SpeError::EmptyDataset);
         }
 
-        let idx = data.class_index();
-        if idx.minority.is_empty() {
-            return Err(SpeError::EmptyClass { label: POSITIVE });
-        }
-        if idx.majority.is_empty() {
-            return Err(SpeError::EmptyClass { label: NEGATIVE });
-        }
+        // The sanitizer rejects/repairs non-finite features and surfaces
+        // missing classes as typed errors (no policy can repair those).
+        let (clean, sanitize_report) = Sanitizer::new(self.sanitize).sanitize(data)?;
 
-        Ok(self.runtime.install(|| self.fit_validated(data, seed)))
+        self.runtime.install(|| {
+            self.budget
+                .install(|| self.fit_validated(&clean, seed, sanitize_report))
+        })
     }
 
-    /// Algorithm 1 proper; all preconditions already checked.
-    fn fit_validated(&self, data: &Dataset, seed: u64) -> (SelfPacedEnsemble, FitTrace) {
+    /// Algorithm 1 proper, with per-member fault isolation; input
+    /// preconditions already checked. On the healthy path (no panics, no
+    /// NaN members, no budget trips) this is bit-for-bit the original
+    /// sequential loop: the parent RNG advances identically and every
+    /// member trains from `rng.fork(i)`.
+    fn fit_validated(
+        &self,
+        data: &Dataset,
+        seed: u64,
+        sanitize_report: spe_data::SanitizeReport,
+    ) -> Result<(SelfPacedEnsemble, FitTrace), SpeError> {
         let mut rng = SeededRng::new(seed);
 
         let idx = data.class_index();
@@ -166,68 +206,141 @@ impl SelfPacedEnsembleConfig {
         let sampler = SelfPacedSampler {
             k_bins: self.k_bins,
         };
+        // Retry seeds come from an independent chain off the fit seed, so
+        // a retry never perturbs the parent RNG stream (which stays
+        // aligned with the healthy path for all later members).
+        let retry_root = fork_seed(seed, 0xFA01);
 
-        // f0: random under-sampling (Algorithm 1, line 2).
-        let first_sel = rng.sample_indices(n_neg, n_pos.min(n_neg));
-        let mut models: Vec<Box<dyn Model>> =
-            vec![self.train_member(&minority_x, &majority_x, &first_sel, rng.fork(0))];
-        let mut alphas = vec![0.0_f64];
+        let mut models: Vec<Box<dyn Model>> = Vec::with_capacity(n);
+        let mut alphas: Vec<f64> = Vec::with_capacity(n);
+        let mut outcomes: Vec<MemberOutcome> = Vec::with_capacity(n);
         let mut trace = FitTrace {
             majority_rows: idx.majority.clone(),
-            selections: vec![first_sel],
+            selections: Vec::with_capacity(n),
             hardness: Vec::new(),
         };
-
         // Running average of majority probabilities avoids re-scoring all
         // previous members each iteration: after i members,
         // F_i(x) = mean of member outputs.
-        let mut proba_sum = models[0].predict_proba(&majority_x);
+        let mut proba_sum = vec![0.0_f64; n_neg];
 
-        for i in 1..n {
-            // Hardness w.r.t. the current ensemble F_i (lines 4–5).
-            let inv = 1.0 / i as f64;
-            let ensemble_proba: Vec<f64> = proba_sum.iter().map(|&s| s * inv).collect();
-            let hardness = self.hardness.eval_batch(&ensemble_proba, &majority_y);
+        for i in 0..n {
+            // Budget check between members: once tripped, remaining
+            // slots are skipped — except the very first member, which is
+            // always attempted so `min_members = 1` can still succeed.
+            if !models.is_empty() && spe_runtime::budget_exceeded() {
+                outcomes.push(MemberOutcome::Skipped);
+                continue;
+            }
 
-            // Self-paced under-sampling (lines 6–9), or the ablated
-            // variants of AlphaSchedule.
-            let outcome = match self.alpha_schedule.alpha(i, n) {
-                Some(alpha) => {
-                    alphas.push(alpha);
-                    sampler.sample(&hardness, alpha, n_pos, &mut rng)
-                }
-                None => {
-                    alphas.push(f64::NAN);
-                    crate::sampler::SampleOutcome {
-                        selected: rng.sample_indices(n_neg, n_pos.min(n_neg)),
-                        per_bin: Vec::new(),
-                        weights: Vec::new(),
+            // Select the majority subset N' for this member.
+            let (selected, alpha, hardness) = if models.is_empty() {
+                // f0: random under-sampling (Algorithm 1, line 2).
+                (rng.sample_indices(n_neg, n_pos.min(n_neg)), 0.0, None)
+            } else {
+                // Hardness w.r.t. the current ensemble F_i (lines 4–5).
+                let inv = 1.0 / models.len() as f64;
+                let ensemble_proba: Vec<f64> = proba_sum.iter().map(|&s| s * inv).collect();
+                let hardness = self.hardness.eval_batch(&ensemble_proba, &majority_y);
+
+                // Self-paced under-sampling (lines 6–9), or the ablated
+                // variants of AlphaSchedule.
+                match self.alpha_schedule.alpha(i, n) {
+                    Some(alpha) => {
+                        let outcome = sampler.sample(&hardness, alpha, n_pos, &mut rng);
+                        (outcome.selected, alpha, Some(hardness))
                     }
+                    None => (
+                        rng.sample_indices(n_neg, n_pos.min(n_neg)),
+                        f64::NAN,
+                        Some(hardness),
+                    ),
                 }
             };
 
-            // Train fi on P ∪ N' (line 10).
-            let model = self.train_member(
-                &minority_x,
-                &majority_x,
-                &outcome.selected,
-                rng.fork(i as u64),
-            );
-            for (s, p) in proba_sum.iter_mut().zip(model.predict_proba(&majority_x)) {
-                *s += p;
+            // Train fi on P ∪ N' (line 10), isolated: a panicking or
+            // NaN-emitting attempt is retried with a fresh seed up to
+            // `max_member_retries` times, then the slot is dropped.
+            let member_rng = rng.fork(i as u64);
+            let mut last_err = SpeError::Panicked {
+                context: format!("member {i}"),
+                message: "never attempted".into(),
+            };
+            let mut trained: Option<(Box<dyn Model>, Vec<f64>)> = None;
+            let mut attempts = 0usize;
+            for attempt in 0..=self.max_member_retries {
+                let attempt_rng = if attempt == 0 {
+                    member_rng.clone()
+                } else {
+                    SeededRng::new(fork_seed(fork_seed(retry_root, i as u64), attempt as u64))
+                };
+                attempts = attempt + 1;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let model = self.train_member(&minority_x, &majority_x, &selected, attempt_rng);
+                    let probs = model.predict_proba(&majority_x);
+                    (model, probs)
+                }));
+                match result {
+                    Ok((model, probs)) => {
+                        if probs.iter().all(|p| p.is_finite()) {
+                            trained = Some((model, probs));
+                            break;
+                        }
+                        last_err = SpeError::NonFiniteOutput {
+                            context: format!("member {i}"),
+                        };
+                    }
+                    Err(payload) => {
+                        last_err = SpeError::Panicked {
+                            context: format!("member {i}"),
+                            message: panic_message(payload.as_ref()),
+                        };
+                    }
+                }
             }
-            models.push(model);
-            trace.selections.push(outcome.selected);
-            trace.hardness.push(hardness);
+
+            match trained {
+                Some((model, probs)) => {
+                    for (s, p) in proba_sum.iter_mut().zip(probs) {
+                        *s += p;
+                    }
+                    models.push(model);
+                    alphas.push(alpha);
+                    trace.selections.push(selected);
+                    if let Some(h) = hardness {
+                        trace.hardness.push(h);
+                    }
+                    outcomes.push(if attempts == 1 {
+                        MemberOutcome::Trained
+                    } else {
+                        MemberOutcome::Retried { attempts }
+                    });
+                }
+                None => outcomes.push(MemberOutcome::Dropped { error: last_err }),
+            }
         }
 
-        (
+        let required = self.min_members.max(1);
+        if models.len() < required {
+            return Err(SpeError::TrainingFailed {
+                trained: models.len(),
+                required,
+            });
+        }
+
+        let report = FitReport {
+            members: outcomes,
+            sanitize: sanitize_report,
+            budget_exhausted: spe_runtime::budget_exceeded(),
+        };
+        Ok((
             SelfPacedEnsemble {
                 inner: SoftVoteEnsemble::new(models),
                 alphas,
+                report,
             },
             trace,
-        )
+        ))
     }
 
     fn train_member(
@@ -268,6 +381,7 @@ pub struct FitTrace {
 pub struct SelfPacedEnsemble {
     inner: SoftVoteEnsemble,
     alphas: Vec<f64>,
+    report: FitReport,
 }
 
 impl SelfPacedEnsemble {
@@ -279,6 +393,14 @@ impl SelfPacedEnsemble {
     /// True when the ensemble has no members (never, by construction).
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
+    }
+
+    /// Per-member training outcomes, sanitizer findings and budget
+    /// status of the fit that produced this ensemble. A degraded-but-
+    /// successful fit (some members dropped or skipped) is visible here;
+    /// [`FitReport::is_clean`] is true for a fully healthy run.
+    pub fn fit_report(&self) -> &FitReport {
+        &self.report
     }
 
     /// The self-paced factor used at each iteration (α₀ = 0 for the
@@ -337,6 +459,7 @@ impl Learner for SelfPacedEnsembleConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spe_data::{NEGATIVE, POSITIVE};
     use spe_metrics::aucprc;
 
     /// Imbalanced overlapping Gaussians: minority at +1.2, majority at 0.
@@ -509,6 +632,177 @@ mod tests {
             .unwrap()
             .predict_proba(d.x());
         assert_eq!(a, b);
+    }
+
+    /// Base learner that panics on every odd-numbered `fit` call —
+    /// deterministic given the sequential member loop, and guaranteed to
+    /// succeed on the first retry.
+    struct FlakyEveryOther {
+        inner: DecisionTreeConfig,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Learner for FlakyEveryOther {
+        fn fit_weighted(
+            &self,
+            x: &Matrix,
+            y: &[u8],
+            weights: Option<&[f64]>,
+            seed: u64,
+        ) -> Box<dyn Model> {
+            let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            assert!(call % 2 != 0, "flaky failure on call {call}");
+            self.inner.fit_weighted(x, y, weights, seed)
+        }
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+    }
+
+    struct AlwaysPanic;
+    impl Learner for AlwaysPanic {
+        fn fit_weighted(
+            &self,
+            _x: &Matrix,
+            _y: &[u8],
+            _w: Option<&[f64]>,
+            _seed: u64,
+        ) -> Box<dyn Model> {
+            panic!("always fails");
+        }
+        fn name(&self) -> &'static str {
+            "AlwaysPanic"
+        }
+    }
+
+    #[test]
+    fn all_members_failing_yields_training_failed_not_abort() {
+        let d = overlapping(10, 100, 30);
+        let cfg = SelfPacedEnsembleConfig::with_base(5, Arc::new(AlwaysPanic));
+        assert_eq!(
+            cfg.try_fit_dataset(&d, 31).err(),
+            Some(SpeError::TrainingFailed {
+                trained: 0,
+                required: 1
+            })
+        );
+    }
+
+    #[test]
+    fn flaky_members_recover_via_retries() {
+        let d = overlapping(10, 100, 32);
+        let cfg = SelfPacedEnsembleConfig::with_base(
+            4,
+            Arc::new(FlakyEveryOther {
+                inner: DecisionTreeConfig::default(),
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }),
+        );
+        let m = cfg.try_fit_dataset(&d, 33).unwrap();
+        assert_eq!(m.len(), 4);
+        let report = m.fit_report();
+        assert_eq!(report.n_trained(), 4);
+        assert_eq!(report.n_retried(), 4);
+        assert!(report
+            .members
+            .iter()
+            .all(|o| matches!(o, MemberOutcome::Retried { attempts: 2 })));
+    }
+
+    #[test]
+    fn flaky_members_drop_when_retries_disabled() {
+        let d = overlapping(10, 100, 34);
+        let cfg = SelfPacedEnsembleConfig {
+            max_member_retries: 0,
+            ..SelfPacedEnsembleConfig::with_base(
+                4,
+                Arc::new(FlakyEveryOther {
+                    inner: DecisionTreeConfig::default(),
+                    calls: std::sync::atomic::AtomicUsize::new(0),
+                }),
+            )
+        };
+        let m = cfg.try_fit_dataset(&d, 35).unwrap();
+        // Calls alternate panic/success, so exactly half the slots drop.
+        assert_eq!(m.len(), 2);
+        let report = m.fit_report();
+        assert_eq!(report.n_dropped(), 2);
+        assert!(report.members.iter().any(|o| matches!(
+            o,
+            MemberOutcome::Dropped {
+                error: SpeError::Panicked { .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn too_few_survivors_fails_with_min_members() {
+        let d = overlapping(10, 100, 36);
+        let cfg = SelfPacedEnsembleConfig {
+            max_member_retries: 0,
+            min_members: 3,
+            ..SelfPacedEnsembleConfig::with_base(
+                4,
+                Arc::new(FlakyEveryOther {
+                    inner: DecisionTreeConfig::default(),
+                    calls: std::sync::atomic::AtomicUsize::new(0),
+                }),
+            )
+        };
+        assert_eq!(
+            cfg.try_fit_dataset(&d, 37).err(),
+            Some(SpeError::TrainingFailed {
+                trained: 2,
+                required: 3
+            })
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_skips_members_but_trains_first() {
+        let d = overlapping(15, 150, 38);
+        let cfg = SelfPacedEnsembleConfig {
+            budget: TrainingBudget::wall_clock(std::time::Duration::ZERO),
+            ..SelfPacedEnsembleConfig::new(6)
+        };
+        let m = cfg.try_fit_dataset(&d, 39).unwrap();
+        assert_eq!(m.len(), 1, "first member always trains");
+        let report = m.fit_report();
+        assert!(report.budget_exhausted);
+        assert_eq!(report.n_skipped(), 5);
+        assert_eq!(report.members[0], MemberOutcome::Trained);
+    }
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let d = overlapping(15, 150, 40);
+        let m = SelfPacedEnsembleConfig::new(3)
+            .try_fit_dataset(&d, 41)
+            .unwrap();
+        assert!(m.fit_report().is_clean());
+        assert_eq!(m.fit_report().members.len(), 3);
+    }
+
+    #[test]
+    fn sanitizer_policies_flow_through_fit() {
+        // Inject a NaN row; Reject errors, ImputeMean/DropRows train.
+        let mut d = overlapping(15, 150, 42);
+        d.x_mut().row_mut(0)[0] = f64::NAN;
+        assert_eq!(
+            SelfPacedEnsembleConfig::new(3)
+                .try_fit_dataset(&d, 43)
+                .err(),
+            Some(SpeError::NonFiniteFeature { row: 0, col: 0 })
+        );
+        for policy in [SanitizePolicy::ImputeMean, SanitizePolicy::DropRows] {
+            let cfg = SelfPacedEnsembleConfig {
+                sanitize: policy,
+                ..SelfPacedEnsembleConfig::new(3)
+            };
+            let m = cfg.try_fit_dataset(&d, 44).unwrap();
+            assert_eq!(m.len(), 3, "{policy:?}");
+            assert!(!m.fit_report().sanitize.is_clean());
+        }
     }
 
     #[test]

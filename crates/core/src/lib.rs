@@ -27,10 +27,12 @@ pub mod bins;
 pub mod builder;
 pub mod ensemble;
 pub mod hardness;
+pub mod report;
 pub mod sampler;
 
 pub use bins::{BinStats, HardnessBins};
 pub use builder::SelfPacedEnsembleBuilder;
 pub use ensemble::{FitTrace, SelfPacedEnsemble, SelfPacedEnsembleConfig};
 pub use hardness::HardnessFn;
+pub use report::{FitReport, MemberOutcome};
 pub use sampler::{self_paced_factor, AlphaSchedule, SelfPacedSampler};

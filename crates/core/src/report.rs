@@ -1,0 +1,131 @@
+//! Per-member training outcomes for a fault-tolerant SPE fit.
+//!
+//! Algorithm 1 trains `n` base classifiers sequentially. With fault
+//! isolation enabled (always, since it is free on the healthy path),
+//! each member's fit runs inside `catch_unwind` and may be retried with
+//! a fresh seed; [`FitReport`] records what happened to every member
+//! slot so callers can distinguish "10/10 trained" from "7/10 trained,
+//! 3 dropped after retries" — both of which return `Ok`.
+
+use spe_data::{SanitizeReport, SpeError};
+
+/// What happened to one ensemble member slot during training.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemberOutcome {
+    /// Trained successfully on the first attempt.
+    Trained,
+    /// Trained successfully after one or more failed attempts;
+    /// `attempts` is the total number of fit attempts used (≥ 2).
+    Retried {
+        /// Total fit attempts, including the final successful one.
+        attempts: usize,
+    },
+    /// Every attempt failed; the slot contributes no model. Carries the
+    /// error from the last attempt.
+    Dropped {
+        /// Why the final attempt failed.
+        error: SpeError,
+    },
+    /// Never attempted: the wall-clock training budget was already
+    /// exhausted when this slot came up.
+    Skipped,
+}
+
+/// Per-member record of one (possibly degraded) SPE training run.
+///
+/// Produced alongside the trained ensemble and retrievable via
+/// `SelfPacedEnsemble::fit_report`. An `Ok` fit guarantees
+/// [`FitReport::n_trained`] ≥ the configured `min_members`; anything
+/// less surfaces as [`SpeError::TrainingFailed`] instead.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FitReport {
+    /// Outcome of each member slot, in training order
+    /// (`members.len()` = configured `n_estimators`).
+    pub members: Vec<MemberOutcome>,
+    /// What the input sanitizer found/repaired before training.
+    pub sanitize: SanitizeReport,
+    /// True when the wall-clock budget expired at any point during the
+    /// fit (some members may have been `Skipped` or internally
+    /// truncated their training loops).
+    pub budget_exhausted: bool,
+}
+
+impl FitReport {
+    /// Members that produced a model (first try or after retries).
+    pub fn n_trained(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m, MemberOutcome::Trained | MemberOutcome::Retried { .. }))
+            .count()
+    }
+
+    /// Members that trained but needed more than one attempt.
+    pub fn n_retried(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m, MemberOutcome::Retried { .. }))
+            .count()
+    }
+
+    /// Members dropped after exhausting their retries.
+    pub fn n_dropped(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m, MemberOutcome::Dropped { .. }))
+            .count()
+    }
+
+    /// Members never attempted because the budget had expired.
+    pub fn n_skipped(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m, MemberOutcome::Skipped))
+            .count()
+    }
+
+    /// True when every member trained first-try and the input needed no
+    /// repairs — the report a healthy run produces.
+    pub fn is_clean(&self) -> bool {
+        self.sanitize.is_clean()
+            && !self.budget_exhausted
+            && self
+                .members
+                .iter()
+                .all(|m| matches!(m, MemberOutcome::Trained))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_partition_the_members() {
+        let report = FitReport {
+            members: vec![
+                MemberOutcome::Trained,
+                MemberOutcome::Retried { attempts: 2 },
+                MemberOutcome::Dropped {
+                    error: SpeError::EmptyDataset,
+                },
+                MemberOutcome::Skipped,
+                MemberOutcome::Trained,
+            ],
+            ..FitReport::default()
+        };
+        assert_eq!(report.n_trained(), 3);
+        assert_eq!(report.n_retried(), 1);
+        assert_eq!(report.n_dropped(), 1);
+        assert_eq!(report.n_skipped(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn all_trained_clean_input_is_clean() {
+        let report = FitReport {
+            members: vec![MemberOutcome::Trained; 4],
+            ..FitReport::default()
+        };
+        assert!(report.is_clean());
+    }
+}

@@ -10,6 +10,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::dataset::Dataset;
+use crate::error::SpeError;
 use crate::matrix::Matrix;
 
 /// Reads a labelled dataset from CSV.
@@ -19,14 +20,28 @@ use crate::matrix::Matrix;
 /// must parse as `0`/`1` (floats accepted, e.g. `1.0`); every other
 /// cell must parse as `f64`, with empty cells read as `0.0` (the
 /// paper's missing-value convention).
-pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
-    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+///
+/// # Errors
+/// Every failure is a typed [`SpeError`] carrying the 1-based line
+/// number: [`SpeError::CsvBadFloat`] for an unparseable cell,
+/// [`SpeError::CsvBadLabel`] for a label outside `{0, 1}`,
+/// [`SpeError::CsvRaggedRow`] for a row whose width disagrees with the
+/// header, [`SpeError::CsvMalformed`] for structural problems (empty
+/// file, missing label, header-only file), and [`SpeError::Io`] for
+/// underlying I/O failures.
+pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
-    let header = lines.next().ok_or_else(|| bad("empty CSV".into()))??;
+    let header = lines.next().ok_or(SpeError::CsvMalformed {
+        line: 0,
+        reason: "empty CSV".into(),
+    })??;
     let cols: Vec<&str> = header.split(',').collect();
     if cols.len() < 2 {
-        return Err(bad("need at least one feature column and a label".into()));
+        return Err(SpeError::CsvMalformed {
+            line: 1,
+            reason: "need at least one feature column and a label".into(),
+        });
     }
     let label_col = cols
         .iter()
@@ -37,10 +52,19 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
     let mut x = Matrix::with_capacity(128, n_features);
     let mut y = Vec::new();
     let mut row = vec![0.0; n_features];
-    for (line_no, line) in lines.enumerate() {
+    for (line_idx, line) in lines.enumerate() {
+        let line_no = line_idx + 2; // 1-based, after the header
         let line = line?;
         if line.trim().is_empty() {
             continue;
+        }
+        let n_cells = line.split(',').count();
+        if n_cells != cols.len() {
+            return Err(SpeError::CsvRaggedRow {
+                line: line_no,
+                expected: n_features,
+                got: n_cells.saturating_sub(1),
+            });
         }
         let mut fi = 0usize;
         let mut label: Option<u8> = None;
@@ -49,11 +73,9 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
             let value: f64 = if cell.is_empty() {
                 0.0
             } else {
-                cell.parse().map_err(|_| {
-                    bad(format!(
-                        "line {}: cannot parse {cell:?} as a number",
-                        line_no + 2
-                    ))
+                cell.parse().map_err(|_| SpeError::CsvBadFloat {
+                    line: line_no,
+                    cell: cell.to_string(),
                 })?
             };
             if ci == label_col {
@@ -62,31 +84,27 @@ pub fn read_dataset(path: &Path) -> std::io::Result<Dataset> {
                 } else if value == 1.0 {
                     1
                 } else {
-                    return Err(bad(format!(
-                        "line {}: label {value} is not 0/1",
-                        line_no + 2
-                    )));
+                    return Err(SpeError::CsvBadLabel {
+                        line: line_no,
+                        value: cell.to_string(),
+                    });
                 });
             } else {
-                if fi >= n_features {
-                    return Err(bad(format!("line {}: too many columns", line_no + 2)));
-                }
                 row[fi] = value;
                 fi += 1;
             }
         }
-        if fi != n_features {
-            return Err(bad(format!(
-                "line {}: expected {} features, got {fi}",
-                line_no + 2,
-                n_features
-            )));
-        }
         x.push_row(&row);
-        y.push(label.ok_or_else(|| bad(format!("line {}: missing label", line_no + 2)))?);
+        y.push(label.ok_or(SpeError::CsvMalformed {
+            line: line_no,
+            reason: "missing label".into(),
+        })?);
     }
     if y.is_empty() {
-        return Err(bad("CSV has a header but no data rows".into()));
+        return Err(SpeError::CsvMalformed {
+            line: 1,
+            reason: "CSV has a header but no data rows".into(),
+        });
     }
     Ok(Dataset::new(x, y))
 }
@@ -212,13 +230,56 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p1 = dir.join("badlabel.csv");
         std::fs::write(&p1, "a,label\n1.0,2\n").unwrap();
-        assert!(read_dataset(&p1).is_err());
+        assert_eq!(
+            read_dataset(&p1).unwrap_err(),
+            SpeError::CsvBadLabel {
+                line: 2,
+                value: "2".into()
+            }
+        );
         let p2 = dir.join("ragged.csv");
-        std::fs::write(&p2, "a,b,label\n1.0,1\n").unwrap();
-        assert!(read_dataset(&p2).is_err());
+        std::fs::write(&p2, "a,b,label\n1.0,2.0,1\n1.0,1\n").unwrap();
+        assert_eq!(
+            read_dataset(&p2).unwrap_err(),
+            SpeError::CsvRaggedRow {
+                line: 3,
+                expected: 2,
+                got: 1
+            }
+        );
         let p3 = dir.join("empty.csv");
         std::fs::write(&p3, "a,label\n").unwrap();
-        assert!(read_dataset(&p3).is_err());
+        assert_eq!(
+            read_dataset(&p3).unwrap_err(),
+            SpeError::CsvMalformed {
+                line: 1,
+                reason: "CSV has a header but no data rows".into()
+            }
+        );
+        let p4 = dir.join("badfloat.csv");
+        std::fs::write(&p4, "a,label\nxyz,1\n").unwrap();
+        assert_eq!(
+            read_dataset(&p4).unwrap_err(),
+            SpeError::CsvBadFloat {
+                line: 2,
+                cell: "xyz".into()
+            }
+        );
+        let p5 = dir.join("wide.csv");
+        std::fs::write(&p5, "a,label\n1.0,1,9.0\n").unwrap();
+        assert_eq!(
+            read_dataset(&p5).unwrap_err(),
+            SpeError::CsvRaggedRow {
+                line: 2,
+                expected: 1,
+                got: 2
+            }
+        );
+        let missing = dir.join("nope.csv");
+        assert!(matches!(
+            read_dataset(&missing).unwrap_err(),
+            SpeError::Io(_)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

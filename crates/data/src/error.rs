@@ -35,6 +35,74 @@ pub enum SpeError {
     EmptyDataset,
     /// A sample weight is negative, NaN or infinite.
     InvalidWeights,
+    /// A feature value is NaN or infinite (first offending cell).
+    NonFiniteFeature {
+        /// Row of the first non-finite cell.
+        row: usize,
+        /// Column of the first non-finite cell.
+        col: usize,
+    },
+    /// A feature column takes a single value over the whole dataset
+    /// (reported by [`crate::sanitize::Sanitizer`] when configured to
+    /// reject constant features).
+    ConstantFeature {
+        /// The constant column.
+        col: usize,
+    },
+    /// Fewer ensemble members trained successfully than the configured
+    /// minimum (after per-member retries and/or budget exhaustion).
+    TrainingFailed {
+        /// Members that trained successfully.
+        trained: usize,
+        /// The configured `min_members` floor.
+        required: usize,
+    },
+    /// A trained model emitted NaN/Inf probabilities — a numerically
+    /// diverged ensemble member, treated like a failed fit attempt.
+    NonFiniteOutput {
+        /// Where the bad output came from (e.g. `"member 3"`).
+        context: String,
+    },
+    /// A training task panicked; the panic was captured and converted
+    /// into this error instead of unwinding through the caller.
+    Panicked {
+        /// Where the panic happened (e.g. `"cv fold 3"`).
+        context: String,
+        /// The panic message.
+        message: String,
+    },
+    /// CSV: a cell failed to parse as a number.
+    CsvBadFloat {
+        /// 1-based line number in the file.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// CSV: a label cell is not 0/1.
+    CsvBadLabel {
+        /// 1-based line number in the file.
+        line: usize,
+        /// The offending label text.
+        value: String,
+    },
+    /// CSV: a data row's column count disagrees with the header.
+    CsvRaggedRow {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Feature columns the header promises.
+        expected: usize,
+        /// Feature columns the row actually has.
+        got: usize,
+    },
+    /// CSV: structural problem (empty file, header without data, ...).
+    CsvMalformed {
+        /// 1-based line number (0 when the file as a whole is at fault).
+        line: usize,
+        /// What is malformed.
+        reason: String,
+    },
+    /// An underlying I/O failure (rendered, to keep `SpeError: Eq`).
+    Io(String),
 }
 
 impl fmt::Display for SpeError {
@@ -59,11 +127,53 @@ impl fmt::Display for SpeError {
             SpeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SpeError::EmptyDataset => write!(f, "cannot fit on an empty dataset"),
             SpeError::InvalidWeights => write!(f, "weights must be finite and non-negative"),
+            SpeError::NonFiniteFeature { row, col } => write!(
+                f,
+                "feature matrix contains a non-finite value at row {row}, column {col}"
+            ),
+            SpeError::ConstantFeature { col } => {
+                write!(f, "feature column {col} is constant across all samples")
+            }
+            SpeError::TrainingFailed { trained, required } => write!(
+                f,
+                "training failed: only {trained} ensemble member(s) trained, {required} required"
+            ),
+            SpeError::NonFiniteOutput { context } => {
+                write!(f, "{context} produced non-finite probabilities")
+            }
+            SpeError::Panicked { context, message } => {
+                write!(f, "{context} panicked: {message}")
+            }
+            SpeError::CsvBadFloat { line, cell } => {
+                write!(f, "line {line}: cannot parse {cell:?} as a number")
+            }
+            SpeError::CsvBadLabel { line, value } => {
+                write!(f, "line {line}: label {value} is not 0/1")
+            }
+            SpeError::CsvRaggedRow {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} features, got {got}"),
+            SpeError::CsvMalformed { line, reason } => {
+                if *line == 0 {
+                    write!(f, "malformed CSV: {reason}")
+                } else {
+                    write!(f, "line {line}: {reason}")
+                }
+            }
+            SpeError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SpeError {}
+
+impl From<std::io::Error> for SpeError {
+    fn from(e: std::io::Error) -> Self {
+        SpeError::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -99,6 +209,73 @@ mod tests {
                 .to_string()
                 .contains("need at least one estimator")
         );
+    }
+
+    #[test]
+    fn robustness_variants_render_their_coordinates() {
+        assert_eq!(
+            SpeError::NonFiniteFeature { row: 3, col: 7 }.to_string(),
+            "feature matrix contains a non-finite value at row 3, column 7"
+        );
+        assert!(SpeError::ConstantFeature { col: 2 }
+            .to_string()
+            .contains("column 2 is constant"));
+        let e = SpeError::TrainingFailed {
+            trained: 1,
+            required: 4,
+        };
+        assert!(e.to_string().contains("only 1 ensemble member(s) trained"));
+        let p = SpeError::Panicked {
+            context: "cv fold 3".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "cv fold 3 panicked: boom");
+        assert_eq!(
+            SpeError::NonFiniteOutput {
+                context: "member 3".into()
+            }
+            .to_string(),
+            "member 3 produced non-finite probabilities"
+        );
+    }
+
+    #[test]
+    fn csv_variants_carry_line_numbers() {
+        assert_eq!(
+            SpeError::CsvBadFloat {
+                line: 5,
+                cell: "abc".into()
+            }
+            .to_string(),
+            "line 5: cannot parse \"abc\" as a number"
+        );
+        assert_eq!(
+            SpeError::CsvBadLabel {
+                line: 2,
+                value: "7".into()
+            }
+            .to_string(),
+            "line 2: label 7 is not 0/1"
+        );
+        assert_eq!(
+            SpeError::CsvRaggedRow {
+                line: 9,
+                expected: 4,
+                got: 2
+            }
+            .to_string(),
+            "line 9: expected 4 features, got 2"
+        );
+        assert_eq!(
+            SpeError::CsvMalformed {
+                line: 0,
+                reason: "empty CSV".into()
+            }
+            .to_string(),
+            "malformed CSV: empty CSV"
+        );
+        let io: SpeError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(io.to_string(), "I/O error: gone");
     }
 
     #[test]

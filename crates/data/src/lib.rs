@@ -11,6 +11,7 @@
 //! - feature standardization ([`stats::Standardizer`]),
 //! - seeded sampling helpers and a Box–Muller Gaussian source ([`rng`]),
 //! - missing-value injection used by Table VII ([`missing`]),
+//! - input sanitization for dirty real-world data ([`sanitize`]),
 //! - a minimal CSV writer for experiment artifacts ([`csv`]).
 
 pub mod csv;
@@ -19,6 +20,7 @@ pub mod error;
 pub mod matrix;
 pub mod missing;
 pub mod rng;
+pub mod sanitize;
 pub mod split;
 pub mod stats;
 
@@ -26,6 +28,7 @@ pub use dataset::{ClassIndex, Dataset};
 pub use error::SpeError;
 pub use matrix::Matrix;
 pub use rng::SeededRng;
+pub use sanitize::{SanitizePolicy, SanitizeReport, Sanitizer};
 pub use split::{stratified_k_fold, train_val_test_split, StratifiedSplit};
 pub use stats::Standardizer;
 

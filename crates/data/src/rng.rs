@@ -9,6 +9,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Deterministic RNG with the sampling helpers used across the workspace.
+///
+/// `Clone` duplicates the full generator state: the clone and the
+/// original produce identical streams from the point of cloning (used
+/// by fault-isolated retries to replay a member's first attempt seed).
+#[derive(Clone)]
 pub struct SeededRng {
     inner: StdRng,
     /// Cached second output of the Box–Muller transform.

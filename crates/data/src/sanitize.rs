@@ -1,0 +1,343 @@
+//! Input sanitization for training pipelines.
+//!
+//! Real imbalanced datasets arrive dirty: NaN/Inf cells from failed
+//! joins, constant columns from dead sensors, single-class extracts from
+//! over-eager filtering. The paper's robustness experiments (§V) assume
+//! these are handled *before* hardness binning — a single NaN hardness
+//! value would poison the self-paced histogram. [`Sanitizer`] is that
+//! gate: it scans a [`Dataset`] once and either certifies it clean,
+//! repairs it according to a [`SanitizePolicy`], or rejects it with a
+//! typed [`SpeError`] naming the first offending cell.
+
+use crate::dataset::Dataset;
+use crate::error::SpeError;
+use crate::matrix::Matrix;
+use crate::{NEGATIVE, POSITIVE};
+use std::borrow::Cow;
+
+/// What to do about non-finite feature values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SanitizePolicy {
+    /// Fail fast: any NaN/Inf cell is a typed error
+    /// ([`SpeError::NonFiniteFeature`]). The default — silent repair is
+    /// opt-in.
+    #[default]
+    Reject,
+    /// Replace each non-finite cell with the mean of its column's finite
+    /// values (0.0 when a column has none). Keeps every row and label.
+    ImputeMean,
+    /// Drop every row containing a non-finite cell. Errors if a whole
+    /// class (or everything) would be dropped.
+    DropRows,
+}
+
+/// What a sanitization pass found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Non-finite cells found in the input.
+    pub non_finite_cells: usize,
+    /// Cells replaced by their column mean (`ImputeMean`).
+    pub imputed_cells: usize,
+    /// Rows removed (`DropRows`).
+    pub dropped_rows: usize,
+    /// Columns whose finite values are all identical (advisory unless
+    /// [`Sanitizer::reject_constant_features`] is set).
+    pub constant_features: Vec<usize>,
+}
+
+impl SanitizeReport {
+    /// True when the input needed no repairs (constant features are
+    /// advisory and do not count as dirty).
+    pub fn is_clean(&self) -> bool {
+        self.non_finite_cells == 0
+    }
+}
+
+/// Configurable dataset sanitizer. See the [module docs](self).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sanitizer {
+    /// How to handle non-finite feature values.
+    pub policy: SanitizePolicy,
+    /// When true, a constant feature column is an error
+    /// ([`SpeError::ConstantFeature`]) instead of an advisory report
+    /// entry. Off by default: constant columns are harmless to trees.
+    pub reject_constant_features: bool,
+}
+
+impl Sanitizer {
+    /// Sanitizer with the given policy (constant features advisory).
+    pub fn new(policy: SanitizePolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// Scans without modifying: counts non-finite cells and finds
+    /// constant columns.
+    pub fn scan(&self, data: &Dataset) -> SanitizeReport {
+        let x = data.x();
+        let (rows, cols) = (x.rows(), x.cols());
+        let mut non_finite = 0usize;
+        // Per-column: (first finite value, still-constant flag, any finite seen).
+        let mut col_first = vec![0.0f64; cols];
+        let mut col_constant = vec![true; cols];
+        let mut col_seen = vec![false; cols];
+        for i in 0..rows {
+            let row = x.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    non_finite += 1;
+                } else if !col_seen[j] {
+                    col_seen[j] = true;
+                    col_first[j] = v;
+                } else if v != col_first[j] {
+                    col_constant[j] = false;
+                }
+            }
+        }
+        let constant_features = (0..cols).filter(|&j| rows > 1 && col_constant[j]).collect();
+        SanitizeReport {
+            non_finite_cells: non_finite,
+            imputed_cells: 0,
+            dropped_rows: 0,
+            constant_features,
+        }
+    }
+
+    /// Sanitizes `data` under this sanitizer's policy.
+    ///
+    /// Returns the dataset to train on (borrowed unchanged when already
+    /// clean — the common case costs one scan and no copy) plus a report
+    /// of what was found/repaired.
+    ///
+    /// # Errors
+    /// - [`SpeError::EmptyDataset`] on an empty input;
+    /// - [`SpeError::NonFiniteFeature`] under [`SanitizePolicy::Reject`];
+    /// - [`SpeError::ConstantFeature`] when
+    ///   [`Self::reject_constant_features`] is set;
+    /// - [`SpeError::EmptyClass`] when the (possibly row-dropped) output
+    ///   lacks a class — no policy can repair single-class data;
+    /// - [`SpeError::EmptyDataset`] when `DropRows` would drop every row.
+    pub fn sanitize<'a>(
+        &self,
+        data: &'a Dataset,
+    ) -> Result<(Cow<'a, Dataset>, SanitizeReport), SpeError> {
+        if data.is_empty() {
+            return Err(SpeError::EmptyDataset);
+        }
+        let mut report = self.scan(data);
+        if self.reject_constant_features {
+            if let Some(&col) = report.constant_features.first() {
+                return Err(SpeError::ConstantFeature { col });
+            }
+        }
+
+        let out: Cow<'a, Dataset> = if report.non_finite_cells == 0 {
+            Cow::Borrowed(data)
+        } else {
+            match self.policy {
+                SanitizePolicy::Reject => {
+                    let (row, col) = first_non_finite(data.x()).expect("non-finite cell counted");
+                    return Err(SpeError::NonFiniteFeature { row, col });
+                }
+                SanitizePolicy::ImputeMean => {
+                    report.imputed_cells = report.non_finite_cells;
+                    Cow::Owned(impute_mean(data))
+                }
+                SanitizePolicy::DropRows => {
+                    let keep: Vec<usize> = (0..data.len())
+                        .filter(|&i| data.x().row(i).iter().all(|v| v.is_finite()))
+                        .collect();
+                    report.dropped_rows = data.len() - keep.len();
+                    if keep.is_empty() {
+                        return Err(SpeError::EmptyDataset);
+                    }
+                    Cow::Owned(data.select(&keep))
+                }
+            }
+        };
+
+        // No policy can conjure up a missing class; surface it here so
+        // every training path behind the sanitizer sees a typed error.
+        if !out.y().contains(&POSITIVE) {
+            return Err(SpeError::EmptyClass { label: POSITIVE });
+        }
+        if !out.y().contains(&NEGATIVE) {
+            return Err(SpeError::EmptyClass { label: NEGATIVE });
+        }
+        Ok((out, report))
+    }
+}
+
+/// First (row, col) holding a non-finite value, scanning row-major.
+fn first_non_finite(x: &Matrix) -> Option<(usize, usize)> {
+    for i in 0..x.rows() {
+        if let Some(j) = x.row(i).iter().position(|v| !v.is_finite()) {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+/// Copies `data` with each non-finite cell replaced by its column's
+/// finite mean (0.0 for columns with no finite values).
+fn impute_mean(data: &Dataset) -> Dataset {
+    let x = data.x();
+    let cols = x.cols();
+    let mut sums = vec![0.0f64; cols];
+    let mut counts = vec![0usize; cols];
+    for row in x.iter_rows() {
+        for (j, &v) in row.iter().enumerate() {
+            if v.is_finite() {
+                sums[j] += v;
+                counts[j] += 1;
+            }
+        }
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    let mut fixed = x.clone();
+    for i in 0..fixed.rows() {
+        let row = fixed.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = means[j];
+            }
+        }
+    }
+    Dataset::new(fixed, data.y().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirty() -> Dataset {
+        // Rows 1 and 3 hold non-finite cells; column 2 is constant.
+        let x = Matrix::from_rows(&[
+            &[1.0, 10.0, 5.0],
+            &[f64::NAN, 20.0, 5.0],
+            &[3.0, 30.0, 5.0],
+            &[4.0, f64::INFINITY, 5.0],
+            &[5.0, 40.0, 5.0],
+        ]);
+        Dataset::new(x, vec![1, 0, 0, 0, 1])
+    }
+
+    #[test]
+    fn clean_data_is_borrowed_through() {
+        let d = Dataset::new(Matrix::from_rows(&[&[1.0], &[2.0]]), vec![0, 1]);
+        let (out, report) = Sanitizer::default().sanitize(&d).unwrap();
+        assert!(matches!(out, Cow::Borrowed(_)));
+        assert!(report.is_clean());
+        assert_eq!(report.non_finite_cells, 0);
+    }
+
+    #[test]
+    fn reject_names_the_first_offending_cell() {
+        let err = Sanitizer::new(SanitizePolicy::Reject)
+            .sanitize(&dirty())
+            .unwrap_err();
+        assert_eq!(err, SpeError::NonFiniteFeature { row: 1, col: 0 });
+    }
+
+    #[test]
+    fn impute_mean_replaces_with_column_means() {
+        let d = dirty();
+        let (out, report) = Sanitizer::new(SanitizePolicy::ImputeMean)
+            .sanitize(&d)
+            .unwrap();
+        assert_eq!(report.non_finite_cells, 2);
+        assert_eq!(report.imputed_cells, 2);
+        assert_eq!(report.dropped_rows, 0);
+        assert_eq!(out.len(), 5);
+        // Column 0 finite mean = (1+3+4+5)/4 = 3.25.
+        assert_eq!(out.x().get(1, 0), 3.25);
+        // Column 1 finite mean = (10+20+30+40)/4 = 25.
+        assert_eq!(out.x().get(3, 1), 25.0);
+        assert!(out.x().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn drop_rows_removes_dirty_rows_only() {
+        let d = dirty();
+        let (out, report) = Sanitizer::new(SanitizePolicy::DropRows)
+            .sanitize(&d)
+            .unwrap();
+        assert_eq!(report.dropped_rows, 2);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.y(), &[1, 0, 1]);
+        assert!(out.x().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn drop_rows_that_empties_a_class_errors() {
+        // The only positive row is dirty.
+        let x = Matrix::from_rows(&[&[f64::NAN], &[1.0], &[2.0]]);
+        let d = Dataset::new(x, vec![1, 0, 0]);
+        let err = Sanitizer::new(SanitizePolicy::DropRows)
+            .sanitize(&d)
+            .unwrap_err();
+        assert_eq!(err, SpeError::EmptyClass { label: POSITIVE });
+    }
+
+    #[test]
+    fn all_dirty_rows_error_as_empty_dataset() {
+        let x = Matrix::from_rows(&[&[f64::NAN], &[f64::NEG_INFINITY]]);
+        let d = Dataset::new(x, vec![0, 1]);
+        let err = Sanitizer::new(SanitizePolicy::DropRows)
+            .sanitize(&d)
+            .unwrap_err();
+        assert_eq!(err, SpeError::EmptyDataset);
+    }
+
+    #[test]
+    fn single_class_input_is_rejected_under_every_policy() {
+        let d = Dataset::new(Matrix::zeros(3, 1), vec![0, 0, 0]);
+        for policy in [
+            SanitizePolicy::Reject,
+            SanitizePolicy::ImputeMean,
+            SanitizePolicy::DropRows,
+        ] {
+            let err = Sanitizer::new(policy).sanitize(&d).unwrap_err();
+            assert_eq!(err, SpeError::EmptyClass { label: POSITIVE }, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn constant_features_reported_and_optionally_rejected() {
+        let report = Sanitizer::default().scan(&dirty());
+        assert_eq!(report.constant_features, vec![2]);
+        let strict = Sanitizer {
+            reject_constant_features: true,
+            ..Sanitizer::default()
+        };
+        assert_eq!(
+            strict.sanitize(&dirty()).unwrap_err(),
+            SpeError::ConstantFeature { col: 2 }
+        );
+    }
+
+    #[test]
+    fn empty_dataset_rejected_up_front() {
+        let d = Dataset::new(Matrix::zeros(0, 2), Vec::new());
+        assert_eq!(
+            Sanitizer::default().sanitize(&d).unwrap_err(),
+            SpeError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn constant_check_ignores_non_finite_cells() {
+        // Column is constant among finite values; NaN doesn't break it.
+        let x = Matrix::from_rows(&[&[7.0], &[f64::NAN], &[7.0]]);
+        let d = Dataset::new(x, vec![0, 1, 0]);
+        let report = Sanitizer::default().scan(&d);
+        assert_eq!(report.constant_features, vec![0]);
+        assert_eq!(report.non_finite_cells, 1);
+    }
+}

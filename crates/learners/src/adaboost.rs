@@ -132,6 +132,11 @@ impl Learner for AdaBoostConfig {
 
         let mut members: Vec<Box<dyn Model>> = Vec::new();
         for round in 0..self.n_estimators {
+            // Cooperative budget: keep the rounds boosted so far (at
+            // least one) once the wall-clock deadline passes.
+            if round > 0 && spe_runtime::budget_exceeded() {
+                break;
+            }
             let model = self
                 .base
                 .fit_weighted(x, y, Some(&w), seed.wrapping_add(round as u64));

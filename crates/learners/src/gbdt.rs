@@ -139,7 +139,13 @@ impl Learner for GbdtConfig {
         let mut best_len = 0usize;
         let mut since_best = 0usize;
 
-        for _round in 0..self.n_rounds {
+        for round in 0..self.n_rounds {
+            // Cooperative wall-clock budget: stop adding rounds once the
+            // installed TrainingBudget deadline passes, keeping whatever
+            // has been boosted so far (at least one round).
+            if round > 0 && spe_runtime::budget_exceeded() {
+                break;
+            }
             for i in 0..n {
                 let p = sigmoid(scores[i]);
                 grad[i] = (p - f64::from(yt[i])) * wt[i];

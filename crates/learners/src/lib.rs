@@ -21,6 +21,8 @@
 pub mod adaboost;
 pub mod bagging;
 pub mod ensemble;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod forest;
 pub mod gbdt;
 pub mod kdtree;
@@ -38,6 +40,8 @@ mod tree_util;
 pub use adaboost::AdaBoostConfig;
 pub use bagging::BaggingConfig;
 pub use ensemble::{fit_parallel, SoftVoteEnsemble};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultPlan, FaultyLearner, NanModel};
 pub use forest::RandomForestConfig;
 pub use gbdt::GbdtConfig;
 pub use knn::KnnConfig;

@@ -106,7 +106,12 @@ impl Learner for LogisticRegressionConfig {
         let mut order: Vec<usize> = (0..n).collect();
         let mut grad = vec![0.0; d + 1];
 
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            // Cooperative budget: a partially-trained linear model is
+            // still usable, so stop between epochs once time is up.
+            if epoch > 0 && spe_runtime::budget_exceeded() {
+                break;
+            }
             rng.shuffle(&mut order);
             for batch in order.chunks(self.batch_size.max(1)) {
                 grad.iter_mut().for_each(|g| *g = 0.0);

@@ -188,7 +188,12 @@ impl Learner for MlpConfig {
         let mut hidden = Vec::with_capacity(h);
         let mut order: Vec<usize> = (0..n).collect();
 
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            // Cooperative budget: stop between epochs once the installed
+            // wall-clock deadline passes; current weights remain valid.
+            if epoch > 0 && spe_runtime::budget_exceeded() {
+                break;
+            }
             rng.shuffle(&mut order);
             for batch in order.chunks(self.batch_size.max(1)) {
                 g_w1.iter_mut().for_each(|g| *g = 0.0);

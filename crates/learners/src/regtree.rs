@@ -130,7 +130,12 @@ impl<'a> RegBuilder<'a> {
 
     fn build(&mut self, idx: &mut [usize], depth: usize) -> u32 {
         let (g, h) = self.sums(idx);
-        if depth >= self.cfg.max_depth || idx.len() < self.cfg.min_samples_split {
+        // Budget check: pending subtrees collapse to leaves once the
+        // installed wall-clock deadline passes (still a valid tree).
+        if depth >= self.cfg.max_depth
+            || idx.len() < self.cfg.min_samples_split
+            || (depth > 0 && spe_runtime::budget_exceeded())
+        {
             return self.leaf(g, h);
         }
         let Some((feature, threshold)) = self.best_split(idx, g, h) else {

@@ -75,9 +75,16 @@ pub trait Learner: Send + Sync {
 /// Shared, thread-safe handle to a learner configuration.
 pub type SharedLearner = Arc<dyn Learner>;
 
-/// Validates the common `fit` preconditions, reporting violations as
-/// [`SpeError`] values.
-pub fn validate_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) -> Result<(), SpeError> {
+/// Validates the structural `fit` preconditions every learner shares:
+/// matching lengths, a non-empty dataset, and finite non-negative
+/// weights. Single-class labels and non-finite features are *allowed*
+/// here — the infallible `fit` path handles the former with a
+/// [`ConstantModel`] fallback and trusts callers on the latter.
+pub fn validate_basic_fit_inputs(
+    x: &Matrix,
+    y: &[u8],
+    weights: Option<&[f64]>,
+) -> Result<(), SpeError> {
     if x.rows() != y.len() {
         return Err(SpeError::DimensionMismatch {
             what: "feature/label",
@@ -103,10 +110,34 @@ pub fn validate_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) -> Res
     Ok(())
 }
 
-/// Panicking wrapper over [`validate_fit_inputs`]; called by every
-/// learner on its infallible `fit` path.
+/// Strict validation for the fallible `try_fit*` entry points: the
+/// [basic checks](validate_basic_fit_inputs) plus rejection of
+/// non-finite feature values ([`SpeError::NonFiniteFeature`], naming
+/// the first offending cell) and single-class labels
+/// ([`SpeError::EmptyClass`]). The panicking `fit` path deliberately
+/// stays lenient on both — trees tolerate NaN ordering and a
+/// single-class fit degrades to a [`ConstantModel`] — but callers who
+/// opted into typed errors get them *before* training starts.
+pub fn validate_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) -> Result<(), SpeError> {
+    validate_basic_fit_inputs(x, y, weights)?;
+    for i in 0..x.rows() {
+        if let Some(j) = x.row(i).iter().position(|v| !v.is_finite()) {
+            return Err(SpeError::NonFiniteFeature { row: i, col: j });
+        }
+    }
+    if !y.iter().any(|&l| l != 0) {
+        return Err(SpeError::EmptyClass { label: 1 });
+    }
+    if !y.contains(&0) {
+        return Err(SpeError::EmptyClass { label: 0 });
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`validate_basic_fit_inputs`]; called by
+/// every learner on its infallible `fit` path.
 pub fn check_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) {
-    if let Err(e) = validate_fit_inputs(x, y, weights) {
+    if let Err(e) = validate_basic_fit_inputs(x, y, weights) {
         panic!("{e}");
     }
 }
@@ -211,6 +242,27 @@ mod tests {
             Err(SpeError::InvalidWeights)
         );
         assert!(validate_fit_inputs(&Matrix::zeros(2, 1), &[0, 1], Some(&[1.0, 2.0])).is_ok());
+    }
+
+    #[test]
+    fn strict_validation_rejects_non_finite_and_single_class() {
+        let mut x = Matrix::zeros(3, 2);
+        x.row_mut(1)[1] = f64::NAN;
+        assert_eq!(
+            validate_fit_inputs(&x, &[0, 1, 0], None),
+            Err(SpeError::NonFiniteFeature { row: 1, col: 1 })
+        );
+        // The basic (panicking-path) checks let both through.
+        assert!(validate_basic_fit_inputs(&x, &[0, 1, 0], None).is_ok());
+        assert_eq!(
+            validate_fit_inputs(&Matrix::zeros(2, 1), &[0, 0], None),
+            Err(SpeError::EmptyClass { label: 1 })
+        );
+        assert_eq!(
+            validate_fit_inputs(&Matrix::zeros(2, 1), &[1, 1], None),
+            Err(SpeError::EmptyClass { label: 0 })
+        );
+        assert!(validate_basic_fit_inputs(&Matrix::zeros(2, 1), &[0, 0], None).is_ok());
     }
 
     #[test]

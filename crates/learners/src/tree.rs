@@ -199,10 +199,14 @@ impl<'a> Builder<'a> {
         let p = if w_total > 0.0 { w_pos / w_total } else { 0.0 };
         let node_impurity = self.cfg.criterion.impurity(p);
 
+        // The budget check makes deep builds interruptible: once the
+        // installed wall-clock deadline passes, every pending subtree
+        // terminates as a (valid) leaf instead of splitting further.
         let stop = depth >= self.cfg.max_depth
             || idx.len() < self.cfg.min_samples_split
             || node_impurity == 0.0
-            || w_total <= 0.0;
+            || w_total <= 0.0
+            || (depth > 0 && spe_runtime::budget_exceeded());
         if stop {
             return self.leaf(w_pos, w_total);
         }

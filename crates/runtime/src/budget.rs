@@ -1,0 +1,182 @@
+//! Cooperative wall-clock training budgets.
+//!
+//! A [`TrainingBudget`] bounds how long a training run may keep going: it
+//! installs a deadline for the duration of a closure, and long-running
+//! loops (ensemble member loops, boosting rounds, tree-split recursion)
+//! poll [`budget_exceeded`] at natural yield points and wind down early
+//! once the deadline passes. The mechanism is *cooperative* — nothing is
+//! interrupted forcibly — so models remain valid (just smaller) when the
+//! budget runs out.
+//!
+//! The deadline is carried in a thread-local slot and propagated into
+//! pool tasks by [`crate::par_map_indexed`], so a budget installed on the
+//! caller is visible to splits happening on worker threads. Once one
+//! thread observes the deadline, a shared atomic flag makes every other
+//! thread see it on its next poll without re-reading the clock.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Declarative wall-clock budget for one training run.
+///
+/// `TrainingBudget::default()` is unlimited. A budget with a limit
+/// starts its clock when [`TrainingBudget::install`] runs, not when the
+/// budget is constructed, so one config value can be reused across fits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrainingBudget {
+    wall_clock: Option<Duration>,
+}
+
+impl TrainingBudget {
+    /// No limit: training runs to completion.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps a training run at `limit` of wall-clock time.
+    pub fn wall_clock(limit: Duration) -> Self {
+        Self {
+            wall_clock: Some(limit),
+        }
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<Duration> {
+        self.wall_clock
+    }
+
+    /// Runs `f` with this budget's deadline installed for the current
+    /// thread (and, via the parallel primitives, for every pool task
+    /// dispatched inside `f`). An unlimited budget inherits any
+    /// surrounding deadline rather than clearing it. The previous
+    /// deadline is restored even if `f` panics.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.wall_clock {
+            Some(limit) => with_deadline(
+                Some(Arc::new(Deadline {
+                    at: Instant::now() + limit,
+                    tripped: AtomicBool::new(false),
+                })),
+                f,
+            ),
+            None => f(),
+        }
+    }
+}
+
+/// A shared deadline: absolute expiry instant plus a sticky flag set by
+/// the first thread that observes expiry.
+#[derive(Debug)]
+pub(crate) struct Deadline {
+    at: Instant,
+    tripped: AtomicBool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Deadline>>> = const { RefCell::new(None) };
+}
+
+/// The deadline active on this thread, for propagation into pool tasks.
+pub(crate) fn current_deadline() -> Option<Arc<Deadline>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Replaces the current thread's deadline for the duration of `f`
+/// (restored afterwards, even on panic).
+pub(crate) fn with_deadline<R>(deadline: Option<Arc<Deadline>>, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| c.replace(deadline));
+    struct Restore(Option<Arc<Deadline>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// True once the innermost installed [`TrainingBudget`] deadline has
+/// passed. Always false when no budget is installed. Cheap enough to
+/// poll between boosting rounds, epochs, or tree splits.
+pub fn budget_exceeded() -> bool {
+    CURRENT.with(|c| match &*c.borrow() {
+        None => false,
+        Some(d) => {
+            if d.tripped.load(Ordering::Relaxed) {
+                return true;
+            }
+            if Instant::now() >= d.at {
+                d.tripped.store(true, Ordering::Relaxed);
+                return true;
+            }
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_never_exceeds() {
+        assert!(!budget_exceeded());
+    }
+
+    #[test]
+    fn generous_budget_not_exceeded() {
+        TrainingBudget::wall_clock(Duration::from_secs(3600)).install(|| {
+            assert!(!budget_exceeded());
+        });
+        assert!(!budget_exceeded());
+    }
+
+    #[test]
+    fn zero_budget_exceeds_immediately() {
+        TrainingBudget::wall_clock(Duration::ZERO).install(|| {
+            assert!(budget_exceeded());
+            // Sticky: stays exceeded on repeat polls.
+            assert!(budget_exceeded());
+        });
+        assert!(!budget_exceeded());
+    }
+
+    #[test]
+    fn unlimited_inherits_surrounding_deadline() {
+        TrainingBudget::wall_clock(Duration::ZERO).install(|| {
+            TrainingBudget::unlimited().install(|| {
+                assert!(budget_exceeded());
+            });
+        });
+    }
+
+    #[test]
+    fn nested_budget_overrides_and_restores() {
+        TrainingBudget::wall_clock(Duration::from_secs(3600)).install(|| {
+            TrainingBudget::wall_clock(Duration::ZERO).install(|| {
+                assert!(budget_exceeded());
+            });
+            assert!(!budget_exceeded());
+        });
+    }
+
+    #[test]
+    fn restores_deadline_on_panic() {
+        let _ = std::panic::catch_unwind(|| {
+            TrainingBudget::wall_clock(Duration::ZERO).install(|| panic!("boom"));
+        });
+        assert!(!budget_exceeded());
+    }
+
+    #[test]
+    fn budget_propagates_to_pool_tasks() {
+        let exceeded = TrainingBudget::wall_clock(Duration::ZERO)
+            .install(|| crate::par_map_indexed(64, |_| budget_exceeded()));
+        assert!(exceeded.iter().all(|&e| e));
+        let clear = crate::par_map_indexed(64, |_| budget_exceeded());
+        assert!(clear.iter().all(|&e| !e));
+    }
+}

@@ -64,6 +64,28 @@ impl Runtime {
     }
 }
 
+/// The raw installed cap for this thread (for propagation into pool
+/// tasks, which otherwise would not see the caller's scoped cap).
+pub(crate) fn installed_cap() -> Option<usize> {
+    INSTALLED_CAP.with(|c| c.get())
+}
+
+/// Replaces the current thread's cap for the duration of `f` (restored
+/// afterwards, even on panic). Unlike [`Runtime::install`], a `None`
+/// here *clears* any cap rather than inheriting — it reproduces the
+/// capturing thread's state exactly.
+pub(crate) fn with_cap<R>(cap: Option<usize>, f: impl FnOnce() -> R) -> R {
+    let prev = INSTALLED_CAP.with(|c| c.replace(cap));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INSTALLED_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Effective parallelism for the current thread: the installed cap if
 /// one is active, otherwise the global pool size (never below 1).
 pub fn current_threads() -> usize {

@@ -33,10 +33,12 @@
 //!    global pool first initializes);
 //! 3. hardware parallelism.
 
+pub mod budget;
 pub mod config;
 pub mod pool;
 pub mod seed;
 
+pub use budget::{budget_exceeded, TrainingBudget};
 pub use config::{current_threads, Runtime};
 pub use pool::{default_threads, global, Pool};
 pub use seed::{fork_seed, fork_seeds, splitmix64};
@@ -47,8 +49,14 @@ pub use seed::{fork_seed, fork_seeds, splitmix64};
 /// exactly `f(i)`. With an effective thread count of 1 (or `n <= 1`)
 /// this degrades to a plain sequential loop with no pool involvement.
 ///
+/// The caller's scoped state — the installed [`Runtime`] thread cap and
+/// any [`TrainingBudget`] deadline — is captured at dispatch and
+/// re-installed inside each task, so nested primitives and budget polls
+/// behave identically on pool threads and on the calling thread.
+///
 /// Panics in `f` propagate to the caller after all in-flight tasks
-/// finish.
+/// finish. Use [`try_par_map_indexed`] to capture panics per-task
+/// instead.
 pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -58,14 +66,23 @@ where
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
+    let cap = config::installed_cap();
+    let deadline = budget::current_deadline();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     {
         let f = &f;
+        let deadline = &deadline;
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
             .iter_mut()
             .enumerate()
-            .map(|(i, slot)| Box::new(move || *slot = Some(f(i))) as Box<dyn FnOnce() + Send + '_>)
+            .map(|(i, slot)| {
+                Box::new(move || {
+                    let r =
+                        config::with_cap(cap, || budget::with_deadline(deadline.clone(), || f(i)));
+                    *slot = Some(r);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
             .collect();
         pool::global().run_scope(tasks);
     }
@@ -73,6 +90,49 @@ where
         .into_iter()
         .map(|s| s.expect("task completed"))
         .collect()
+}
+
+/// A panic captured from one parallel task, converted to a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload rendered as text (`&str` / `String` payloads
+    /// verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a caught panic payload as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`par_map_indexed`], but a panic in `f(i)` is captured and
+/// returned as `Err(TaskPanic)` at position `i` instead of propagating:
+/// one faulty item cannot take down its siblings, and the pool is never
+/// poisoned. Output order and determinism guarantees are unchanged.
+pub fn try_par_map_indexed<R, F>(n: usize, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    par_map_indexed(n, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(|p| TaskPanic {
+            message: panic_message(p.as_ref()),
+        })
+    })
 }
 
 /// Splits `0..n` into contiguous ranges of at least `min_chunk` items,
@@ -180,6 +240,36 @@ mod tests {
         let sequential = Runtime::with_threads(1)
             .install(|| par_map_indexed(100, |i| seed::fork_seed(42, i as u64)));
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn try_par_map_captures_panics_in_place() {
+        let out = try_par_map_indexed(16, |i| {
+            if i % 5 == 3 {
+                panic!("injected {i}");
+            }
+            i * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 3 {
+                assert_eq!(
+                    r,
+                    &Err(TaskPanic {
+                        message: format!("injected {i}")
+                    })
+                );
+            } else {
+                assert_eq!(r, &Ok(i * 10));
+            }
+        }
+        // The pool stays healthy afterwards.
+        assert_eq!(par_map_indexed(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn installed_cap_propagates_to_pool_tasks() {
+        let caps = Runtime::with_threads(3).install(|| par_map_indexed(32, |_| current_threads()));
+        assert!(caps.iter().all(|&c| c == 3), "{caps:?}");
     }
 
     #[test]

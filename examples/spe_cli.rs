@@ -31,7 +31,7 @@ fn base_by_name(name: &str) -> SharedLearner {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let path: Option<PathBuf> = args.next().map(PathBuf::from);
     let n_members: usize = args
@@ -55,7 +55,10 @@ fn main() {
         demo
     });
 
-    let data = spe::data::csv::read_dataset(&path).expect("read CSV");
+    // Typed CSV errors carry 1-based line numbers; render them with the
+    // file name instead of unwinding.
+    let data = spe::data::csv::read_dataset(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     println!(
         "{}: {} rows, {} features, IR = {:.1}:1",
         path.display(),
@@ -72,10 +75,20 @@ fn main() {
         .base(base)
         .runtime(Runtime::with_threads(threads))
         .build()
-        .unwrap_or_else(|e| panic!("bad configuration: {e}"));
+        .map_err(|e| format!("bad configuration: {e}"))?;
     let model = cfg
         .try_fit_dataset(&split.train, 0)
-        .unwrap_or_else(|e| panic!("cannot train on {}: {e}", path.display()));
+        .map_err(|e| format!("cannot train on {}: {e}", path.display()))?;
+    let report = model.fit_report();
+    if !report.is_clean() {
+        println!(
+            "note: degraded fit — {} trained, {} retried, {} dropped, {} skipped",
+            report.n_trained(),
+            report.n_retried(),
+            report.n_dropped(),
+            report.n_skipped()
+        );
+    }
 
     let probs = model.predict_proba(split.test.x());
     let m = MetricSet::evaluate(split.test.y(), &probs);
@@ -90,4 +103,5 @@ fn main() {
         "  confusion: TP={} FP={} TN={} FN={}",
         cm.tp, cm.fp, cm.tn, cm.fn_
     );
+    Ok(())
 }

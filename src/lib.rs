@@ -58,12 +58,12 @@ pub use spe_sampling as sampling;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use spe_core::{
-        AlphaSchedule, HardnessFn, SelfPacedEnsemble, SelfPacedEnsembleBuilder,
-        SelfPacedEnsembleConfig, SelfPacedSampler,
+        AlphaSchedule, FitReport, HardnessFn, MemberOutcome, SelfPacedEnsemble,
+        SelfPacedEnsembleBuilder, SelfPacedEnsembleConfig, SelfPacedSampler,
     };
     pub use spe_data::{
-        stratified_k_fold, train_val_test_split, Dataset, Matrix, SeededRng, SpeError,
-        Standardizer, StratifiedSplit,
+        stratified_k_fold, train_val_test_split, Dataset, Matrix, SanitizePolicy, SanitizeReport,
+        Sanitizer, SeededRng, SpeError, Standardizer, StratifiedSplit,
     };
     pub use spe_datasets::{
         checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim, record_linkage_sim,
@@ -78,7 +78,7 @@ pub mod prelude {
         SvmConfig,
     };
     pub use spe_metrics::{aucprc, ConfusionMatrix, MeanStd, MetricSet, RunAggregator};
-    pub use spe_runtime::{fork_seed, fork_seeds, Runtime};
+    pub use spe_runtime::{fork_seed, fork_seeds, Runtime, TrainingBudget};
     pub use spe_sampling::{
         Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NearMissVersion,
         NeighbourhoodCleaningRule, NoResampling, OneSideSelection, RandomOverSampler,

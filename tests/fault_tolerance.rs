@@ -1,0 +1,170 @@
+//! Cross-crate fault-tolerance tests: SPE training with deterministic
+//! fault injection (`spe-learners` `fault-injection` feature, enabled
+//! for this package's tests via dev-dependency feature unification).
+//!
+//! The contract under test: a panicking, NaN-emitting or stalling base
+//! learner never aborts the process or poisons the thread pool — the
+//! fit either succeeds (with the degradation visible in the
+//! [`FitReport`]) or returns a typed [`SpeError`], and results stay
+//! bit-identical across thread counts.
+
+use spe::learners::fault::{FaultyLearner, NanModel};
+use spe::learners::DecisionTreeConfig;
+use spe::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Imbalanced overlapping Gaussians (minority at +1.2).
+fn overlapping(n_pos: usize, n_neg: usize, seed: u64) -> Dataset {
+    let mut rng = SeededRng::new(seed);
+    let mut x = Matrix::with_capacity(n_pos + n_neg, 2);
+    let mut y = Vec::new();
+    for _ in 0..n_neg {
+        x.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)]);
+        y.push(0);
+    }
+    for _ in 0..n_pos {
+        x.push_row(&[rng.normal(1.2, 1.0), rng.normal(1.2, 1.0)]);
+        y.push(1);
+    }
+    Dataset::new(x, y)
+}
+
+fn tree() -> Arc<dyn Learner> {
+    Arc::new(DecisionTreeConfig::default())
+}
+
+#[test]
+fn thirty_percent_panics_still_trains_enough_members() {
+    let data = overlapping(30, 300, 1);
+    let cfg = SelfPacedEnsembleConfig {
+        min_members: 5,
+        ..SelfPacedEnsembleConfig::with_base(
+            10,
+            Arc::new(FaultyLearner::panicking(tree(), 0.3, 77)),
+        )
+    };
+    let model = cfg.try_fit_dataset(&data, 2).expect("fit should survive");
+    let report = model.fit_report();
+    assert!(
+        report.n_trained() >= 5,
+        "expected >= 5 trained, got {}",
+        report.n_trained()
+    );
+    assert_eq!(report.members.len(), 10);
+    // With 30% per-attempt faults and 2 retries, at least one member
+    // should have needed a retry across 10 slots (p ≈ 1 - 0.7^... ).
+    assert!(
+        report.n_retried() + report.n_dropped() > 0,
+        "fault injection never fired: {report:?}"
+    );
+    let probs = model.predict_proba(data.x());
+    assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+}
+
+#[test]
+fn faulty_fit_is_thread_count_invariant() {
+    let data = overlapping(25, 250, 3);
+    let fit_with = |threads: usize| {
+        let cfg = SelfPacedEnsembleConfig {
+            runtime: Runtime::with_threads(threads),
+            ..SelfPacedEnsembleConfig::with_base(
+                10,
+                Arc::new(FaultyLearner::panicking(tree(), 0.3, 55)),
+            )
+        };
+        let m = cfg.try_fit_dataset(&data, 4).expect("fit survives faults");
+        (m.fit_report().clone(), m.predict_proba(data.x()))
+    };
+    let (report_1, probs_1) = fit_with(1);
+    let (report_n, probs_n) = fit_with(8);
+    assert_eq!(report_1, report_n, "fault outcomes depend on thread count");
+    assert_eq!(probs_1, probs_n, "predictions depend on thread count");
+}
+
+#[test]
+fn hundred_percent_panics_returns_training_failed_not_abort() {
+    let data = overlapping(20, 200, 5);
+    let cfg =
+        SelfPacedEnsembleConfig::with_base(10, Arc::new(FaultyLearner::panicking(tree(), 1.0, 11)));
+    assert_eq!(
+        cfg.try_fit_dataset(&data, 6).err(),
+        Some(SpeError::TrainingFailed {
+            trained: 0,
+            required: 1
+        })
+    );
+    // The pool survives: a healthy fit right after works fine.
+    let healthy = SelfPacedEnsembleConfig::new(3)
+        .try_fit_dataset(&data, 7)
+        .expect("pool poisoned by earlier panics");
+    assert_eq!(healthy.len(), 3);
+}
+
+#[test]
+fn nan_emitting_members_are_dropped_or_retried() {
+    let data = overlapping(20, 200, 8);
+    let cfg = SelfPacedEnsembleConfig::with_base(
+        8,
+        Arc::new(FaultyLearner::nan_emitting(tree(), 0.4, 21)),
+    );
+    let model = cfg.try_fit_dataset(&data, 9).expect("fit should survive");
+    let report = model.fit_report();
+    assert!(report.n_trained() >= 1);
+    // Whatever happened, the ensemble's own output must be finite.
+    let probs = model.predict_proba(data.x());
+    assert!(probs.iter().all(|p| p.is_finite()));
+    // NaN members that exhausted retries are recorded with the typed
+    // non-finite-output error.
+    for outcome in &report.members {
+        if let MemberOutcome::Dropped { error } = outcome {
+            assert!(matches!(error, SpeError::NonFiniteOutput { .. }));
+        }
+    }
+}
+
+#[test]
+fn always_nan_fails_with_training_failed() {
+    let data = overlapping(20, 200, 10);
+    let cfg = SelfPacedEnsembleConfig::with_base(
+        4,
+        Arc::new(FaultyLearner::nan_emitting(tree(), 1.0, 31)),
+    );
+    assert_eq!(
+        cfg.try_fit_dataset(&data, 11).err(),
+        Some(SpeError::TrainingFailed {
+            trained: 0,
+            required: 1
+        })
+    );
+}
+
+#[test]
+fn stalling_members_trip_the_budget() {
+    let data = overlapping(20, 200, 12);
+    let cfg = SelfPacedEnsembleConfig {
+        budget: TrainingBudget::wall_clock(Duration::from_millis(40)),
+        ..SelfPacedEnsembleConfig::with_base(
+            12,
+            Arc::new(FaultyLearner::stalling(
+                tree(),
+                1.0,
+                Duration::from_millis(30),
+                41,
+            )),
+        )
+    };
+    let model = cfg.try_fit_dataset(&data, 13).expect("first member trains");
+    let report = model.fit_report();
+    assert!(report.budget_exhausted, "{report:?}");
+    assert!(report.n_skipped() > 0, "{report:?}");
+    assert!(model.len() < 12, "budget should cut the ensemble short");
+}
+
+#[test]
+fn nan_model_is_all_nan() {
+    // Sanity-check the injection primitive itself.
+    let probs = NanModel.predict_proba(&Matrix::zeros(3, 2));
+    assert_eq!(probs.len(), 3);
+    assert!(probs.iter().all(|p| p.is_nan()));
+}

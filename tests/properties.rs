@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use spe::core::{HardnessBins, HardnessFn, SelfPacedSampler};
-use spe::data::{Dataset, Matrix, SeededRng};
+use spe::data::{Dataset, Matrix, SanitizePolicy, Sanitizer, SeededRng, SpeError};
 use spe::metrics::{aucprc, average_precision, f1_score, g_mean, mcc, roc_auc, ConfusionMatrix};
 use spe::prelude::{RandomOverSampler, RandomUnderSampler, Sampler, Smote};
 
@@ -36,6 +36,28 @@ fn imbalanced_dataset() -> impl Strategy<Value = Dataset> {
             y.push(1);
         }
         Dataset::new(x, y)
+    })
+}
+
+/// Strategy: a small dataset where any cell may be NaN/Inf and labels
+/// are arbitrary (possibly single-class) — the sanitizer's worst case.
+fn dirty_dataset() -> impl Strategy<Value = Dataset> {
+    // 4/7 finite, 1/7 each NaN / +Inf / -Inf (the vendored proptest has
+    // no `prop_oneof`, so the choice is encoded in an integer draw).
+    fn cell() -> impl Strategy<Value = f64> {
+        (0u8..7, -10.0f64..10.0).prop_map(|(kind, v)| match kind {
+            0..=3 => v,
+            4 => f64::NAN,
+            5 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        })
+    }
+    (1usize..20, 1usize..4).prop_flat_map(move |(rows, cols)| {
+        (
+            proptest::collection::vec(cell(), rows * cols),
+            proptest::collection::vec(0u8..2, rows),
+        )
+            .prop_map(move |(cells, y)| Dataset::new(Matrix::from_vec(rows, cols, cells), y))
     })
 }
 
@@ -155,5 +177,68 @@ proptest! {
             s.train.n_positive() + s.validation.n_positive() + s.test.n_positive(),
             data.n_positive()
         );
+    }
+
+    #[test]
+    fn sanitizer_output_is_never_non_finite(
+        data in dirty_dataset(),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            SanitizePolicy::Reject,
+            SanitizePolicy::ImputeMean,
+            SanitizePolicy::DropRows,
+        ][policy_idx];
+        match Sanitizer::new(policy).sanitize(&data) {
+            // Whatever the policy did, a returned dataset is fully finite.
+            Ok((out, report)) => {
+                prop_assert!(out.x().as_slice().iter().all(|v| v.is_finite()));
+                prop_assert_eq!(
+                    report.non_finite_cells,
+                    data.x().as_slice().iter().filter(|v| !v.is_finite()).count()
+                );
+                // A dataset that comes back has both classes.
+                prop_assert!(out.n_positive() > 0 && out.n_negative() > 0);
+            }
+            // Rejections must be one of the typed sanitization errors.
+            Err(e) => prop_assert!(matches!(
+                e,
+                SpeError::NonFiniteFeature { .. }
+                    | SpeError::EmptyClass { .. }
+                    | SpeError::EmptyDataset
+            )),
+        }
+    }
+
+    #[test]
+    fn impute_mean_preserves_rows_and_labels(data in dirty_dataset()) {
+        if let Ok((out, report)) = Sanitizer::new(SanitizePolicy::ImputeMean).sanitize(&data) {
+            // ImputeMean never removes rows: labels are untouched.
+            prop_assert_eq!(out.len(), data.len());
+            prop_assert_eq!(out.y(), data.y());
+            prop_assert_eq!(report.dropped_rows, 0);
+            prop_assert_eq!(report.imputed_cells, report.non_finite_cells);
+            // Finite cells pass through unchanged.
+            for (a, b) in out.x().as_slice().iter().zip(data.x().as_slice()) {
+                if b.is_finite() {
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rows_keeps_exactly_the_clean_rows(data in dirty_dataset()) {
+        if let Ok((out, report)) = Sanitizer::new(SanitizePolicy::DropRows).sanitize(&data) {
+            let clean_rows: Vec<usize> = (0..data.len())
+                .filter(|&i| data.x().row(i).iter().all(|v| v.is_finite()))
+                .collect();
+            prop_assert_eq!(out.len(), clean_rows.len());
+            prop_assert_eq!(report.dropped_rows, data.len() - clean_rows.len());
+            // Surviving rows keep their labels, in order: class balance
+            // of the output equals the balance of the clean subset.
+            let expected: Vec<u8> = clean_rows.iter().map(|&i| data.y()[i]).collect();
+            prop_assert_eq!(out.y(), &expected[..]);
+        }
     }
 }
