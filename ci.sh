@@ -15,6 +15,16 @@ cargo test -q -p spe-learners --features fault-injection
 echo "==> cargo test -q --doc"
 cargo test -q --doc
 
+echo "==> cargo bench --no-run (criterion suite compiles)"
+cargo bench --no-run
+
+echo "==> bench_train --quick (smoke; temp cwd so BENCH_train.json is untouched)"
+cargo build --release -p spe-bench --bin bench_train
+repo_root="$(pwd)"
+smoke_dir="$(mktemp -d)"
+(cd "$smoke_dir" && "$repo_root/target/release/bench_train" --quick)
+rm -rf "$smoke_dir"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

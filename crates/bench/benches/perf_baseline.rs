@@ -1,0 +1,101 @@
+//! Criterion perf baseline for the histogram training path: single-tree
+//! fit (exact vs histogram engines), end-to-end SPE fit over both
+//! engines, hardness evaluation, and batch prediction.
+//!
+//! Companion to the `bench_train` binary, which measures the same
+//! exact-vs-histogram contrast at acceptance scale (100k rows) and
+//! writes `BENCH_train.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spe_core::{HardnessFn, SelfPacedEnsembleConfig};
+use spe_datasets::{checkerboard, CheckerboardConfig};
+use spe_learners::traits::{Learner, Model, SharedLearner};
+use spe_learners::{DecisionTreeConfig, SplitMethod};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn board(n_minority: usize, n_majority: usize, seed: u64) -> spe_data::Dataset {
+    checkerboard(
+        &CheckerboardConfig {
+            grid: 4,
+            n_minority,
+            n_majority,
+            cov: 0.1,
+        },
+        seed,
+    )
+}
+
+fn tree_cfg(method: SplitMethod) -> DecisionTreeConfig {
+    DecisionTreeConfig {
+        max_depth: 10,
+        split_method: method,
+        ..DecisionTreeConfig::default()
+    }
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let data = board(2_000, 18_000, 1);
+    let mut group = c.benchmark_group("tree_fit_20k");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        let cfg = tree_cfg(SplitMethod::Exact);
+        b.iter(|| black_box(cfg.fit(data.x(), data.y(), 2)));
+    });
+    group.bench_function("histogram", |b| {
+        let cfg = tree_cfg(SplitMethod::Histogram);
+        b.iter(|| black_box(cfg.fit(data.x(), data.y(), 2)));
+    });
+    group.finish();
+}
+
+fn bench_spe_fit(c: &mut Criterion) {
+    let data = board(1_000, 9_000, 3);
+    let mut group = c.benchmark_group("spe_fit_10k_n10");
+    group.sample_size(10);
+    for (name, method) in [
+        ("exact", SplitMethod::Exact),
+        ("histogram", SplitMethod::Histogram),
+    ] {
+        let base: SharedLearner = Arc::new(tree_cfg(method));
+        let cfg = SelfPacedEnsembleConfig::with_base(10, base);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(cfg.fit_dataset(&data, 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardness_eval(c: &mut Criterion) {
+    // Hardness of every majority sample w.r.t. the running ensemble —
+    // recomputed once per SPE iteration (Algorithm 1, line 5).
+    let n = 100_000;
+    let probas: Vec<f64> = (0..n).map(|i| (i % 1000) as f64 / 1000.0).collect();
+    let labels: Vec<u8> = vec![0; n];
+    let mut group = c.benchmark_group("hardness_eval_100k");
+    group.bench_function("absolute_error", |b| {
+        b.iter(|| black_box(HardnessFn::AbsoluteError.eval_batch(&probas, &labels)));
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = board(1_000, 9_000, 5);
+    let base: SharedLearner = Arc::new(tree_cfg(SplitMethod::Histogram));
+    let model = SelfPacedEnsembleConfig::with_base(10, base).fit_dataset(&data, 6);
+    let mut group = c.benchmark_group("predict_10k_n10");
+    group.sample_size(10);
+    group.bench_function("predict_proba", |b| {
+        b.iter(|| black_box(model.predict_proba(data.x())));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_fit,
+    bench_spe_fit,
+    bench_hardness_eval,
+    bench_predict
+);
+criterion_main!(benches);

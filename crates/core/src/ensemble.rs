@@ -3,9 +3,11 @@
 use crate::hardness::HardnessFn;
 use crate::report::{FitReport, MemberOutcome};
 use crate::sampler::{AlphaSchedule, SelfPacedSampler};
-use spe_data::{Dataset, Matrix, SanitizePolicy, Sanitizer, SeededRng, SpeError};
+use spe_data::{BinIndex, Dataset, Matrix, SanitizePolicy, Sanitizer, SeededRng, SpeError};
 use spe_learners::ensemble::SoftVoteEnsemble;
-use spe_learners::traits::{validate_fit_inputs, Learner, Model, SharedLearner};
+use spe_learners::traits::{
+    validate_fit_inputs, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner,
+};
 use spe_learners::DecisionTreeConfig;
 use spe_runtime::{fork_seed, panic_message, Runtime, TrainingBudget};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -206,6 +208,16 @@ impl SelfPacedEnsembleConfig {
         let sampler = SelfPacedSampler {
             k_bins: self.k_bins,
         };
+        // Histogram fast path: when the base learner can train on a
+        // shared bin index and the per-member training sets are large
+        // enough to amortize quantization, bin the full (cleaned)
+        // matrix once — every member then trains on row ids of this
+        // index instead of a freshly materialized P ∪ N' sub-matrix.
+        let bins = self.base.as_binned().and_then(|bl| {
+            let req = bl.bin_request()?;
+            (n_pos + n_pos.min(n_neg) >= req.min_rows)
+                .then(|| BinIndex::build(data.x(), req.max_bins))
+        });
         // Retry seeds come from an independent chain off the fit seed, so
         // a retry never perturbs the parent RNG stream (which stays
         // aligned with the healthy path for all later members).
@@ -276,7 +288,18 @@ impl SelfPacedEnsembleConfig {
                 };
                 attempts = attempt + 1;
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    let model = self.train_member(&minority_x, &majority_x, &selected, attempt_rng);
+                    let model = match (&bins, self.base.as_binned()) {
+                        (Some(b), Some(bl)) => self.train_member_binned(
+                            bl,
+                            b,
+                            data.y(),
+                            &idx.minority,
+                            &idx.majority,
+                            &selected,
+                            attempt_rng,
+                        ),
+                        _ => self.train_member(&minority_x, &majority_x, &selected, attempt_rng),
+                    };
                     let probs = model.predict_proba(&majority_x);
                     (model, probs)
                 }));
@@ -360,6 +383,33 @@ impl SelfPacedEnsembleConfig {
         let xs = x.select_rows(&order);
         let ys: Vec<u8> = order.iter().map(|&i| y[i]).collect();
         self.base.fit(&xs, &ys, rng.below(u32::MAX as usize) as u64)
+    }
+
+    /// Binned counterpart of [`Self::train_member`]: instead of copying
+    /// P ∪ N' into a new matrix, the member trains on the row ids of the
+    /// shared bin index (all minority rows plus the selected majority
+    /// rows). Row order does not influence histogram training, so no
+    /// shuffle is needed.
+    #[allow(clippy::too_many_arguments)]
+    fn train_member_binned(
+        &self,
+        learner: &dyn BinnedLearner,
+        bins: &BinIndex,
+        y: &[u8],
+        minority_rows: &[usize],
+        majority_rows: &[usize],
+        majority_sel: &[usize],
+        mut rng: SeededRng,
+    ) -> Box<dyn Model> {
+        let problem = BinnedProblem {
+            bins,
+            y,
+            weights: None,
+        };
+        let mut rows: Vec<u32> = Vec::with_capacity(minority_rows.len() + majority_sel.len());
+        rows.extend(minority_rows.iter().map(|&r| r as u32));
+        rows.extend(majority_sel.iter().map(|&s| majority_rows[s] as u32));
+        learner.fit_on_bins(&problem, &rows, rng.below(u32::MAX as usize) as u64)
     }
 }
 
@@ -803,6 +853,44 @@ mod tests {
             assert_eq!(m.len(), 3, "{policy:?}");
             assert!(!m.fit_report().sanitize.is_clean());
         }
+    }
+
+    #[test]
+    fn histogram_base_trains_and_is_deterministic() {
+        let d = overlapping(30, 600, 50);
+        let base: SharedLearner = Arc::new(DecisionTreeConfig {
+            split_method: spe_learners::SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        });
+        let cfg = SelfPacedEnsembleConfig::with_base(5, base);
+        let m = cfg.fit_dataset(&d, 51);
+        assert_eq!(m.len(), 5);
+        let a = m.predict_proba(d.x());
+        let b = cfg.fit_dataset(&d, 51).predict_proba(d.x());
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn histogram_base_matches_exact_quality() {
+        let train = overlapping(40, 2000, 52);
+        let test = overlapping(40, 2000, 53);
+        let hist_base: SharedLearner = Arc::new(DecisionTreeConfig {
+            split_method: spe_learners::SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        });
+        let exact_base: SharedLearner = Arc::new(DecisionTreeConfig {
+            split_method: spe_learners::SplitMethod::Exact,
+            ..DecisionTreeConfig::default()
+        });
+        let hist = SelfPacedEnsembleConfig::with_base(10, hist_base).fit_dataset(&train, 54);
+        let exact = SelfPacedEnsembleConfig::with_base(10, exact_base).fit_dataset(&train, 54);
+        let auc_h = aucprc(test.y(), &hist.predict_proba(test.x()));
+        let auc_e = aucprc(test.y(), &exact.predict_proba(test.x()));
+        assert!(
+            (auc_h - auc_e).abs() < 0.05,
+            "hist {auc_h:.3} vs exact {auc_e:.3}"
+        );
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Feature quantization for histogram-based tree training.
+//!
+//! [`BinIndex`] maps every feature of a [`Matrix`](crate::Matrix) into at
+//! most 256 quantile bins and stores the per-sample bin codes as `u8` in
+//! column-major layout. It is built **once** per dataset and then shared
+//! by every tree that trains on row subsets of that dataset — an
+//! ensemble of `n` members pays the `O(n_rows · d · log n_rows)` sorting
+//! cost once instead of per node per member, after which each tree level
+//! costs only `O(n_rows · d)` histogram additions.
+//!
+//! Cut points are placed at midpoints between adjacent *distinct* sorted
+//! values (all of them when a feature has ≤ `max_bins` distinct values,
+//! quantile-subsampled otherwise), so on low-cardinality features the
+//! histogram split finder considers exactly the thresholds the exact
+//! sorted path would.
+//!
+//! The invariant that makes binned training and unbinned prediction
+//! agree: for every finite value `v` and bin boundary `b`,
+//! `code(v) <= b  ⟺  v <= cut(b)`. Non-finite values (`NaN`) sort above
+//! every cut — the same "send to the right child" behaviour the exact
+//! path gets from `total_cmp`.
+
+use crate::matrix::Matrix;
+
+/// Hard ceiling on bins per feature (codes are stored as `u8`).
+pub const MAX_BINS: usize = 256;
+
+/// A pre-binned view of a feature matrix: per-feature quantile cut
+/// points plus column-major `u8` bin codes for every sample.
+#[derive(Clone, Debug)]
+pub struct BinIndex {
+    n_rows: usize,
+    /// Per-feature ascending cut points; feature `f` has
+    /// `cuts[f].len() + 1` bins and bin `b` holds values in
+    /// `(cut(b-1), cut(b)]`.
+    cuts: Vec<Vec<f64>>,
+    /// Column-major codes: `codes[f * n_rows + row]`.
+    codes: Vec<u8>,
+}
+
+impl BinIndex {
+    /// Quantizes every feature of `x` into at most `max_bins` bins.
+    ///
+    /// Features are processed in parallel on the shared runtime; the
+    /// result is a pure function of `(x, max_bins)`.
+    ///
+    /// # Panics
+    /// Panics if `max_bins` is not in `2..=256`.
+    pub fn build(x: &Matrix, max_bins: usize) -> Self {
+        assert!(
+            (2..=MAX_BINS).contains(&max_bins),
+            "max_bins must be in 2..=256, got {max_bins}"
+        );
+        let n_rows = x.rows();
+        let d = x.cols();
+        let per_feature = spe_runtime::par_map_indexed(d, |f| {
+            let mut column: Vec<f64> = (0..n_rows).map(|r| x.get(r, f)).collect();
+            column.sort_unstable_by(|a, b| a.total_cmp(b));
+            let cuts = quantile_cuts(&column, max_bins);
+            let mut codes = Vec::with_capacity(n_rows);
+            for r in 0..n_rows {
+                codes.push(encode(&cuts, x.get(r, f)));
+            }
+            (cuts, codes)
+        });
+        let mut cuts = Vec::with_capacity(d);
+        let mut codes = Vec::with_capacity(d * n_rows);
+        for (c, col) in per_feature {
+            cuts.push(c);
+            codes.extend_from_slice(&col);
+        }
+        Self {
+            n_rows,
+            cuts,
+            codes,
+        }
+    }
+
+    /// Number of binned samples.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Number of bins used by feature `f` (at least 1, at most 256).
+    #[inline]
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.cuts[f].len() + 1
+    }
+
+    /// Sum of `n_bins` over all features (histogram buffer size).
+    pub fn total_bins(&self) -> usize {
+        (0..self.n_features()).map(|f| self.n_bins(f)).sum()
+    }
+
+    /// The threshold separating bins `b` and `b + 1` of feature `f`:
+    /// samples with `value <= cut` land in bins `0..=b`.
+    #[inline]
+    pub fn cut(&self, f: usize, b: usize) -> f64 {
+        self.cuts[f][b]
+    }
+
+    /// All cut points of feature `f` (ascending).
+    #[inline]
+    pub fn cuts(&self, f: usize) -> &[f64] {
+        &self.cuts[f]
+    }
+
+    /// The contiguous code column of feature `f` (one `u8` per row).
+    #[inline]
+    pub fn feature_codes(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Bin code of sample `row` on feature `f`.
+    #[inline]
+    pub fn code(&self, row: usize, f: usize) -> u8 {
+        debug_assert!(row < self.n_rows);
+        self.codes[f * self.n_rows + row]
+    }
+
+    /// Heap footprint of the codes buffer in bytes (diagnostic).
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Bin code of `v` against ascending `cuts`: the number of cuts below
+/// `v` under `total_cmp` ordering, so `NaN` lands in the last bin.
+#[inline]
+fn encode(cuts: &[f64], v: f64) -> u8 {
+    cuts.partition_point(|c| v.total_cmp(c) == std::cmp::Ordering::Greater) as u8
+}
+
+/// Cut points for one sorted column: midpoints between all adjacent
+/// distinct values when few enough, otherwise midpoints at (deduped)
+/// quantile ranks. Always strictly increasing, at most `max_bins - 1`.
+fn quantile_cuts(sorted: &[f64], max_bins: usize) -> Vec<f64> {
+    // Distinct finite values (NaNs sort to the end and never become
+    // cut points: a midpoint with NaN would poison comparisons).
+    let mut distinct: Vec<f64> = Vec::new();
+    for &v in sorted {
+        if !v.is_finite() {
+            continue;
+        }
+        if distinct.last().is_none_or(|&last| v > last) {
+            distinct.push(v);
+        }
+    }
+    if distinct.len() <= 1 {
+        return Vec::new();
+    }
+    let mut cuts = Vec::new();
+    if distinct.len() <= max_bins {
+        for w in distinct.windows(2) {
+            cuts.push(crate::stats::midpoint(w[0], w[1]));
+        }
+    } else {
+        // Quantile ranks over the *distinct* values: robust to heavy
+        // duplication (a 99%-zeros feature still gets cuts across the
+        // non-zero tail instead of 255 cuts inside the zero mass).
+        for b in 1..max_bins {
+            let rank = b * distinct.len() / max_bins;
+            if rank == 0 {
+                continue;
+            }
+            let cut = crate::stats::midpoint(distinct[rank - 1], distinct[rank]);
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(values: Vec<f64>) -> Matrix {
+        let n = values.len();
+        Matrix::from_vec(n, 1, values)
+    }
+
+    #[test]
+    fn low_cardinality_gets_one_bin_per_distinct_value() {
+        let x = col(vec![3.0, 1.0, 2.0, 1.0, 3.0, 2.0]);
+        let idx = BinIndex::build(&x, 16);
+        assert_eq!(idx.n_bins(0), 3);
+        assert_eq!(idx.cuts(0), &[1.5, 2.5]);
+        let codes: Vec<u8> = (0..6).map(|r| idx.code(r, 0)).collect();
+        assert_eq!(codes, vec![2, 0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn code_and_cut_agree_on_boundaries() {
+        // The invariant the tree relies on: code(v) <= b  ⟺  v <= cut(b).
+        let values = vec![-2.0, -1.0, 0.0, 0.5, 1.0, 2.0, 5.0, 9.0];
+        let x = col(values.clone());
+        let idx = BinIndex::build(&x, 4);
+        for (r, &v) in values.iter().enumerate() {
+            for b in 0..idx.n_bins(0) - 1 {
+                assert_eq!(
+                    idx.code(r, 0) as usize <= b,
+                    v <= idx.cut(0, b),
+                    "value {v} boundary {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_feature_has_single_bin() {
+        let x = col(vec![4.2; 10]);
+        let idx = BinIndex::build(&x, 8);
+        assert_eq!(idx.n_bins(0), 1);
+        assert!((0..10).all(|r| idx.code(r, 0) == 0));
+    }
+
+    #[test]
+    fn high_cardinality_respects_max_bins() {
+        let x = col((0..1000).map(f64::from).collect());
+        let idx = BinIndex::build(&x, 64);
+        assert!(idx.n_bins(0) <= 64);
+        assert!(idx.n_bins(0) > 32, "quantile cuts collapsed");
+        // Codes are monotone in the value.
+        for r in 1..1000 {
+            assert!(idx.code(r, 0) >= idx.code(r - 1, 0));
+        }
+    }
+
+    #[test]
+    fn nan_lands_in_last_bin() {
+        let x = col(vec![0.0, 1.0, 2.0, f64::NAN]);
+        let idx = BinIndex::build(&x, 8);
+        assert_eq!(idx.code(3, 0) as usize, idx.n_bins(0) - 1);
+        // And never produces a NaN cut.
+        assert!(idx.cuts(0).iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn column_major_codes_slice() {
+        let x = Matrix::from_vec(3, 2, vec![0.0, 10.0, 1.0, 20.0, 2.0, 30.0]);
+        let idx = BinIndex::build(&x, 8);
+        assert_eq!(idx.feature_codes(0), &[0, 1, 2]);
+        assert_eq!(idx.feature_codes(1), &[0, 1, 2]);
+        assert_eq!(idx.n_features(), 2);
+        assert_eq!(idx.total_bins(), 6);
+        assert_eq!(idx.code_bytes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins")]
+    fn rejects_oversized_max_bins() {
+        let _ = BinIndex::build(&col(vec![1.0]), 257);
+    }
+}

@@ -7,6 +7,7 @@
 //! The crate also hosts the supporting utilities the paper's experimental
 //! protocol needs:
 //!
+//! - feature quantization for histogram tree training ([`binning`]),
 //! - stratified train/validation/test splitting ([`split`]),
 //! - feature standardization ([`stats::Standardizer`]),
 //! - seeded sampling helpers and a Box–Muller Gaussian source ([`rng`]),
@@ -14,6 +15,7 @@
 //! - input sanitization for dirty real-world data ([`sanitize`]),
 //! - a minimal CSV writer for experiment artifacts ([`csv`]).
 
+pub mod binning;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -24,9 +26,10 @@ pub mod sanitize;
 pub mod split;
 pub mod stats;
 
+pub use binning::BinIndex;
 pub use dataset::{ClassIndex, Dataset};
 pub use error::SpeError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixView};
 pub use rng::SeededRng;
 pub use sanitize::{SanitizePolicy, SanitizeReport, Sanitizer};
 pub use split::{stratified_k_fold, train_val_test_split, StratifiedSplit};

@@ -210,6 +210,116 @@ impl Matrix {
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1)).take(self.rows)
     }
+
+    /// Borrowed view of the whole matrix (no copy).
+    #[inline]
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Borrowed view of the contiguous row range `range` — the zero-copy
+    /// sibling of [`Matrix::row_range`] for prediction hot paths that
+    /// only need to *read* a chunk of rows.
+    ///
+    /// # Panics
+    /// Panics if `range.end > rows` or `range.start > range.end`.
+    #[inline]
+    pub fn view_rows(&self, range: std::ops::Range<usize>) -> MatrixView<'_> {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {range:?} out of bounds ({} rows)",
+            self.rows
+        );
+        MatrixView {
+            data: &self.data[range.start * self.cols..range.end * self.cols],
+            rows: range.len(),
+            cols: self.cols,
+        }
+    }
+}
+
+/// Borrowed, read-only, row-major view into a [`Matrix`].
+///
+/// Mirrors the read API of `Matrix` (`rows`/`cols`/`row`/`get`) without
+/// owning the buffer, so batch predictors can hand workers row chunks
+/// without the per-chunk allocation `row_range` pays.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// Number of rows in the view.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the view holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow of the `i`-th row of the view.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        debug_assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Single element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Flat row-major slice backing the view.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Sub-view of the contiguous row range `range` (no copy).
+    ///
+    /// # Panics
+    /// Panics if `range.end > rows` or `range.start > range.end`.
+    #[inline]
+    pub fn rows_range(&self, range: std::ops::Range<usize>) -> MatrixView<'a> {
+        assert!(
+            range.start <= range.end && range.end <= self.rows,
+            "row range {range:?} out of bounds ({} rows)",
+            self.rows
+        );
+        MatrixView {
+            data: &self.data[range.start * self.cols..range.end * self.cols],
+            rows: range.len(),
+            cols: self.cols,
+        }
+    }
+
+    /// Copies the view into an owned [`Matrix`] (for APIs that need one).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.to_vec())
+    }
 }
 
 /// Squared Euclidean distance between two equal-length slices.
@@ -328,6 +438,33 @@ mod tests {
         let rows: Vec<&[f64]> = m.iter_rows().collect();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2], &[3.0]);
+    }
+
+    #[test]
+    fn view_rows_borrows_without_copy() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = m.view_rows(1..3);
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.cols(), 2);
+        assert_eq!(v.row(0), &[3.0, 4.0]);
+        assert_eq!(v.get(1, 1), 6.0);
+        assert_eq!(v.as_slice().as_ptr(), m.row(1).as_ptr());
+        assert_eq!(v.to_matrix(), m.row_range(1..3));
+        assert!(m.view_rows(0..0).is_empty());
+        let full = m.view();
+        assert_eq!(full.rows(), 3);
+        let rows: Vec<&[f64]> = full.iter_rows().collect();
+        assert_eq!(rows[2], &[5.0, 6.0]);
+        // A sub-view of a view still borrows the original buffer.
+        let tail = full.rows_range(2..3);
+        assert_eq!(tail.row(0), &[5.0, 6.0]);
+        assert_eq!(tail.as_slice().as_ptr(), m.row(2).as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn view_rows_rejects_out_of_bounds() {
+        let _ = Matrix::zeros(2, 2).view_rows(1..3);
     }
 
     #[test]

@@ -25,6 +25,21 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
+/// Midpoint that is guaranteed to satisfy `lo <= m < hi` in floating
+/// point (falls back to `lo` when the average rounds up to `hi`).
+///
+/// Tree split thresholds and bin cut points both use this, so a cut
+/// placed between two adjacent values always separates them.
+#[inline]
+pub fn midpoint(lo: f64, hi: f64) -> f64 {
+    let m = lo + (hi - lo) / 2.0;
+    if m >= hi {
+        lo
+    } else {
+        m
+    }
+}
+
 /// Per-column z-score standardizer (fit on train, apply anywhere).
 ///
 /// Gradient-based learners (LR, SVM, MLP) in this workspace standardize

@@ -4,10 +4,12 @@
 //! decision trees. Members train on independent bootstrap resamples and
 //! are fitted in parallel.
 
-use crate::ensemble::{fit_parallel, SoftVoteEnsemble, TrainJob};
-use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
+use crate::ensemble::{
+    fit_on_bins_parallel, fit_parallel, BinnedTrainJob, SoftVoteEnsemble, TrainJob,
+};
+use crate::traits::{check_fit_inputs, BinnedProblem, ConstantModel, Learner, Model};
 use crate::tree::DecisionTreeConfig;
-use spe_data::{Matrix, SeededRng};
+use spe_data::{BinIndex, Matrix, SeededRng};
 use std::sync::Arc;
 
 /// Bagging hyper-parameters.
@@ -78,6 +80,34 @@ impl Learner for BaggingConfig {
         let n = y.len();
         let k = ((n as f64) * self.sample_fraction).round().max(1.0) as usize;
         let mut rng = SeededRng::new(seed);
+        // When the base learner advertises a binned fast path and the
+        // data is large enough, quantize once and hand members bootstrap
+        // row ids into the shared index instead of copied sub-matrices.
+        // Same bootstrap rng stream and per-member seeds as below.
+        if let Some(binned) = self.base.as_binned() {
+            if let Some(req) = binned.bin_request() {
+                if n >= req.min_rows {
+                    let bins = BinIndex::build(x, req.max_bins);
+                    let problem = BinnedProblem {
+                        bins: &bins,
+                        y,
+                        weights,
+                    };
+                    let jobs: Vec<BinnedTrainJob> = (0..self.n_estimators)
+                        .map(|m| BinnedTrainJob {
+                            rows: rng
+                                .sample_with_replacement(n, k)
+                                .into_iter()
+                                .map(|i| i as u32)
+                                .collect(),
+                            seed: spe_runtime::fork_seed(seed, m as u64),
+                        })
+                        .collect();
+                    let models = fit_on_bins_parallel(binned, &problem, jobs);
+                    return Box::new(SoftVoteEnsemble::new(models));
+                }
+            }
+        }
         let jobs: Vec<TrainJob> = (0..self.n_estimators)
             .map(|m| {
                 let idx = rng.sample_with_replacement(n, k);
@@ -148,6 +178,31 @@ mod tests {
         let (x, y) = noisy_threshold(100, 5);
         let a = BaggingConfig::new(4).fit(&x, &y, 6).predict_proba(&x);
         let b = BaggingConfig::new(4).fit(&x, &y, 6).predict_proba(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binned_base_learns_noisy_threshold() {
+        let (x, y) = noisy_threshold(400, 105);
+        let base = DecisionTreeConfig {
+            split_method: crate::tree::SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        };
+        let m = BaggingConfig::with_base(10, Arc::new(base)).fit(&x, &y, 205);
+        let test = Matrix::from_vec(2, 1, vec![0.1, 0.9]);
+        assert_eq!(m.predict(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn binned_base_deterministic_given_seed() {
+        let (x, y) = noisy_threshold(100, 5);
+        let base = Arc::new(DecisionTreeConfig {
+            split_method: crate::tree::SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        });
+        let cfg = BaggingConfig::with_base(4, base);
+        let a = cfg.fit(&x, &y, 6).predict_proba(&x);
+        let b = cfg.fit(&x, &y, 6).predict_proba(&x);
         assert_eq!(a, b);
     }
 

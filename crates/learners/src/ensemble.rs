@@ -1,8 +1,8 @@
 //! Ensemble plumbing shared by Bagging/Random Forest here and by every
 //! imbalance ensemble (Easy, Cascade, SPE, ...) in the sibling crates.
 
-use crate::traits::{Learner, Model};
-use spe_data::Matrix;
+use crate::traits::{BinnedLearner, BinnedProblem, Learner, Model};
+use spe_data::{Matrix, MatrixView};
 
 /// Soft-voting ensemble: averages member probabilities
 /// (`F(x) = 1/n Σ f_m(x)`, exactly the combination rule of Algorithm 1).
@@ -46,12 +46,19 @@ impl SoftVoteEnsemble {
     /// result is bit-identical to the sequential loop for every thread
     /// count.
     pub fn predict_proba_prefix(&self, x: &Matrix, k: usize) -> Vec<f64> {
+        self.predict_proba_prefix_view(x.view(), k)
+    }
+
+    /// [`Self::predict_proba_prefix`] over a borrowed view; row chunks
+    /// are re-borrowed with [`Matrix::view_rows`]-style slicing so no
+    /// per-chunk copies of the feature data are made.
+    pub fn predict_proba_prefix_view(&self, x: MatrixView<'_>, k: usize) -> Vec<f64> {
         let k = k.clamp(1, self.models.len());
         let chunks = spe_runtime::par_chunks(x.rows(), 256, |range| {
-            let sub = x.row_range(range);
+            let sub = x.rows_range(range);
             let mut acc = vec![0.0; sub.rows()];
             for m in &self.models[..k] {
-                for (a, p) in acc.iter_mut().zip(m.predict_proba(&sub)) {
+                for (a, p) in acc.iter_mut().zip(m.predict_proba_view(sub)) {
                     *a += p;
                 }
             }
@@ -67,6 +74,10 @@ impl SoftVoteEnsemble {
 impl Model for SoftVoteEnsemble {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         self.predict_proba_prefix(x, self.models.len())
+    }
+
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        self.predict_proba_prefix_view(x, self.models.len())
     }
 }
 
@@ -92,6 +103,33 @@ pub fn fit_parallel(learner: &dyn Learner, jobs: Vec<TrainJob>) -> Vec<Box<dyn M
     spe_runtime::par_map_indexed(jobs.len(), |i| {
         let j = &jobs[i];
         learner.fit_weighted(&j.x, &j.y, j.w.as_deref(), j.seed)
+    })
+}
+
+/// One training job for [`fit_on_bins_parallel`]: a row subset of a
+/// shared [`spe_data::BinIndex`] plus a member seed. Rows may repeat
+/// (bootstrap samples).
+pub struct BinnedTrainJob {
+    /// Bin-index row ids this member trains on.
+    pub rows: Vec<u32>,
+    /// Seed for this member.
+    pub seed: u64,
+}
+
+/// Trains one model per job against a shared binned problem.
+///
+/// This is the zero-copy counterpart of [`fit_parallel`]: instead of
+/// materializing a bootstrapped `Matrix` per member, every member reads
+/// the same quantized feature codes and selects rows by id. Results come
+/// back in job order and are bit-identical for any thread count.
+pub fn fit_on_bins_parallel(
+    learner: &dyn BinnedLearner,
+    problem: &BinnedProblem<'_>,
+    jobs: Vec<BinnedTrainJob>,
+) -> Vec<Box<dyn Model>> {
+    spe_runtime::par_map_indexed(jobs.len(), |i| {
+        let j = &jobs[i];
+        learner.fit_on_bins(problem, &j.rows, j.seed)
     })
 }
 

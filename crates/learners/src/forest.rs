@@ -3,10 +3,12 @@
 //!
 //! Paper hyper-parameter (Table II): `n_estimators = 10`.
 
-use crate::ensemble::{fit_parallel, SoftVoteEnsemble, TrainJob};
-use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
-use crate::tree::DecisionTreeConfig;
-use spe_data::{Matrix, SeededRng};
+use crate::ensemble::{
+    fit_on_bins_parallel, fit_parallel, BinnedTrainJob, SoftVoteEnsemble, TrainJob,
+};
+use crate::traits::{check_fit_inputs, BinnedProblem, ConstantModel, Learner, Model};
+use crate::tree::{DecisionTreeConfig, SplitMethod};
+use spe_data::{BinIndex, Matrix, SeededRng};
 
 /// Random-forest hyper-parameters.
 #[derive(Clone, Debug)]
@@ -19,6 +21,13 @@ pub struct RandomForestConfig {
     pub max_features: Option<usize>,
     /// Minimum samples per leaf.
     pub min_samples_leaf: usize,
+    /// Split engine for the member trees. With the histogram engine the
+    /// feature matrix is quantized once and every bootstrap member
+    /// trains on row ids of the shared [`BinIndex`] — no per-member
+    /// matrix copies.
+    pub split_method: SplitMethod,
+    /// Bin budget per feature for the histogram engine.
+    pub max_bins: usize,
 }
 
 impl Default for RandomForestConfig {
@@ -28,6 +37,8 @@ impl Default for RandomForestConfig {
             max_depth: 16,
             max_features: None,
             min_samples_leaf: 1,
+            split_method: SplitMethod::default(),
+            max_bins: spe_data::binning::MAX_BINS,
         }
     }
 }
@@ -66,11 +77,36 @@ impl Learner for RandomForestConfig {
             max_depth: self.max_depth,
             max_features: Some(mtry),
             min_samples_leaf: self.min_samples_leaf,
+            split_method: self.split_method,
+            max_bins: self.max_bins,
             ..DecisionTreeConfig::default()
         };
 
         let n = y.len();
         let mut rng = SeededRng::new(seed);
+        if self.split_method.use_histogram(n) {
+            // Bin once; members share the index and differ only in their
+            // bootstrap row ids and seeds. Same bootstrap rng stream and
+            // seed forking as the exact path below.
+            let bins = BinIndex::build(x, self.max_bins);
+            let problem = BinnedProblem {
+                bins: &bins,
+                y,
+                weights,
+            };
+            let jobs: Vec<BinnedTrainJob> = (0..self.n_trees)
+                .map(|m| BinnedTrainJob {
+                    rows: rng
+                        .sample_with_replacement(n, n)
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .collect(),
+                    seed: spe_runtime::fork_seed(seed.wrapping_add(101), m as u64),
+                })
+                .collect();
+            let models = fit_on_bins_parallel(&tree_cfg, &problem, jobs);
+            return Box::new(SoftVoteEnsemble::new(models));
+        }
         let jobs: Vec<TrainJob> = (0..self.n_trees)
             .map(|m| {
                 let idx = rng.sample_with_replacement(n, n);
@@ -137,6 +173,31 @@ mod tests {
         let (x, y) = noisy_clusters(40, 3);
         let a = RandomForestConfig::new(5).fit(&x, &y, 4).predict_proba(&x);
         let b = RandomForestConfig::new(5).fit(&x, &y, 4).predict_proba(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_engine_finds_signal_among_noise_features() {
+        let (x, y) = noisy_clusters(150, 1);
+        let cfg = RandomForestConfig {
+            split_method: crate::tree::SplitMethod::Histogram,
+            ..RandomForestConfig::new(15)
+        };
+        let m = cfg.fit(&x, &y, 2);
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn histogram_engine_deterministic_given_seed() {
+        let (x, y) = noisy_clusters(40, 3);
+        let cfg = RandomForestConfig {
+            split_method: crate::tree::SplitMethod::Histogram,
+            ..RandomForestConfig::new(5)
+        };
+        let a = cfg.fit(&x, &y, 4).predict_proba(&x);
+        let b = cfg.fit(&x, &y, 4).predict_proba(&x);
         assert_eq!(a, b);
     }
 

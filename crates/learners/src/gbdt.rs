@@ -12,7 +12,8 @@ use crate::regtree::{RegTree, RegTreeConfig};
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
-use spe_data::{Matrix, SeededRng};
+use crate::tree::SplitMethod;
+use spe_data::{BinIndex, Matrix, SeededRng};
 
 /// Early-stopping policy for GBDT.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +39,11 @@ pub struct GbdtConfig {
     pub min_samples_leaf: usize,
     /// Optional early stopping.
     pub early_stopping: Option<EarlyStopping>,
+    /// Split engine for the per-round regression trees. The training
+    /// matrix is binned once and the index is reused across all rounds.
+    pub split_method: SplitMethod,
+    /// Bin budget per feature for the histogram engine.
+    pub max_bins: usize,
 }
 
 impl Default for GbdtConfig {
@@ -49,6 +55,8 @@ impl Default for GbdtConfig {
             lambda: 1.0,
             min_samples_leaf: 1,
             early_stopping: None,
+            split_method: SplitMethod::default(),
+            max_bins: spe_data::binning::MAX_BINS,
         }
     }
 }
@@ -126,6 +134,12 @@ impl Learner for GbdtConfig {
             lambda: self.lambda,
             ..RegTreeConfig::default()
         };
+        // Histogram engine: quantize the training matrix once; every
+        // boosting round then trains on the shared bin index.
+        let bins = self
+            .split_method
+            .use_histogram(yt.len())
+            .then(|| BinIndex::build(&xt, self.max_bins));
 
         let f0 = (prior / (1.0 - prior)).ln();
         let n = yt.len();
@@ -151,7 +165,10 @@ impl Learner for GbdtConfig {
                 grad[i] = (p - f64::from(yt[i])) * wt[i];
                 hess[i] = (p * (1.0 - p)).max(1e-12) * wt[i];
             }
-            let tree = RegTree::fit(&xt, &grad, &hess, &tree_cfg);
+            let tree = match &bins {
+                Some(b) => RegTree::fit_binned(b, &grad, &hess, &tree_cfg),
+                None => RegTree::fit(&xt, &grad, &hess, &tree_cfg),
+            };
             tree.add_scores(&xt, self.learning_rate, &mut scores);
             if let Some(es) = self.early_stopping {
                 tree.add_scores(&xv, self.learning_rate, &mut val_scores);
@@ -311,6 +328,20 @@ mod tests {
         let x = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]);
         let m = GbdtConfig::default().fit(&x, &[1, 1, 1], 0);
         assert_eq!(m.predict_proba(&x), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn histogram_engine_fits_nonlinear_boundary() {
+        let (x, y) = two_moons_ish(200, 1);
+        let cfg = GbdtConfig {
+            n_rounds: 80,
+            split_method: SplitMethod::Histogram,
+            ..GbdtConfig::default()
+        };
+        let m = cfg.fit(&x, &y, 2);
+        let acc =
+            m.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
     }
 
     #[test]

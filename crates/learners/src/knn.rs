@@ -4,9 +4,9 @@
 //! memorization of the (optionally weighted) training set; prediction is
 //! the weighted positive fraction among the k nearest training points.
 
-use crate::neighbors::knn_batch;
+use crate::neighbors::{knn_batch_view, Neighbor};
 use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
-use spe_data::Matrix;
+use spe_data::{Matrix, MatrixView};
 
 /// Configuration for the KNN classifier.
 #[derive(Clone, Debug)]
@@ -36,27 +36,33 @@ struct KnnModel {
     w: Option<Vec<f64>>,
 }
 
+impl KnnModel {
+    fn vote(&self, neigh: &[Neighbor]) -> f64 {
+        let mut pos = 0.0;
+        let mut total = 0.0;
+        for h in neigh {
+            let wi = self.w.as_ref().map_or(1.0, |w| w[h.index]);
+            total += wi;
+            if self.y[h.index] != 0 {
+                pos += wi;
+            }
+        }
+        if total > 0.0 {
+            pos / total
+        } else {
+            0.0
+        }
+    }
+}
+
 impl Model for KnnModel {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        let hits = knn_batch(&self.x, x, self.k.min(self.x.rows()), false);
-        hits.into_iter()
-            .map(|neigh| {
-                let mut pos = 0.0;
-                let mut total = 0.0;
-                for h in &neigh {
-                    let wi = self.w.as_ref().map_or(1.0, |w| w[h.index]);
-                    total += wi;
-                    if self.y[h.index] != 0 {
-                        pos += wi;
-                    }
-                }
-                if total > 0.0 {
-                    pos / total
-                } else {
-                    0.0
-                }
-            })
-            .collect()
+        self.predict_proba_view(x.view())
+    }
+
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        let hits = knn_batch_view(&self.x, x, self.k.min(self.x.rows()), false);
+        hits.into_iter().map(|neigh| self.vote(&neigh)).collect()
     }
 }
 

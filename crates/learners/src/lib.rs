@@ -25,6 +25,7 @@ pub mod ensemble;
 pub mod fault;
 pub mod forest;
 pub mod gbdt;
+mod histogram;
 pub mod kdtree;
 pub mod knn;
 pub mod logistic;
@@ -49,5 +50,5 @@ pub use logistic::LogisticRegressionConfig;
 pub use mlp::MlpConfig;
 pub use naive_bayes::GaussianNbConfig;
 pub use svm::SvmConfig;
-pub use traits::{Learner, Model, SharedLearner};
-pub use tree::{DecisionTreeConfig, SplitCriterion};
+pub use traits::{BinRequest, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner};
+pub use tree::{DecisionTreeConfig, SplitCriterion, SplitMethod, TreeModel};

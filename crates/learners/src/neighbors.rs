@@ -97,6 +97,17 @@ pub fn knn_batch(
     k: usize,
     leave_one_out: bool,
 ) -> Vec<Vec<Neighbor>> {
+    knn_batch_view(reference, queries.view(), k, leave_one_out)
+}
+
+/// [`knn_batch`] over a borrowed query view — lets chunked batch
+/// predictors query without materializing per-chunk matrices.
+pub fn knn_batch_view(
+    reference: &Matrix,
+    queries: spe_data::MatrixView<'_>,
+    k: usize,
+    leave_one_out: bool,
+) -> Vec<Vec<Neighbor>> {
     assert_eq!(
         reference.cols(),
         queries.cols(),

@@ -4,8 +4,15 @@
 //! (Newton boosting, as in LightGBM/XGBoost): for a node with gradient
 //! sum G and hessian sum H, the leaf value is `-G / (H + λ)` and the
 //! split gain is `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`.
+//!
+//! Two split engines exist, mirroring the classification tree: the
+//! exact sort-and-scan path ([`RegTree::fit`]) and a histogram path
+//! ([`RegTree::fit_binned`]) over a pre-built [`BinIndex`] — GBDT bins
+//! its training matrix once and reuses the index for every boosting
+//! round, with sibling histograms derived by parent−child subtraction.
 
-use spe_data::Matrix;
+use crate::histogram::{self, BinStat, HistLayout};
+use spe_data::{BinIndex, Matrix};
 
 /// Hyper-parameters for the gradient regression tree.
 #[derive(Clone, Debug)]
@@ -34,26 +41,38 @@ impl Default for RegTreeConfig {
     }
 }
 
+/// Sentinel feature id marking a leaf node.
+const LEAF: u32 = u32::MAX;
+
+/// One arena node; `feature == LEAF` makes `value` the leaf score,
+/// otherwise `value` is the split threshold (`<=` goes left).
 #[derive(Clone, Copy, Debug)]
-enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: u32,
-        threshold: f64,
-        left: u32,
-        right: u32,
-    },
+struct FlatNode {
+    feature: u32,
+    left: u32,
+    right: u32,
+    value: f64,
+}
+
+impl FlatNode {
+    #[inline]
+    fn leaf(value: f64) -> Self {
+        Self {
+            feature: LEAF,
+            left: 0,
+            right: 0,
+            value,
+        }
+    }
 }
 
 /// A fitted regression tree producing additive raw scores.
 pub struct RegTree {
-    nodes: Vec<Node>,
+    nodes: Vec<FlatNode>,
 }
 
 impl RegTree {
-    /// Fits a tree to per-sample gradients and hessians.
+    /// Fits a tree to per-sample gradients and hessians (exact splits).
     ///
     /// # Panics
     /// Panics on length mismatches or empty input.
@@ -61,18 +80,50 @@ impl RegTree {
         assert_eq!(x.rows(), grad.len(), "gradient length mismatch");
         assert_eq!(grad.len(), hess.len(), "hessian length mismatch");
         assert!(!grad.is_empty(), "cannot fit on empty data");
-        let mut b = RegBuilder {
-            x,
-            grad,
-            hess,
-            cfg,
-            nodes: Vec::new(),
-            scratch: Vec::with_capacity(grad.len()),
-        };
-        let mut idx: Vec<usize> = (0..grad.len()).collect();
-        let root = b.build(&mut idx, 0);
-        debug_assert_eq!(root, 0);
-        RegTree { nodes: b.nodes }
+        let nodes = crate::tree::with_scratch(|scratch| {
+            let mut b = RegBuilder {
+                x,
+                grad,
+                hess,
+                cfg,
+                nodes: Vec::new(),
+                scratch: &mut scratch.sorted,
+            };
+            scratch.idx.clear();
+            scratch.idx.extend(0..grad.len());
+            let root = b.build(&mut scratch.idx, 0);
+            debug_assert_eq!(root, 0);
+            b.nodes
+        });
+        RegTree { nodes }
+    }
+
+    /// Fits a tree on all rows of a pre-built bin index (histogram
+    /// splits). `grad`/`hess` are indexed by bin-index row id.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or an empty index.
+    pub fn fit_binned(bins: &BinIndex, grad: &[f64], hess: &[f64], cfg: &RegTreeConfig) -> Self {
+        assert_eq!(bins.n_rows(), grad.len(), "gradient length mismatch");
+        assert_eq!(grad.len(), hess.len(), "hessian length mismatch");
+        assert!(!grad.is_empty(), "cannot fit on empty data");
+        let nodes = crate::tree::with_scratch(|scratch| {
+            scratch.rows.clear();
+            scratch.rows.extend(0..grad.len() as u32);
+            let mut b = RegHistBuilder {
+                bins,
+                grad,
+                hess,
+                cfg,
+                layout: HistLayout::new(bins),
+                nodes: Vec::new(),
+                pool: &mut scratch.hist_pool,
+            };
+            let root = b.build(&mut scratch.rows, 0, None);
+            debug_assert_eq!(root, 0);
+            b.nodes
+        });
+        RegTree { nodes }
     }
 
     /// Raw additive score for one sample.
@@ -80,21 +131,15 @@ impl RegTree {
     pub fn predict_one(&self, row: &[f64]) -> f64 {
         let mut i = 0usize;
         loop {
-            match self.nodes[i] {
-                Node::Leaf { value } => return value,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    i = if row[feature as usize] <= threshold {
-                        left as usize
-                    } else {
-                        right as usize
-                    };
-                }
+            let n = self.nodes[i];
+            if n.feature == LEAF {
+                return n.value;
             }
+            i = if row[n.feature as usize] <= n.value {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
         }
     }
 
@@ -117,14 +162,14 @@ struct RegBuilder<'a> {
     grad: &'a [f64],
     hess: &'a [f64],
     cfg: &'a RegTreeConfig,
-    nodes: Vec<Node>,
-    scratch: Vec<(f64, f64, f64)>, // (value, grad, hess)
+    nodes: Vec<FlatNode>,
+    scratch: &'a mut Vec<(f64, f64, f64)>, // (value, grad, hess)
 }
 
 impl<'a> RegBuilder<'a> {
     fn leaf(&mut self, g: f64, h: f64) -> u32 {
         let value = -g / (h + self.cfg.lambda);
-        self.nodes.push(Node::Leaf { value });
+        self.nodes.push(FlatNode::leaf(value));
         (self.nodes.len() - 1) as u32
     }
 
@@ -145,16 +190,16 @@ impl<'a> RegBuilder<'a> {
         if mid == 0 || mid == idx.len() {
             return self.leaf(g, h);
         }
-        self.nodes.push(Node::Leaf { value: 0.0 });
+        self.nodes.push(FlatNode::leaf(0.0));
         let me = (self.nodes.len() - 1) as u32;
         let (li, ri) = idx.split_at_mut(mid);
         let left = self.build(li, depth + 1);
         let right = self.build(ri, depth + 1);
-        self.nodes[me as usize] = Node::Split {
+        self.nodes[me as usize] = FlatNode {
             feature: feature as u32,
-            threshold,
             left,
             right,
+            value: threshold,
         };
         me
     }
@@ -210,6 +255,163 @@ impl<'a> RegBuilder<'a> {
     }
 }
 
+/// Histogram-path builder: bins hold (gradient, hessian, count) sums.
+/// The regression tree never sub-samples features, so sibling
+/// subtraction is always valid.
+struct RegHistBuilder<'a> {
+    bins: &'a BinIndex,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    cfg: &'a RegTreeConfig,
+    layout: HistLayout,
+    nodes: Vec<FlatNode>,
+    pool: &'a mut Vec<Vec<BinStat>>,
+}
+
+impl<'a> RegHistBuilder<'a> {
+    fn alloc_hist(&mut self) -> Vec<BinStat> {
+        let mut h = self.pool.pop().unwrap_or_default();
+        h.resize(self.layout.total(), BinStat::default());
+        h
+    }
+
+    fn free_hist(&mut self, h: Vec<BinStat>) {
+        self.pool.push(h);
+    }
+
+    fn leaf(&mut self, g: f64, h: f64) -> u32 {
+        let value = -g / (h + self.cfg.lambda);
+        self.nodes.push(FlatNode::leaf(value));
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn surely_leaf(&self, depth: usize, n: usize) -> bool {
+        depth >= self.cfg.max_depth || n < self.cfg.min_samples_split
+    }
+
+    fn build(&mut self, rows: &mut [u32], depth: usize, hist_in: Option<Vec<BinStat>>) -> u32 {
+        let mut g = 0.0;
+        let mut h = 0.0;
+        for &r in rows.iter() {
+            g += self.grad[r as usize];
+            h += self.hess[r as usize];
+        }
+        if depth >= self.cfg.max_depth
+            || rows.len() < self.cfg.min_samples_split
+            || (depth > 0 && spe_runtime::budget_exceeded())
+        {
+            if let Some(hist) = hist_in {
+                self.free_hist(hist);
+            }
+            return self.leaf(g, h);
+        }
+
+        let hist = match hist_in {
+            Some(hb) => hb,
+            None => {
+                let mut hb = self.alloc_hist();
+                histogram::accumulate(self.bins, rows, self.grad, self.hess, &self.layout, &mut hb);
+                hb
+            }
+        };
+        let Some((feature, bin)) = self.best_split(&hist, rows.len(), g, h) else {
+            self.free_hist(hist);
+            return self.leaf(g, h);
+        };
+
+        let codes = self.bins.feature_codes(feature);
+        let split_bin = bin as u8;
+        let mid = crate::tree_util::partition(rows, |&r| codes[r as usize] <= split_bin);
+        if mid == 0 || mid == rows.len() {
+            self.free_hist(hist);
+            return self.leaf(g, h);
+        }
+
+        self.nodes.push(FlatNode::leaf(0.0));
+        let me = (self.nodes.len() - 1) as u32;
+        let (lrows, rrows) = rows.split_at_mut(mid);
+
+        let need_children =
+            !self.surely_leaf(depth + 1, lrows.len()) || !self.surely_leaf(depth + 1, rrows.len());
+        let (lh, rh) = if need_children {
+            let mut parent = hist;
+            let mut child = self.alloc_hist();
+            let (small, child_is_left) = if lrows.len() <= rrows.len() {
+                (&*lrows, true)
+            } else {
+                (&*rrows, false)
+            };
+            histogram::accumulate(
+                self.bins,
+                small,
+                self.grad,
+                self.hess,
+                &self.layout,
+                &mut child,
+            );
+            histogram::subtract(&mut parent, &child);
+            if child_is_left {
+                (Some(child), Some(parent))
+            } else {
+                (Some(parent), Some(child))
+            }
+        } else {
+            self.free_hist(hist);
+            (None, None)
+        };
+
+        let left = self.build(lrows, depth + 1, lh);
+        let right = self.build(rrows, depth + 1, rh);
+        self.nodes[me as usize] = FlatNode {
+            feature: feature as u32,
+            left,
+            right,
+            value: self.bins.cut(feature, bin),
+        };
+        me
+    }
+
+    fn best_split(
+        &self,
+        hist: &[BinStat],
+        n_node: usize,
+        g_all: f64,
+        h_all: f64,
+    ) -> Option<(usize, usize)> {
+        let lambda = self.cfg.lambda;
+        let parent_score = g_all * g_all / (h_all + lambda);
+        let min_leaf = self.cfg.min_samples_leaf;
+        let mut best_gain = self.cfg.min_gain;
+        let mut best = None;
+        for f in 0..self.bins.n_features() {
+            let stats = &hist[self.layout.feature_range(f)];
+            let mut g_l = 0.0;
+            let mut h_l = 0.0;
+            let mut n_left = 0usize;
+            for (b, s) in stats.iter().enumerate().take(stats.len().saturating_sub(1)) {
+                g_l += s.a;
+                h_l += s.b;
+                n_left += s.n as usize;
+                let n_right = n_node - n_left;
+                if n_left == 0 || n_right == 0 {
+                    continue;
+                }
+                if n_left < min_leaf || n_right < min_leaf {
+                    continue;
+                }
+                let g_r = g_all - g_l;
+                let h_r = h_all - h_l;
+                let gain = g_l * g_l / (h_l + lambda) + g_r * g_r / (h_r + lambda) - parent_score;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = Some((f, b));
+                }
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +422,13 @@ mod tests {
         let grad: Vec<f64> = targets.iter().map(|t| -t).collect();
         let hess = vec![1.0; targets.len()];
         RegTree::fit(x, &grad, &hess, cfg)
+    }
+
+    fn fit_mean_binned(x: &Matrix, targets: &[f64], cfg: &RegTreeConfig) -> RegTree {
+        let grad: Vec<f64> = targets.iter().map(|t| -t).collect();
+        let hess = vec![1.0; targets.len()];
+        let bins = BinIndex::build(x, 64);
+        RegTree::fit_binned(&bins, &grad, &hess, cfg)
     }
 
     #[test]
@@ -292,6 +501,64 @@ mod tests {
         };
         let tree = fit_mean(&x, &t, &cfg);
         // The outlier at x=0 cannot be isolated; its leaf mean is 5.
+        assert!((tree.predict_one(&[0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    // ---- histogram engine ----
+
+    #[test]
+    fn binned_fits_step_function() {
+        let x = Matrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        let t = vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let cfg = RegTreeConfig {
+            lambda: 0.0,
+            ..RegTreeConfig::default()
+        };
+        let tree = fit_mean_binned(&x, &t, &cfg);
+        assert!((tree.predict_one(&[1.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[11.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_matches_exact_on_low_cardinality_data() {
+        use spe_data::SeededRng;
+        let mut rng = SeededRng::new(5);
+        let n = 300;
+        let mut x = Matrix::with_capacity(n, 2);
+        let mut t = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.below(10) as f64;
+            let b = rng.below(10) as f64;
+            t.push(a * 2.0 + b);
+            x.push_row(&[a, b]);
+        }
+        let cfg = RegTreeConfig {
+            max_depth: 4,
+            lambda: 0.0,
+            ..RegTreeConfig::default()
+        };
+        let exact = fit_mean(&x, &t, &cfg);
+        let binned = fit_mean_binned(&x, &t, &cfg);
+        for row in x.iter_rows() {
+            let a = exact.predict_one(row);
+            let b = binned.predict_one(row);
+            assert!((a - b).abs() < 1e-9, "exact {a} vs binned {b}");
+        }
+    }
+
+    #[test]
+    fn binned_min_samples_leaf_enforced() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let t = vec![10.0, 0.0, 0.0, 0.0];
+        let grad: Vec<f64> = t.iter().map(|v| -v).collect();
+        let hess = vec![1.0; 4];
+        let cfg = RegTreeConfig {
+            min_samples_leaf: 2,
+            lambda: 0.0,
+            ..RegTreeConfig::default()
+        };
+        let bins = BinIndex::build(&x, 8);
+        let tree = RegTree::fit_binned(&bins, &grad, &hess, &cfg);
         assert!((tree.predict_one(&[0.0]) - 5.0).abs() < 1e-9);
     }
 }

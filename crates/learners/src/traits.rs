@@ -1,6 +1,6 @@
 //! The `Learner` / `Model` trait pair every classifier implements.
 
-use spe_data::{Matrix, SpeError};
+use spe_data::{BinIndex, Matrix, MatrixView, SpeError};
 use std::sync::Arc;
 
 /// A trained classifier: immutable, thread-safe, probability-scoring.
@@ -11,6 +11,16 @@ pub trait Model: Send + Sync {
     /// margin (SVM, AdaBoost) squash it into this range so the hardness
     /// functions of SPE remain well-defined.
     fn predict_proba(&self, x: &Matrix) -> Vec<f64>;
+
+    /// [`Model::predict_proba`] over a borrowed row view.
+    ///
+    /// Batch predictors chunk their input across threads; this entry
+    /// point lets models score a chunk without the row-copy that
+    /// `Matrix::row_range` pays. The default falls back to copying, so
+    /// only hot models (trees, ensembles, KNN) need an override.
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        self.predict_proba(&x.to_matrix())
+    }
 
     /// Hard 0/1 labels at the 0.5 probability threshold.
     fn predict(&self, x: &Matrix) -> Vec<u8> {
@@ -70,10 +80,58 @@ pub trait Learner: Send + Sync {
 
     /// Short display name used in experiment tables (e.g. `"DT"`).
     fn name(&self) -> &'static str;
+
+    /// Downcast hook for learners that can train on a pre-built
+    /// [`BinIndex`]. Ensembles holding `Arc<dyn Learner>` call this to
+    /// decide whether to bin the dataset once and share the index across
+    /// members; the default (`None`) keeps every other learner on the
+    /// regular `fit` path.
+    fn as_binned(&self) -> Option<&dyn BinnedLearner> {
+        None
+    }
 }
 
 /// Shared, thread-safe handle to a learner configuration.
 pub type SharedLearner = Arc<dyn Learner>;
+
+/// What a [`BinnedLearner`] wants from the caller-built bin index.
+#[derive(Clone, Copy, Debug)]
+pub struct BinRequest {
+    /// Minimum training-set size for the binned path to pay off; below
+    /// this the caller should use the plain `fit` path instead.
+    pub min_rows: usize,
+    /// Bin budget per feature to build the index with (≤ 256).
+    pub max_bins: usize,
+}
+
+/// A dataset in pre-binned form: the shared [`BinIndex`] plus labels
+/// (and optional weights) for **all** of its rows. Members train on row
+/// subsets of this one immutable structure.
+#[derive(Clone, Copy)]
+pub struct BinnedProblem<'a> {
+    /// Bin index built once over the full training pool.
+    pub bins: &'a BinIndex,
+    /// Labels, one per row of `bins`.
+    pub y: &'a [u8],
+    /// Optional per-sample weights, one per row of `bins`.
+    pub weights: Option<&'a [f64]>,
+}
+
+/// A learner that can train on row subsets of a shared [`BinIndex`],
+/// letting an ensemble amortize feature quantization across all of its
+/// members. Object-safe so `Arc<dyn Learner>` holders can reach it via
+/// [`Learner::as_binned`].
+pub trait BinnedLearner: Send + Sync {
+    /// Binning parameters, or `None` when this learner's configuration
+    /// (e.g. [`SplitMethod::Exact`](crate::tree::SplitMethod)) rules the
+    /// histogram path out entirely.
+    fn bin_request(&self) -> Option<BinRequest>;
+
+    /// Trains on the subset `rows` (indices into `problem.bins`, repeats
+    /// allowed for bootstraps). Must be deterministic in
+    /// `(problem, rows, seed)` regardless of thread count.
+    fn fit_on_bins(&self, problem: &BinnedProblem<'_>, rows: &[u32], seed: u64) -> Box<dyn Model>;
+}
 
 /// Validates the structural `fit` preconditions every learner shares:
 /// matching lengths, a non-empty dataset, and finite non-negative
@@ -171,6 +229,10 @@ pub struct ConstantModel(pub f64);
 
 impl Model for ConstantModel {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        vec![self.0; x.rows()]
+    }
+
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         vec![self.0; x.rows()]
     }
 }

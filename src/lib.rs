@@ -62,8 +62,8 @@ pub mod prelude {
         SelfPacedEnsembleBuilder, SelfPacedEnsembleConfig, SelfPacedSampler,
     };
     pub use spe_data::{
-        stratified_k_fold, train_val_test_split, Dataset, Matrix, SanitizePolicy, SanitizeReport,
-        Sanitizer, SeededRng, SpeError, Standardizer, StratifiedSplit,
+        stratified_k_fold, train_val_test_split, BinIndex, Dataset, Matrix, SanitizePolicy,
+        SanitizeReport, Sanitizer, SeededRng, SpeError, Standardizer, StratifiedSplit,
     };
     pub use spe_datasets::{
         checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim, record_linkage_sim,
@@ -75,7 +75,7 @@ pub mod prelude {
     pub use spe_learners::{
         AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GaussianNbConfig, GbdtConfig, KnnConfig,
         Learner, LogisticRegressionConfig, MlpConfig, Model, RandomForestConfig, SharedLearner,
-        SvmConfig,
+        SplitMethod, SvmConfig,
     };
     pub use spe_metrics::{aucprc, ConfusionMatrix, MeanStd, MetricSet, RunAggregator};
     pub use spe_runtime::{fork_seed, fork_seeds, Runtime, TrainingBudget};
