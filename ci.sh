@@ -12,6 +12,9 @@ cargo test -q --workspace
 echo "==> cargo test -q -p spe-learners --features fault-injection (fault-injection suite)"
 cargo test -q -p spe-learners --features fault-injection
 
+echo "==> cargo test -q --test persistence (save/load round-trip suite)"
+cargo test -q --test persistence
+
 echo "==> cargo test -q --doc"
 cargo test -q --doc
 
@@ -24,6 +27,19 @@ repo_root="$(pwd)"
 smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$repo_root/target/release/bench_train" --quick)
 rm -rf "$smoke_dir"
+
+echo "==> spe_score round trip (fit-save vs load-score predictions must be bit-identical)"
+cargo build --release -p spe-serve --bin spe_score
+score_dir="$(mktemp -d)"
+spe_score="$repo_root/target/release/spe_score"
+"$spe_score" gen        --out "$score_dir/data.csv" --rows 2000 --seed 7
+"$spe_score" fit-save   --train "$score_dir/data.csv" --out "$score_dir/model.spe" \
+                        --members 5 --preds "$score_dir/p1.csv"
+"$spe_score" load-score --model "$score_dir/model.spe" --input "$score_dir/data.csv" \
+                        --out "$score_dir/p2.csv"
+"$spe_score" inspect    --model "$score_dir/model.spe"
+cmp "$score_dir/p1.csv" "$score_dir/p2.csv"
+rm -rf "$score_dir"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,172 @@
+//! Serving benchmark: single-row scoring versus the batched engine
+//! paths on a trained SPE, plus the submit-path latency distribution.
+//! Results land in `BENCH_serve.json`.
+//!
+//! The claim under test: batching amortizes per-call dispatch and
+//! allocation overhead and unlocks the thread pool, so batch-64 scoring
+//! should clear at least 3x the single-row throughput.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin bench_serve            # full
+//! cargo run --release -p spe-bench --bin bench_serve -- --quick # smoke
+//! ```
+
+use spe_bench::harness::Args;
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::Matrix;
+use spe_learners::Model;
+use spe_serve::{EngineConfig, ScoringEngine};
+use std::time::Instant;
+
+fn rows_per_sec(rows: usize, secs: f64) -> f64 {
+    rows as f64 / secs.max(1e-9)
+}
+
+/// Scores `x` one row at a time through plain `predict_proba` — the
+/// floor an application scoring events directly on the model would pay.
+fn raw_single_row_secs(model: &dyn Model, x: &Matrix) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0.0;
+    for i in 0..x.rows() {
+        acc += model.predict_proba(&x.row_range(i..i + 1))[0];
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(acc.is_finite());
+    secs
+}
+
+/// Scores `x` through the engine's direct path in `batch`-row slices.
+/// `batch = 1` is the per-event serving baseline the batched calls are
+/// compared against — same interface, different request shape.
+fn batched_secs(engine: &ScoringEngine, x: &Matrix, batch: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut start = 0;
+    while start < x.rows() {
+        let end = (start + batch).min(x.rows());
+        engine
+            .score_matrix(&x.row_range(start..end))
+            .unwrap_or_else(|e| panic!("{e}"));
+        start = end;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` wall time — single-core CI boxes jitter enough that
+/// one cold pass can swing a throughput ratio by tens of percent.
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(1);
+    let (train_rows, score_rows, members) = if args.quick {
+        (4_000, 1_000, 5)
+    } else {
+        (args.sized(40_000), args.sized(20_000), 10)
+    };
+    let train = spe_datasets::credit_fraud_sim(train_rows, 7);
+    let score = spe_datasets::credit_fraud_sim(score_rows, 8);
+    eprintln!(
+        "bench_serve: {} train rows, {} score rows x {} features, {} members, {} thread(s)",
+        train.len(),
+        score.len(),
+        score.x().cols(),
+        members,
+        spe_runtime::current_threads()
+    );
+
+    let cfg = SelfPacedEnsembleConfig::builder()
+        .n_estimators(members)
+        .build()?;
+    let model = cfg.try_fit_dataset(&train, 42)?;
+    let engine = ScoringEngine::new(
+        Box::new(cfg.try_fit_dataset(&train, 42)?),
+        score.x().cols(),
+        EngineConfig::default(),
+    );
+
+    let reps = if args.quick { 2 } else { 3 };
+
+    eprintln!("scoring single-row (raw model) ...");
+    let raw_single_secs = best_of(reps, || raw_single_row_secs(&model, score.x()));
+    let raw_single_rps = rows_per_sec(score.len(), raw_single_secs);
+    eprintln!("  {raw_single_rps:.0} rows/s");
+
+    eprintln!("scoring single-row (engine, batch=1) ...");
+    let single_secs = best_of(reps, || batched_secs(&engine, score.x(), 1));
+    let single_rps = rows_per_sec(score.len(), single_secs);
+    eprintln!("  {single_rps:.0} rows/s");
+
+    let mut batch_results = Vec::new();
+    for batch in [64usize, 256, 4096] {
+        eprintln!("scoring batched ({batch}) ...");
+        let secs = best_of(reps, || batched_secs(&engine, score.x(), batch));
+        let rps = rows_per_sec(score.len(), secs);
+        eprintln!("  {rps:.0} rows/s ({:.2}x single-row)", rps / single_rps);
+        batch_results.push((batch, secs, rps));
+    }
+
+    // Submit-path micro-batching: queue rows one by one and let the
+    // scheduler coalesce them, then read its latency percentiles.
+    eprintln!("scoring via submit queue ...");
+    let submit_rows = score.len().min(2_000);
+    let t0 = Instant::now();
+    let mut pending = Vec::with_capacity(submit_rows);
+    for i in 0..submit_rows {
+        // On QueueFull, do what a real client under backpressure does:
+        // back off briefly and retry.
+        loop {
+            match engine.submit(score.x().row(i)) {
+                Ok(p) => break pending.push(p),
+                Err(spe_serve::ServeError::QueueFull { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    for p in pending {
+        p.wait().unwrap_or_else(|e| panic!("{e}"));
+    }
+    let submit_secs = t0.elapsed().as_secs_f64();
+    let submit_rps = submit_rows as f64 / submit_secs.max(1e-9);
+    let stats = engine.stats();
+    eprintln!(
+        "  {submit_rps:.0} rows/s in {} batches, p50 {}us p99 {}us",
+        stats.batches, stats.p50_batch_latency_us, stats.p99_batch_latency_us
+    );
+
+    let speedup64 = batch_results[0].2 / single_rps.max(1e-9);
+    let batches_json: Vec<String> = batch_results
+        .iter()
+        .map(|(batch, secs, rps)| {
+            format!(
+                "    {{\n      \"batch\": {batch},\n      \"seconds\": {secs:.4},\n      \"rows_per_sec\": {rps:.1},\n      \"speedup_vs_single\": {:.3}\n    }}",
+                rps / single_rps.max(1e-9)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"score_rows\": {},\n  \"features\": {},\n  \"members\": {},\n  \"threads\": {},\n  \"single_row_raw_model\": {{\n    \"seconds\": {:.4},\n    \"rows_per_sec\": {:.1}\n  }},\n  \"single_row\": {{\n    \"seconds\": {:.4},\n    \"rows_per_sec\": {:.1}\n  }},\n  \"batched\": [\n{}\n  ],\n  \"submit_queue\": {{\n    \"rows\": {},\n    \"rows_per_sec\": {:.1},\n    \"batches\": {},\n    \"p50_batch_latency_us\": {},\n    \"p99_batch_latency_us\": {},\n    \"queue_high_water\": {}\n  }},\n  \"speedup_batch64\": {:.3}\n}}\n",
+        score.len(),
+        score.x().cols(),
+        members,
+        spe_runtime::current_threads(),
+        raw_single_secs,
+        raw_single_rps,
+        single_secs,
+        single_rps,
+        batches_json.join(",\n"),
+        submit_rows,
+        submit_rps,
+        stats.batches,
+        stats.p50_batch_latency_us,
+        stats.p99_batch_latency_us,
+        stats.queue_high_water,
+        speedup64
+    );
+    let out = std::path::Path::new("BENCH_serve.json");
+    std::fs::write(out, &json)?;
+    eprintln!("batch-64 speedup {speedup64:.2}x -> {}", out.display());
+    Ok(())
+}

@@ -5,6 +5,7 @@ use crate::report::{FitReport, MemberOutcome};
 use crate::sampler::{AlphaSchedule, SelfPacedSampler};
 use spe_data::{BinIndex, Dataset, Matrix, SanitizePolicy, Sanitizer, SeededRng, SpeError};
 use spe_learners::ensemble::SoftVoteEnsemble;
+use spe_learners::persist::ModelSnapshot;
 use spe_learners::traits::{
     validate_fit_inputs, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner,
 };
@@ -358,7 +359,7 @@ impl SelfPacedEnsembleConfig {
         };
         Ok((
             SelfPacedEnsemble {
-                inner: SoftVoteEnsemble::new(models),
+                inner: SoftVoteEnsemble::try_new(models)?,
                 alphas,
                 report,
             },
@@ -464,11 +465,58 @@ impl SelfPacedEnsemble {
     pub fn predict_proba_prefix(&self, x: &Matrix, k: usize) -> Vec<f64> {
         self.inner.predict_proba_prefix(x, k)
     }
+
+    /// Rebuilds a typed SPE from a persisted [`ModelSnapshot`].
+    ///
+    /// Only [`ModelSnapshot::SelfPaced`] is accepted — other kinds come
+    /// back as [`SpeError::InvalidConfig`] so loaders can surface a
+    /// precise mismatch. The restored ensemble predicts bit-identically
+    /// to the one the snapshot was taken from and keeps its recorded
+    /// `alphas`; the [`FitReport`] is not persisted, so `fit_report()`
+    /// on a loaded model is empty-but-clean.
+    pub fn from_snapshot(snapshot: ModelSnapshot) -> Result<Self, SpeError> {
+        match snapshot {
+            ModelSnapshot::SelfPaced { alphas, members } => {
+                if alphas.len() != members.len() {
+                    return Err(SpeError::DimensionMismatch {
+                        what: "alpha/member",
+                        expected: members.len(),
+                        got: alphas.len(),
+                    });
+                }
+                let models = members.into_iter().map(ModelSnapshot::restore).collect();
+                Ok(Self {
+                    inner: SoftVoteEnsemble::try_new(models)?,
+                    alphas,
+                    report: FitReport::default(),
+                })
+            }
+            other => Err(SpeError::InvalidConfig(format!(
+                "cannot rebuild an SPE from a {:?} snapshot",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 impl Model for SelfPacedEnsemble {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         self.inner.predict_proba(x)
+    }
+
+    /// `Some` only when every member is snapshottable (always true for
+    /// the built-in base learners).
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        let members = self
+            .inner
+            .models()
+            .iter()
+            .map(|m| m.snapshot())
+            .collect::<Option<Vec<_>>>()?;
+        Some(ModelSnapshot::SelfPaced {
+            alphas: self.alphas.clone(),
+            members,
+        })
     }
 }
 

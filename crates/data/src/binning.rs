@@ -131,6 +131,39 @@ impl BinIndex {
     }
 }
 
+impl serde::Serialize for BinIndex {
+    fn serialize(&self, w: &mut serde::Writer) {
+        serde::Serialize::serialize(&self.n_rows, w);
+        serde::Serialize::serialize(&self.cuts, w);
+        serde::Serialize::serialize(&self.codes, w);
+    }
+}
+
+impl serde::Deserialize for BinIndex {
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::DecodeError> {
+        let n_rows = <usize as serde::Deserialize>::deserialize(r)?;
+        let cuts = <Vec<Vec<f64>> as serde::Deserialize>::deserialize(r)?;
+        let codes = <Vec<u8> as serde::Deserialize>::deserialize(r)?;
+        if cuts.len().checked_mul(n_rows) != Some(codes.len()) {
+            return Err(serde::DecodeError::Invalid(format!(
+                "bin-index code buffer length {} does not match {} features x {n_rows} rows",
+                codes.len(),
+                cuts.len()
+            )));
+        }
+        if cuts.iter().any(|c| c.len() >= MAX_BINS) {
+            return Err(serde::DecodeError::Invalid(
+                "bin-index feature exceeds 256 bins".into(),
+            ));
+        }
+        Ok(Self {
+            n_rows,
+            cuts,
+            codes,
+        })
+    }
+}
+
 /// Bin code of `v` against ascending `cuts`: the number of cuts below
 /// `v` under `total_cmp` ordering, so `NaN` lands in the last bin.
 #[inline]

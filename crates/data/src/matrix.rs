@@ -322,6 +322,29 @@ impl<'a> MatrixView<'a> {
     }
 }
 
+impl serde::Serialize for Matrix {
+    fn serialize(&self, w: &mut serde::Writer) {
+        serde::Serialize::serialize(&self.rows, w);
+        serde::Serialize::serialize(&self.cols, w);
+        serde::Serialize::serialize(&self.data, w);
+    }
+}
+
+impl serde::Deserialize for Matrix {
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::DecodeError> {
+        let rows = <usize as serde::Deserialize>::deserialize(r)?;
+        let cols = <usize as serde::Deserialize>::deserialize(r)?;
+        let data = <Vec<f64> as serde::Deserialize>::deserialize(r)?;
+        if rows.checked_mul(cols) != Some(data.len()) {
+            return Err(serde::DecodeError::Invalid(format!(
+                "matrix buffer length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Self { data, rows, cols })
+    }
+}
+
 /// Squared Euclidean distance between two equal-length slices.
 ///
 /// Hot kernel for k-NN and every distance-based re-sampler; kept free of

@@ -127,6 +127,8 @@ impl Standardizer {
     }
 }
 
+serde::impl_serde!(Standardizer { means, scales });
+
 #[cfg(test)]
 mod tests {
     use super::*;

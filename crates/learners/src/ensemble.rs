@@ -1,8 +1,9 @@
 //! Ensemble plumbing shared by Bagging/Random Forest here and by every
 //! imbalance ensemble (Easy, Cascade, SPE, ...) in the sibling crates.
 
+use crate::persist::ModelSnapshot;
 use crate::traits::{BinnedLearner, BinnedProblem, Learner, Model};
-use spe_data::{Matrix, MatrixView};
+use spe_data::{Matrix, MatrixView, SpeError};
 
 /// Soft-voting ensemble: averages member probabilities
 /// (`F(x) = 1/n Σ f_m(x)`, exactly the combination rule of Algorithm 1).
@@ -16,8 +17,19 @@ impl SoftVoteEnsemble {
     /// # Panics
     /// Panics when `models` is empty.
     pub fn new(models: Vec<Box<dyn Model>>) -> Self {
-        assert!(!models.is_empty(), "ensemble needs at least one model");
-        Self { models }
+        Self::try_new(models).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`Self::new`]: an empty member list comes
+    /// back as [`SpeError::InvalidConfig`] instead of a panic, so
+    /// validated fit paths can propagate it with `?`.
+    pub fn try_new(models: Vec<Box<dyn Model>>) -> Result<Self, SpeError> {
+        if models.is_empty() {
+            return Err(SpeError::InvalidConfig(
+                "ensemble needs at least one model".into(),
+            ));
+        }
+        Ok(Self { models })
     }
 
     /// Number of members.
@@ -78,6 +90,16 @@ impl Model for SoftVoteEnsemble {
 
     fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         self.predict_proba_prefix_view(x, self.models.len())
+    }
+
+    /// `Some` only when *every* member is itself snapshottable.
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        let members = self
+            .models
+            .iter()
+            .map(|m| m.snapshot())
+            .collect::<Option<Vec<_>>>()?;
+        Some(ModelSnapshot::SoftVote(members))
     }
 }
 

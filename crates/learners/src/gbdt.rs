@@ -8,6 +8,7 @@
 //! log-loss fails to improve for `patience` consecutive rounds.
 
 use crate::logistic::sigmoid;
+use crate::persist::ModelSnapshot;
 use crate::regtree::{RegTree, RegTreeConfig};
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
@@ -71,11 +72,17 @@ impl GbdtConfig {
     }
 }
 
-struct GbdtModel {
+/// A trained GBDT: base score, shrinkage and the boosted tree sequence.
+/// Public so persisted models can name the type; all state stays
+/// private.
+#[derive(Clone)]
+pub struct GbdtModel {
     f0: f64,
     eta: f64,
     trees: Vec<RegTree>,
 }
+
+serde::impl_serde!(GbdtModel { f0, eta, trees });
 
 impl GbdtModel {
     fn raw_scores(&self, x: &Matrix) -> Vec<f64> {
@@ -90,6 +97,10 @@ impl GbdtModel {
 impl Model for GbdtModel {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         self.raw_scores(x).into_iter().map(sigmoid).collect()
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Gbdt(self.clone()))
     }
 }
 

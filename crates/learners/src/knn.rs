@@ -5,6 +5,7 @@
 //! the weighted positive fraction among the k nearest training points.
 
 use crate::neighbors::{knn_batch_view, Neighbor};
+use crate::persist::ModelSnapshot;
 use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
 use spe_data::{Matrix, MatrixView};
 
@@ -29,12 +30,18 @@ impl KnnConfig {
     }
 }
 
-struct KnnModel {
+/// A trained KNN model: the memorized (optionally weighted) training
+/// set plus `k`. Public so persisted models can name the type; all
+/// state stays private.
+#[derive(Clone)]
+pub struct KnnModel {
     k: usize,
     x: Matrix,
     y: Vec<u8>,
     w: Option<Vec<f64>>,
 }
+
+serde::impl_serde!(KnnModel { k, x, y, w });
 
 impl KnnModel {
     fn vote(&self, neigh: &[Neighbor]) -> f64 {
@@ -63,6 +70,10 @@ impl Model for KnnModel {
     fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let hits = knn_batch_view(&self.x, x, self.k.min(self.x.rows()), false);
         hits.into_iter().map(|neigh| self.vote(&neigh)).collect()
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Knn(self.clone()))
     }
 }
 

@@ -32,6 +32,7 @@ pub mod logistic;
 pub mod mlp;
 pub mod naive_bayes;
 pub mod neighbors;
+pub mod persist;
 pub mod regtree;
 pub mod svm;
 pub mod traits;
@@ -44,11 +45,12 @@ pub use ensemble::{fit_parallel, SoftVoteEnsemble};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultPlan, FaultyLearner, NanModel};
 pub use forest::RandomForestConfig;
-pub use gbdt::GbdtConfig;
-pub use knn::KnnConfig;
-pub use logistic::LogisticRegressionConfig;
+pub use gbdt::{GbdtConfig, GbdtModel};
+pub use knn::{KnnConfig, KnnModel};
+pub use logistic::{LogisticModel, LogisticRegressionConfig};
 pub use mlp::MlpConfig;
 pub use naive_bayes::GaussianNbConfig;
-pub use svm::SvmConfig;
+pub use persist::ModelSnapshot;
+pub use svm::{SvmConfig, SvmModel};
 pub use traits::{BinRequest, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner};
 pub use tree::{DecisionTreeConfig, SplitCriterion, SplitMethod, TreeModel};

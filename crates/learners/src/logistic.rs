@@ -4,6 +4,7 @@
 //! calibrator for the SVM. Features are standardized internally (fit on
 //! the training data), so raw, arbitrarily-scaled inputs are fine.
 
+use crate::persist::ModelSnapshot;
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
@@ -47,11 +48,21 @@ impl Default for LogisticRegressionConfig {
     }
 }
 
-struct LogisticModel {
+/// A trained logistic-regression model (standardizer + linear weights).
+/// Public so persisted models can name the type; all state stays
+/// private.
+#[derive(Clone)]
+pub struct LogisticModel {
     scaler: Standardizer,
     weights: Vec<f64>,
     bias: f64,
 }
+
+serde::impl_serde!(LogisticModel {
+    scaler,
+    weights,
+    bias
+});
 
 impl LogisticModel {
     fn raw_score(&self, row_std: &[f64]) -> f64 {
@@ -72,6 +83,10 @@ impl Model for LogisticModel {
                 sigmoid(self.raw_score(&buf))
             })
             .collect()
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Logistic(self.clone()))
     }
 }
 

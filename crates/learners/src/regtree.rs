@@ -54,6 +54,13 @@ struct FlatNode {
     value: f64,
 }
 
+serde::impl_serde!(FlatNode {
+    feature,
+    left,
+    right,
+    value
+});
+
 impl FlatNode {
     #[inline]
     fn leaf(value: f64) -> Self {
@@ -67,8 +74,41 @@ impl FlatNode {
 }
 
 /// A fitted regression tree producing additive raw scores.
+#[derive(Clone)]
 pub struct RegTree {
     nodes: Vec<FlatNode>,
+}
+
+impl serde::Serialize for RegTree {
+    fn serialize(&self, w: &mut serde::Writer) {
+        serde::Serialize::serialize(&self.nodes, w);
+    }
+}
+
+impl serde::Deserialize for RegTree {
+    /// Decodes with the same parent-before-child arena validation as
+    /// [`crate::tree::TreeModel`], so a decoded tree cannot loop or
+    /// escape the arena while scoring.
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::DecodeError> {
+        let nodes = <Vec<FlatNode> as serde::Deserialize>::deserialize(r)?;
+        if nodes.is_empty() {
+            return Err(serde::DecodeError::Invalid("empty tree arena".into()));
+        }
+        let n = nodes.len() as u32;
+        for (i, node) in nodes.iter().enumerate() {
+            if node.feature == LEAF {
+                continue;
+            }
+            let i = i as u32;
+            if node.left <= i || node.right <= i || node.left >= n || node.right >= n {
+                return Err(serde::DecodeError::Invalid(format!(
+                    "tree node {i} has out-of-order children ({}, {})",
+                    node.left, node.right
+                )));
+            }
+        }
+        Ok(Self { nodes })
+    }
 }
 
 impl RegTree {

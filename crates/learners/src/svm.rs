@@ -9,6 +9,7 @@
 //! 1-D logistic fit on the training margins (see `DESIGN.md`).
 
 use crate::logistic::sigmoid;
+use crate::persist::ModelSnapshot;
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
@@ -59,6 +60,7 @@ impl SvmConfig {
 }
 
 /// Random Fourier feature map (fixed once sampled).
+#[derive(Clone)]
 struct RffMap {
     /// `rff_dim x d` projection matrix, row-major.
     omega: Vec<f64>,
@@ -99,7 +101,18 @@ impl RffMap {
     }
 }
 
-struct SvmModel {
+serde::impl_serde!(RffMap {
+    omega,
+    offsets,
+    dim_in,
+    scale
+});
+
+/// A trained (approximate-RBF) SVM: standardizer, optional RFF map,
+/// linear weights and Platt calibration. Public so persisted models can
+/// name the type; all state stays private.
+#[derive(Clone)]
+pub struct SvmModel {
     scaler: Standardizer,
     rff: Option<RffMap>,
     weights: Vec<f64>,
@@ -108,6 +121,15 @@ struct SvmModel {
     platt_a: f64,
     platt_b: f64,
 }
+
+serde::impl_serde!(SvmModel {
+    scaler,
+    rff,
+    weights,
+    bias,
+    platt_a,
+    platt_b
+});
 
 impl SvmModel {
     fn margin(&self, row: &[f64], std_buf: &mut Vec<f64>, rff_buf: &mut Vec<f64>) -> f64 {
@@ -137,6 +159,10 @@ impl Model for SvmModel {
                 sigmoid(self.platt_a * m + self.platt_b)
             })
             .collect()
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Svm(self.clone()))
     }
 }
 

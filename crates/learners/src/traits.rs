@@ -1,5 +1,6 @@
 //! The `Learner` / `Model` trait pair every classifier implements.
 
+use crate::persist::ModelSnapshot;
 use spe_data::{BinIndex, Matrix, MatrixView, SpeError};
 use std::sync::Arc;
 
@@ -28,6 +29,18 @@ pub trait Model: Send + Sync {
             .into_iter()
             .map(|p| u8::from(p >= 0.5))
             .collect()
+    }
+
+    /// Serializable snapshot of this model, or `None` when the model
+    /// does not support persistence.
+    ///
+    /// Every built-in model with a stable on-disk representation (trees,
+    /// KNN, LR, SVM, GBDT and the soft-vote ensembles built from them)
+    /// overrides this; the default keeps the trait object-safe and lets
+    /// user-defined models opt out — the serving layer reports those as
+    /// a typed "unsupported model" error rather than panicking.
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        None
     }
 }
 
@@ -234,6 +247,10 @@ impl Model for ConstantModel {
 
     fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         vec![self.0; x.rows()]
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Constant(self.0))
     }
 }
 

@@ -23,6 +23,7 @@
 //! chasing.
 
 use crate::histogram::{self, BinStat, HistLayout};
+use crate::persist::ModelSnapshot;
 use crate::traits::{
     check_fit_inputs, effective_weights, BinRequest, BinnedLearner, BinnedProblem, ConstantModel,
     Learner, Model,
@@ -178,6 +179,13 @@ struct FlatNode {
     value: f64,
 }
 
+serde::impl_serde!(FlatNode {
+    feature,
+    left,
+    right,
+    value
+});
+
 impl FlatNode {
     #[inline]
     fn leaf(proba: f64) -> Self {
@@ -191,8 +199,51 @@ impl FlatNode {
 }
 
 /// A trained decision tree (flat node arena; root at index 0).
+#[derive(Clone)]
 pub struct TreeModel {
     nodes: Vec<FlatNode>,
+}
+
+impl serde::Serialize for TreeModel {
+    fn serialize(&self, w: &mut serde::Writer) {
+        serde::Serialize::serialize(&self.nodes, w);
+    }
+}
+
+impl serde::Deserialize for TreeModel {
+    /// Decodes and structurally validates the arena: both builders push
+    /// a split node before its children, so `left`/`right` must point
+    /// strictly forward. Enforcing that on decode means a decoded tree
+    /// can never loop or index outside the arena during prediction.
+    fn deserialize(r: &mut serde::Reader<'_>) -> Result<Self, serde::DecodeError> {
+        let nodes = <Vec<FlatNode> as serde::Deserialize>::deserialize(r)?;
+        validate_arena(&nodes).map_err(serde::DecodeError::Invalid)?;
+        Ok(Self { nodes })
+    }
+}
+
+/// Checks the parent-before-child invariant of a flat tree arena: the
+/// builders push a split node before its subtrees, so child indices
+/// point strictly forward. [`crate::regtree::RegTree`] performs the same
+/// check on its own (structurally identical) node type.
+fn validate_arena(nodes: &[FlatNode]) -> Result<(), String> {
+    if nodes.is_empty() {
+        return Err("empty tree arena".into());
+    }
+    let n = nodes.len() as u32;
+    for (i, node) in nodes.iter().enumerate() {
+        if node.feature == LEAF {
+            continue;
+        }
+        let i = i as u32;
+        if node.left <= i || node.right <= i || node.left >= n || node.right >= n {
+            return Err(format!(
+                "tree node {i} has out-of-order children ({}, {})",
+                node.left, node.right
+            ));
+        }
+    }
+    Ok(())
 }
 
 impl TreeModel {
@@ -239,6 +290,10 @@ impl Model for TreeModel {
 
     fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         x.iter_rows().map(|r| self.predict_one(r)).collect()
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(ModelSnapshot::Tree(self.clone()))
     }
 }
 

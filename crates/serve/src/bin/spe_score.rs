@@ -1,0 +1,197 @@
+//! `spe_score` — fit, persist, inspect and batch-score SPE models from
+//! the command line.
+//!
+//! ```sh
+//! spe_score gen        --out data.csv [--rows 4000] [--seed 7]
+//! spe_score fit-save   --train data.csv --out model.spe
+//!                      [--members 10] [--seed 42] [--preds preds.csv]
+//! spe_score load-score --model model.spe --input data.csv --out preds.csv
+//! spe_score inspect    --model model.spe
+//! ```
+//!
+//! `fit-save --preds` and `load-score` write the same prediction format
+//! (one `probability` column), so `cmp` between the two files is the
+//! canonical save→load bit-identity check used by `ci.sh`.
+
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::csv::{read_dataset, write_csv};
+use spe_learners::Model;
+use spe_serve::{load_envelope, load_model, save_model, ServeError};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  spe_score gen        --out <data.csv> [--rows N] [--seed S]
+  spe_score fit-save   --train <data.csv> --out <model.spe> [--members N] [--seed S] [--preds <preds.csv>]
+  spe_score load-score --model <model.spe> --input <data.csv> --out <preds.csv>
+  spe_score inspect    --model <model.spe>";
+
+/// Minimal `--flag value` parser over the args after the subcommand.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, String> {
+        Ok(PathBuf::from(self.require(name)?))
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} wants an integer, got {v:?}")),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} wants an integer, got {v:?}")),
+        }
+    }
+}
+
+fn write_predictions(path: &Path, probs: &[f64]) -> std::io::Result<()> {
+    let rows: Vec<Vec<f64>> = probs.iter().map(|&p| vec![p]).collect();
+    write_csv(path, &["probability"], &rows)
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let out = flags.path("out")?;
+    let rows = flags.usize_or("rows", 4000)?;
+    let seed = flags.u64_or("seed", 7)?;
+    let data = spe_datasets::credit_fraud_sim(rows, seed);
+    spe_data::csv::write_dataset(&out, &data).map_err(|e| e.to_string())?;
+    let pos = data.y().iter().filter(|&&l| l != 0).count();
+    eprintln!(
+        "wrote {} rows x {} features ({pos} positive) to {}",
+        data.len(),
+        data.x().cols(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_fit_save(flags: &Flags) -> Result<(), String> {
+    let train = flags.path("train")?;
+    let out = flags.path("out")?;
+    let members = flags.usize_or("members", 10)?;
+    let seed = flags.u64_or("seed", 42)?;
+    let data = read_dataset(&train).map_err(|e| e.to_string())?;
+    let cfg = SelfPacedEnsembleConfig::builder()
+        .n_estimators(members)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let model = cfg
+        .try_fit_dataset(&data, seed)
+        .map_err(|e| ServeError::from(e).to_string())?;
+    let metadata = vec![
+        ("trained_rows".into(), data.len().to_string()),
+        ("features".into(), data.x().cols().to_string()),
+        ("members".into(), model.len().to_string()),
+        ("seed".into(), seed.to_string()),
+    ];
+    save_model(&out, &model, metadata).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fit {} members on {} rows, saved to {}",
+        model.len(),
+        data.len(),
+        out.display()
+    );
+    if let Some(preds) = flags.get("preds") {
+        let probs = model.predict_proba(data.x());
+        write_predictions(Path::new(preds), &probs).map_err(|e| e.to_string())?;
+        eprintln!("wrote {} training-set predictions to {preds}", probs.len());
+    }
+    Ok(())
+}
+
+fn cmd_load_score(flags: &Flags) -> Result<(), String> {
+    let model_path = flags.path("model")?;
+    let input = flags.path("input")?;
+    let out = flags.path("out")?;
+    let model = load_model(&model_path).map_err(|e| e.to_string())?;
+    let data = read_dataset(&input).map_err(|e| e.to_string())?;
+    let probs = model.predict_proba(data.x());
+    write_predictions(&out, &probs).map_err(|e| e.to_string())?;
+    eprintln!(
+        "scored {} rows with {} -> {}",
+        probs.len(),
+        model_path.display(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<(), String> {
+    let model_path = flags.path("model")?;
+    let bytes = std::fs::read(&model_path).map_err(|e| e.to_string())?;
+    let env = load_envelope(&model_path).map_err(|e| e.to_string())?;
+    println!("file:     {}", model_path.display());
+    println!("size:     {} bytes", bytes.len());
+    println!("format:   v{}", spe_serve::FORMAT_VERSION);
+    println!("kind:     {}", env.model_kind);
+    println!("members:  {}", env.snapshot.n_members());
+    for (k, v) in &env.metadata {
+        println!("meta:     {k} = {v}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(&argv[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("spe_score: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "fit-save" => cmd_fit_save(&flags),
+        "load-score" => cmd_load_score(&flags),
+        "inspect" => cmd_inspect(&flags),
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("spe_score: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Micro-batching scoring engine.
+//!
+//! Single-row scoring of an ensemble is overhead-dominated: every call
+//! pays trait-object dispatch per member plus a handful of short-lived
+//! allocations, and none of it parallelizes. The engine amortizes that
+//! by queueing incoming rows and scoring them in batches — a dedicated
+//! scheduler thread drains the queue whenever `max_batch` rows are
+//! waiting or the oldest row has waited `max_delay`, whichever comes
+//! first. Batches are scored through the model's batch entry point,
+//! which fans out across the shared `spe-runtime` pool.
+//!
+//! The model lives behind an `RwLock<Arc<dyn Model>>` registry slot, so
+//! a retrained model can be hot-swapped with [`ScoringEngine::swap_model`]
+//! while requests are in flight: in-flight batches finish on the Arc
+//! they already cloned, later batches pick up the new model. Nothing
+//! blocks for longer than the pointer swap.
+
+use crate::error::ServeError;
+use crossbeam::deque::Injector;
+use parking_lot::{Condvar, Mutex, RwLock};
+use spe_data::Matrix;
+use spe_learners::Model;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the [`ScoringEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Rows per batch at which the scheduler flushes immediately.
+    pub max_batch: usize,
+    /// Longest a queued row waits before its (possibly short) batch is
+    /// flushed anyway. Bounds tail latency under light load.
+    pub max_delay: Duration,
+    /// Queue capacity; submissions beyond it fail fast with
+    /// [`ServeError::QueueFull`] so overload backpressures the caller
+    /// instead of growing an unbounded buffer.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Rolling latency window: enough batches to estimate a stable p99
+/// without unbounded growth.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Counters published by [`ScoringEngine::stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Rows accepted through [`ScoringEngine::submit`].
+    pub requests: u64,
+    /// Batches flushed by the scheduler.
+    pub batches: u64,
+    /// Rows scored through the direct [`ScoringEngine::score_matrix`]
+    /// path (these bypass the queue and are not in `requests`).
+    pub direct_rows: u64,
+    /// Deepest the queue has ever been at submission time.
+    pub queue_high_water: usize,
+    /// Median batch service time (queue drain + scoring), microseconds.
+    /// Zero until the first batch completes.
+    pub p50_batch_latency_us: u64,
+    /// 99th-percentile batch service time, microseconds.
+    pub p99_batch_latency_us: u64,
+    /// Times a new model was installed via hot swap.
+    pub model_swaps: u64,
+}
+
+/// Mutable statistics shared between submitters and the scheduler.
+struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    direct_rows: AtomicU64,
+    queue_high_water: AtomicUsize,
+    model_swaps: AtomicU64,
+    /// Rolling window of batch service times in µs.
+    latencies: Mutex<Vec<u64>>,
+}
+
+impl StatsInner {
+    fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            direct_rows: AtomicU64::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            model_swaps: AtomicU64::new(0),
+            latencies: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record_batch(&self, elapsed: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut lat = self.latencies.lock();
+        if lat.len() == LATENCY_WINDOW {
+            // Overwrite round-robin so the window tracks recent batches.
+            let i = (self.batches.load(Ordering::Relaxed) as usize) % LATENCY_WINDOW;
+            lat[i] = us;
+        } else {
+            lat.push(us);
+        }
+    }
+
+    fn raise_high_water(&self, depth: usize) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        let mut lat = self.latencies.lock().clone();
+        lat.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+            lat[idx]
+        };
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            direct_rows: self.direct_rows.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            p50_batch_latency_us: pct(0.50),
+            p99_batch_latency_us: pct(0.99),
+            model_swaps: self.model_swaps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One queued scoring request.
+struct Request {
+    row: Vec<f64>,
+    slot: Arc<Slot>,
+}
+
+/// Rendezvous cell a submitter blocks on until the scheduler fills it.
+struct Slot {
+    result: Mutex<Option<Result<f64, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, value: Result<f64, ServeError>) {
+        *self.result.lock() = Some(value);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one in-flight [`ScoringEngine::submit`] request.
+#[must_use = "wait() on the pending score to get the probability"]
+pub struct PendingScore {
+    slot: Arc<Slot>,
+}
+
+impl PendingScore {
+    /// Blocks until the scheduler scores this row's batch.
+    ///
+    /// Always completes: engine shutdown drains the queue, scoring (or
+    /// failing) every accepted request before the scheduler exits.
+    pub fn wait(self) -> Result<f64, ServeError> {
+        let mut guard = self.slot.result.lock();
+        loop {
+            if let Some(res) = guard.take() {
+                return res;
+            }
+            self.slot.ready.wait(&mut guard);
+        }
+    }
+
+    /// Non-blocking poll; `None` while the batch is still pending.
+    pub fn try_take(&self) -> Option<Result<f64, ServeError>> {
+        self.slot.result.lock().take()
+    }
+}
+
+/// State shared between the engine handle and its scheduler thread.
+struct Shared {
+    queue: Injector<Request>,
+    model: RwLock<Arc<dyn Model>>,
+    /// Scheduler wake signal: set when work arrives or on shutdown.
+    wake: Mutex<bool>,
+    wake_cv: Condvar,
+    stopping: AtomicBool,
+    stats: StatsInner,
+    config: EngineConfig,
+    n_features: usize,
+}
+
+/// Batched scoring engine over a hot-swappable model.
+///
+/// Dropping the engine performs a graceful shutdown: no new requests
+/// are accepted, already-queued rows are scored, and the scheduler
+/// thread is joined.
+pub struct ScoringEngine {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl ScoringEngine {
+    /// Starts an engine serving `model` for rows of `n_features`.
+    pub fn new(model: Box<dyn Model>, n_features: usize, config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Injector::new(),
+            model: RwLock::new(Arc::from(model)),
+            wake: Mutex::new(false),
+            wake_cv: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            stats: StatsInner::new(),
+            config: EngineConfig {
+                max_batch: config.max_batch.max(1),
+                queue_capacity: config.queue_capacity.max(1),
+                ..config
+            },
+            n_features,
+        });
+        let worker = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("spe-serve-scheduler".into())
+            .spawn(move || scheduler_loop(&worker))
+            .unwrap_or_else(|e| panic!("failed to spawn scheduler thread: {e}"));
+        Self {
+            shared,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Enqueues one row for batched scoring.
+    ///
+    /// Fails fast with [`ServeError::QueueFull`] at capacity and
+    /// [`ServeError::RowWidthMismatch`] on a wrong-width row; neither
+    /// consumes queue space.
+    pub fn submit(&self, row: &[f64]) -> Result<PendingScore, ServeError> {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::EngineStopped);
+        }
+        if row.len() != self.shared.n_features {
+            return Err(ServeError::RowWidthMismatch {
+                expected: self.shared.n_features,
+                got: row.len(),
+            });
+        }
+        let depth = self.shared.queue.len();
+        if depth >= self.shared.config.queue_capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.shared.config.queue_capacity,
+            });
+        }
+        let slot = Arc::new(Slot::new());
+        self.shared.queue.push(Request {
+            row: row.to_vec(),
+            slot: Arc::clone(&slot),
+        });
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.raise_high_water(depth + 1);
+        notify(&self.shared);
+        Ok(PendingScore { slot })
+    }
+
+    /// Scores a whole matrix synchronously, bypassing the queue.
+    ///
+    /// Rows fan out across the shared runtime in contiguous chunks; the
+    /// output is bit-identical to scoring the matrix in one call.
+    pub fn score_matrix(&self, x: &Matrix) -> Result<Vec<f64>, ServeError> {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::EngineStopped);
+        }
+        if x.cols() != self.shared.n_features && x.rows() > 0 {
+            return Err(ServeError::RowWidthMismatch {
+                expected: self.shared.n_features,
+                got: x.cols(),
+            });
+        }
+        let model = Arc::clone(&self.shared.model.read());
+        let view = x.view();
+        let chunks = spe_runtime::par_chunks(x.rows(), 64, |range| {
+            model.predict_proba_view(view.rows_range(range))
+        });
+        self.shared
+            .stats
+            .direct_rows
+            .fetch_add(x.rows() as u64, Ordering::Relaxed);
+        Ok(chunks.into_iter().flatten().collect())
+    }
+
+    /// Installs a new model; later batches score against it.
+    ///
+    /// In-flight batches finish on the model they already hold, so
+    /// there is no downtime and no torn batch.
+    pub fn swap_model(&self, model: Box<dyn Model>) {
+        *self.shared.model.write() = Arc::from(model);
+        self.shared
+            .stats
+            .model_swaps
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rows currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for ScoringEngine {
+    fn drop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        notify(&self.shared);
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn notify(shared: &Shared) {
+    let mut flag = shared.wake.lock();
+    *flag = true;
+    shared.wake_cv.notify_all();
+}
+
+/// Pops up to `limit` requests off the injector.
+fn drain(queue: &Injector<Request>, batch: &mut Vec<Request>, limit: usize) {
+    while batch.len() < limit {
+        match queue.steal().success() {
+            Some(req) => batch.push(req),
+            None => break,
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Shared) {
+    let max_batch = shared.config.max_batch;
+    loop {
+        // Sleep until work or shutdown.
+        {
+            let mut flag = shared.wake.lock();
+            while !*flag && !shared.stopping.load(Ordering::Acquire) && shared.queue.is_empty() {
+                shared.wake_cv.wait(&mut flag);
+            }
+            *flag = false;
+        }
+        let stopping = shared.stopping.load(Ordering::Acquire);
+        if stopping && shared.queue.is_empty() {
+            return;
+        }
+
+        let started = Instant::now();
+        let mut batch = Vec::with_capacity(max_batch);
+        drain(&shared.queue, &mut batch, max_batch);
+        if batch.is_empty() {
+            continue;
+        }
+        // Unless flushing is already warranted, linger up to max_delay
+        // from first dequeue so near-simultaneous submitters coalesce
+        // into one batch.
+        while batch.len() < max_batch && !shared.stopping.load(Ordering::Acquire) {
+            let elapsed = started.elapsed();
+            if elapsed >= shared.config.max_delay {
+                break;
+            }
+            let mut flag = shared.wake.lock();
+            if !*flag {
+                shared
+                    .wake_cv
+                    .wait_for(&mut flag, shared.config.max_delay - elapsed);
+            }
+            *flag = false;
+            drop(flag);
+            drain(&shared.queue, &mut batch, max_batch);
+        }
+
+        score_batch(shared, batch, started);
+    }
+}
+
+fn score_batch(shared: &Shared, batch: Vec<Request>, started: Instant) {
+    let mut x = Matrix::with_capacity(batch.len(), shared.n_features);
+    for req in &batch {
+        x.push_row(&req.row);
+    }
+    let model = Arc::clone(&shared.model.read());
+    let probs = model.predict_proba(&x);
+    // Record before filling any slot: a waiter released by `fill` may
+    // read the stats immediately and must already see this batch.
+    shared.stats.record_batch(started.elapsed());
+    if probs.len() != batch.len() {
+        // A misbehaving custom model; fail the whole batch rather than
+        // misassign probabilities.
+        for req in &batch {
+            req.slot.fill(Err(ServeError::Corrupt(format!(
+                "model returned {} probabilities for {} rows",
+                probs.len(),
+                batch.len()
+            ))));
+        }
+        return;
+    }
+    for (req, p) in batch.iter().zip(probs) {
+        req.slot.fill(Ok(p));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_learners::traits::ConstantModel;
+
+    /// Model that reports each row's first feature as its probability —
+    /// makes result/request alignment checkable.
+    struct Echo;
+    impl Model for Echo {
+        fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+            x.iter_rows().map(|r| r[0]).collect()
+        }
+    }
+
+    fn engine(model: Box<dyn Model>) -> ScoringEngine {
+        ScoringEngine::new(model, 2, EngineConfig::default())
+    }
+
+    #[test]
+    fn submit_scores_through_the_batcher() {
+        let e = engine(Box::new(Echo));
+        let pending: Vec<_> = (0..10)
+            .map(|i| {
+                e.submit(&[f64::from(i) / 10.0, 0.0])
+                    .unwrap_or_else(|err| panic!("{err}"))
+            })
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            let got = p.wait().unwrap_or_else(|err| panic!("{err}"));
+            assert!((got - i as f64 / 10.0).abs() < 1e-12);
+        }
+        let stats = e.stats();
+        assert_eq!(stats.requests, 10);
+        assert!(stats.batches >= 1);
+        assert!(stats.queue_high_water >= 1);
+    }
+
+    #[test]
+    fn wrong_width_row_rejected() {
+        let e = engine(Box::new(ConstantModel(0.5)));
+        assert_eq!(
+            e.submit(&[1.0]).map(|_| ()),
+            Err(ServeError::RowWidthMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            e.score_matrix(&Matrix::zeros(3, 5)).map(|_| ()),
+            Err(ServeError::RowWidthMismatch {
+                expected: 2,
+                got: 5
+            })
+        );
+    }
+
+    /// Scores correctly but slowly — keeps the scheduler busy so tests
+    /// can fill the queue deterministically.
+    struct Slow;
+    impl Model for Slow {
+        fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+            std::thread::sleep(Duration::from_millis(40));
+            vec![0.5; x.rows()]
+        }
+    }
+
+    #[test]
+    fn queue_overflow_backpressures() {
+        let cfg = EngineConfig {
+            queue_capacity: 4,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        };
+        let e = ScoringEngine::new(Box::new(Slow), 1, cfg);
+        // First row gets pulled into a (slow) batch almost immediately.
+        let mut pending = vec![e.submit(&[0.0]).unwrap_or_else(|err| panic!("{err}"))];
+        std::thread::sleep(Duration::from_millis(10));
+        // The scheduler is now asleep inside predict_proba; these four
+        // fill the queue and the next submit must shed load.
+        let mut overflowed = false;
+        for _ in 0..32 {
+            match e.submit(&[0.0]) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 4);
+                    overflowed = true;
+                    break;
+                }
+                Err(other) => panic!("{other}"),
+            }
+        }
+        assert!(overflowed, "queue never filled");
+        drop(e); // shutdown drains the queue...
+        for p in pending {
+            assert_eq!(p.wait(), Ok(0.5)); // ...so every accepted row resolves
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let e = engine(Box::new(ConstantModel(0.25)));
+        let pending: Vec<_> = (0..32)
+            .map(|_| e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}")))
+            .collect();
+        drop(e);
+        for p in pending {
+            assert_eq!(p.wait(), Ok(0.25));
+        }
+    }
+
+    #[test]
+    fn submit_after_drop_is_rejected() {
+        let e = engine(Box::new(ConstantModel(0.5)));
+        let shared = Arc::clone(&e.shared);
+        drop(e);
+        assert!(shared.stopping.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn hot_swap_changes_later_scores() {
+        let e = engine(Box::new(ConstantModel(0.1)));
+        let before = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(before.wait(), Ok(0.1));
+        e.swap_model(Box::new(ConstantModel(0.9)));
+        let after = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(after.wait(), Ok(0.9));
+        assert_eq!(e.stats().model_swaps, 1);
+    }
+
+    #[test]
+    fn score_matrix_matches_direct_prediction() {
+        let e = engine(Box::new(Echo));
+        let x = Matrix::from_vec(4, 2, vec![0.1, 0.0, 0.2, 0.0, 0.3, 0.0, 0.4, 0.0]);
+        let got = e.score_matrix(&x).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(got, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(e.stats().direct_rows, 4);
+        // Empty input short-circuits without a width check.
+        assert_eq!(
+            e.score_matrix(&Matrix::zeros(0, 0))
+                .unwrap_or_else(|err| panic!("{err}")),
+            Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_populate() {
+        let e = engine(Box::new(Echo));
+        for _ in 0..5 {
+            let p = e.submit(&[0.5, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+            let _ = p.wait();
+        }
+        let s = e.stats();
+        assert!(s.p50_batch_latency_us <= s.p99_batch_latency_us);
+    }
+}

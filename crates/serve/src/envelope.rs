@@ -1,0 +1,211 @@
+//! The on-disk model format: a versioned, checksummed envelope around a
+//! serialized [`ModelSnapshot`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0..4)      magic  b"SPEM"
+//! [4..N-8)    body:  format_version u32
+//!                    model_kind     String
+//!                    metadata       Vec<(String, String)>
+//!                    payload        Vec<u8>   (ModelSnapshot encoding)
+//! [N-8..N)    checksum u64 — FNV-1a over bytes [0..N-8)
+//! ```
+//!
+//! The checksum is verified **before** any payload decoding, so flipped
+//! bits surface as [`ServeError::ChecksumMismatch`] rather than as a
+//! confusing decode error deep inside the snapshot codec. Saves are
+//! atomic: bytes go to a `.tmp` sibling first and are `rename`d into
+//! place, so a crash mid-write can never leave a half-written model at
+//! the target path.
+
+use crate::error::ServeError;
+use serde::{DecodeError, Deserialize, Reader, Serialize, Writer};
+use spe_learners::persist::ModelSnapshot;
+use spe_learners::Model;
+use std::fs;
+use std::path::Path;
+
+/// First four bytes of every model file.
+pub const MAGIC: [u8; 4] = *b"SPEM";
+
+/// Envelope revision this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — tiny, dependency-free and good enough to catch
+/// bit rot and truncation (it is not a cryptographic signature).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A model snapshot plus the header fields stored alongside it.
+pub struct ModelEnvelope {
+    /// Model kind tag (`"SPE"`, `"DT"`, ...) — duplicated from the
+    /// snapshot so `inspect` and kind checks need not decode the payload.
+    pub model_kind: String,
+    /// Free-form key/value pairs recorded at save time (trained-on row
+    /// counts, seeds, ...). Order is preserved.
+    pub metadata: Vec<(String, String)>,
+    /// The serializable model.
+    pub snapshot: ModelSnapshot,
+}
+
+impl ModelEnvelope {
+    /// Wraps a snapshot, stamping its kind string.
+    pub fn new(snapshot: ModelSnapshot, metadata: Vec<(String, String)>) -> Self {
+        Self {
+            model_kind: snapshot.kind().to_string(),
+            metadata,
+            snapshot,
+        }
+    }
+
+    /// Encodes the envelope to its on-disk byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        self.model_kind.serialize(&mut w);
+        self.metadata.serialize(&mut w);
+        self.snapshot.to_bytes().serialize(&mut w);
+        let mut bytes = w.into_bytes();
+        let checksum = fnv1a(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes an envelope, verifying magic and checksum first.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        // Smallest possible file: magic + version + three empty
+        // length-prefixed fields + checksum.
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(ServeError::Truncated);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(ServeError::Corrupt("bad magic (not a model file)".into()));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let found = u64::from_le_bytes(tail.try_into().unwrap_or_default());
+        let expected = fnv1a(body);
+        if expected != found {
+            return Err(ServeError::ChecksumMismatch { expected, found });
+        }
+        let mut r = Reader::new(&body[MAGIC.len()..]);
+        let version = r.get_u32().map_err(decode_err)?;
+        if version != FORMAT_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let model_kind = String::deserialize(&mut r).map_err(decode_err)?;
+        let metadata = Vec::<(String, String)>::deserialize(&mut r).map_err(decode_err)?;
+        let payload = Vec::<u8>::deserialize(&mut r).map_err(decode_err)?;
+        if !r.is_exhausted() {
+            return Err(ServeError::Corrupt(format!(
+                "{} trailing bytes after payload",
+                r.remaining()
+            )));
+        }
+        let snapshot = ModelSnapshot::from_bytes(&payload).map_err(decode_err)?;
+        if snapshot.kind() != model_kind {
+            return Err(ServeError::Corrupt(format!(
+                "header says {model_kind}, payload holds {}",
+                snapshot.kind()
+            )));
+        }
+        Ok(Self {
+            model_kind,
+            metadata,
+            snapshot,
+        })
+    }
+}
+
+fn decode_err(e: DecodeError) -> ServeError {
+    match e {
+        DecodeError::Eof => ServeError::Truncated,
+        DecodeError::Invalid(msg) => ServeError::Corrupt(msg),
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a `.tmp` sibling in the same
+/// directory is written and fsynced, then renamed over the target.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let res = (|| {
+        fs::write(&tmp, bytes)?;
+        let f = fs::File::open(&tmp)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if res.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    res.map_err(ServeError::from)
+}
+
+/// Snapshots `model` and saves it to `path` in one step.
+///
+/// Returns [`ServeError::UnsupportedModel`] when the model has no
+/// snapshot representation.
+pub fn save_model(
+    path: &Path,
+    model: &dyn Model,
+    metadata: Vec<(String, String)>,
+) -> Result<(), ServeError> {
+    let snapshot = model.snapshot().ok_or(ServeError::UnsupportedModel)?;
+    save_snapshot(path, snapshot, metadata)
+}
+
+/// Saves an already-taken snapshot to `path`.
+pub fn save_snapshot(
+    path: &Path,
+    snapshot: ModelSnapshot,
+    metadata: Vec<(String, String)>,
+) -> Result<(), ServeError> {
+    atomic_write(path, &ModelEnvelope::new(snapshot, metadata).encode())
+}
+
+/// Loads and validates the envelope at `path`.
+pub fn load_envelope(path: &Path) -> Result<ModelEnvelope, ServeError> {
+    ModelEnvelope::decode(&fs::read(path)?)
+}
+
+/// Loads the model at `path`, restored to a scoring `Box<dyn Model>`.
+pub fn load_model(path: &Path) -> Result<Box<dyn Model>, ServeError> {
+    Ok(load_envelope(path)?.snapshot.restore())
+}
+
+/// Like [`load_model`] but fails with [`ServeError::KindMismatch`]
+/// unless the stored kind is `expected` (e.g. `"SPE"`).
+pub fn load_model_expecting(path: &Path, expected: &str) -> Result<Box<dyn Model>, ServeError> {
+    let env = load_envelope(path)?;
+    if env.model_kind != expected {
+        return Err(ServeError::KindMismatch {
+            expected: expected.to_string(),
+            found: env.model_kind,
+        });
+    }
+    Ok(env.snapshot.restore())
+}
+
+/// Loads a typed [`SelfPacedEnsemble`](spe_core::SelfPacedEnsemble) —
+/// the envelope must hold an `"SPE"` snapshot.
+pub fn load_spe(path: &Path) -> Result<spe_core::SelfPacedEnsemble, ServeError> {
+    let env = load_envelope(path)?;
+    if env.model_kind != "SPE" {
+        return Err(ServeError::KindMismatch {
+            expected: "SPE".into(),
+            found: env.model_kind,
+        });
+    }
+    spe_core::SelfPacedEnsemble::from_snapshot(env.snapshot).map_err(ServeError::from)
+}

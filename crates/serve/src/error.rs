@@ -1,0 +1,141 @@
+//! Typed errors for the persistence and serving layers.
+
+use spe_data::SpeError;
+use std::fmt;
+
+/// Everything that can go wrong saving, loading or serving a model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// An underlying I/O failure (rendered, to keep the type `Clone`).
+    Io(String),
+    /// The file is structurally not a model envelope (bad magic,
+    /// trailing garbage, malformed payload, ...).
+    Corrupt(String),
+    /// The file ends before the envelope does.
+    Truncated,
+    /// The stored checksum disagrees with the bytes — bit rot or a
+    /// partial overwrite. Reported *before* any payload decoding runs.
+    ChecksumMismatch {
+        /// Checksum recomputed from the file bytes.
+        expected: u64,
+        /// Checksum stored in the file.
+        found: u64,
+    },
+    /// The envelope was written by a newer format revision.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The envelope holds a different model kind than the caller asked
+    /// for (e.g. expected `"SPE"`, found `"DT"`).
+    KindMismatch {
+        /// Kind the caller required.
+        expected: String,
+        /// Kind stored in the envelope.
+        found: String,
+    },
+    /// The model does not implement snapshotting (MLP, AdaBoost, Naive
+    /// Bayes and user-defined models return `None` from
+    /// `Model::snapshot`).
+    UnsupportedModel,
+    /// The scoring queue is at capacity; the caller should shed load or
+    /// retry after a delay.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine has been stopped; no further requests are accepted.
+    EngineStopped,
+    /// A scoring request's feature count disagrees with the engine's.
+    RowWidthMismatch {
+        /// Feature count the engine was built for.
+        expected: usize,
+        /// Feature count of the offending row.
+        got: usize,
+    },
+    /// A training-side error bubbled through a fit-then-save pipeline.
+    Train(SpeError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "I/O error: {msg}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
+            ServeError::Truncated => write!(f, "model file is truncated"),
+            ServeError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: file says {found:#018x}, bytes hash to {expected:#018x}"
+            ),
+            ServeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "model format version {found} is newer than supported version {supported}"
+            ),
+            ServeError::KindMismatch { expected, found } => {
+                write!(f, "expected a {expected} model, file holds {found}")
+            }
+            ServeError::UnsupportedModel => {
+                write!(f, "model does not support persistence (no snapshot)")
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(f, "scoring queue is full ({capacity} requests)")
+            }
+            ServeError::EngineStopped => write!(f, "scoring engine is stopped"),
+            ServeError::RowWidthMismatch { expected, got } => {
+                write!(f, "row has {got} features, engine expects {expected}")
+            }
+            ServeError::Train(e) => write!(f, "training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<SpeError> for ServeError {
+    fn from(e: SpeError) -> Self {
+        ServeError::Train(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert!(ServeError::Truncated.to_string().contains("truncated"));
+        assert!(ServeError::ChecksumMismatch {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("checksum mismatch"));
+        assert!(ServeError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(ServeError::KindMismatch {
+            expected: "SPE".into(),
+            found: "DT".into()
+        }
+        .to_string()
+        .contains("expected a SPE"));
+        assert!(ServeError::QueueFull { capacity: 4 }
+            .to_string()
+            .contains("full"));
+        let io: ServeError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(io, ServeError::Io("gone".into()));
+        let tr: ServeError = SpeError::EmptyDataset.into();
+        assert!(tr.to_string().contains("training failed"));
+    }
+}

@@ -45,6 +45,7 @@
 //! | [`ensembles`] | Easy, Cascade, UnderBagging, SMOTEBagging, RUSBoost, SMOTEBoost |
 //! | [`core`] | **SPE itself**: hardness, bins, self-paced sampler, ensemble |
 //! | [`datasets`] | checkerboard, overlap study, real-world simulators |
+//! | [`serve`] | model persistence (save/load envelopes), batched scoring engine |
 
 pub use spe_core as core;
 pub use spe_data as data;
@@ -54,6 +55,7 @@ pub use spe_learners as learners;
 pub use spe_metrics as metrics;
 pub use spe_runtime as runtime;
 pub use spe_sampling as sampling;
+pub use spe_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -74,8 +76,8 @@ pub mod prelude {
     };
     pub use spe_learners::{
         AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GaussianNbConfig, GbdtConfig, KnnConfig,
-        Learner, LogisticRegressionConfig, MlpConfig, Model, RandomForestConfig, SharedLearner,
-        SplitMethod, SvmConfig,
+        Learner, LogisticRegressionConfig, MlpConfig, Model, ModelSnapshot, RandomForestConfig,
+        SharedLearner, SplitMethod, SvmConfig,
     };
     pub use spe_metrics::{aucprc, ConfusionMatrix, MeanStd, MetricSet, RunAggregator};
     pub use spe_runtime::{fork_seed, fork_seeds, Runtime, TrainingBudget};
@@ -83,5 +85,9 @@ pub mod prelude {
         Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NearMissVersion,
         NeighbourhoodCleaningRule, NoResampling, OneSideSelection, RandomOverSampler,
         RandomUnderSampler, Sampler, Smote, SmoteEnn, SmoteTomek, TomekLinks,
+    };
+    pub use spe_serve::{
+        load_envelope, load_model, load_model_expecting, load_spe, save_model, EngineConfig,
+        ModelEnvelope, PendingScore, ScoringEngine, ServeError, ServeStats,
     };
 }

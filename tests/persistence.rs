@@ -1,0 +1,258 @@
+//! Save → load → predict round-trip guarantees for every persistable
+//! learner kind, plus negative paths for every way a model file can be
+//! bad (corruption, truncation, version skew, kind mismatch).
+//!
+//! The round trips are property-based: datasets, seeds and (where
+//! cheap) hyper-parameters are drawn by proptest, and the loaded model
+//! must reproduce the original's probabilities **bit-identically** —
+//! the codec stores `f64` bit patterns, so there is no tolerance.
+
+use proptest::prelude::*;
+use spe::data::{Dataset, Matrix, SeededRng};
+use spe::learners::{
+    BaggingConfig, DecisionTreeConfig, GbdtConfig, KnnConfig, Learner, LogisticRegressionConfig,
+    MlpConfig, Model, RandomForestConfig, SplitMethod, SvmConfig,
+};
+use spe::prelude::{SelfPacedEnsembleConfig, ServeError};
+use spe::serve::{load_envelope, load_model, load_spe, save_model, FORMAT_VERSION, MAGIC};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique temp path per call so parallel test threads never collide.
+fn tmp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "spe-persistence-{}-{tag}-{n}.spe",
+        std::process::id()
+    ));
+    p
+}
+
+/// Strategy: a small two-class dataset plus train and probe seeds.
+fn task() -> impl Strategy<Value = (Dataset, u64)> {
+    (4usize..10, 24usize..60, 0u64..1_000).prop_map(|(n_pos, n_neg, seed)| {
+        let mut rng = SeededRng::new(seed);
+        let n = n_pos + n_neg;
+        let mut x = Matrix::with_capacity(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = u8::from(i < n_pos);
+            let c = if label == 1 { 1.2 } else { -1.2 };
+            x.push_row(&[
+                rng.normal(c, 1.0),
+                rng.normal(-c, 1.0),
+                rng.normal(0.0, 1.0),
+            ]);
+            y.push(label);
+        }
+        (Dataset::new(x, y), seed ^ 0xABCD)
+    })
+}
+
+/// Saves `model`, loads it back, and requires bit-identical
+/// probabilities on the training matrix.
+fn assert_round_trip(tag: &str, model: &dyn Model, x: &Matrix) {
+    let path = tmp_path(tag);
+    save_model(&path, model, vec![("test".into(), tag.into())])
+        .unwrap_or_else(|e| panic!("{tag}: save failed: {e}"));
+    let loaded = load_model(&path).unwrap_or_else(|e| panic!("{tag}: load failed: {e}"));
+    assert_eq!(
+        model.predict_proba(x),
+        loaded.predict_proba(x),
+        "{tag}: loaded model's probabilities drifted"
+    );
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+}
+
+proptest! {
+    #[test]
+    fn decision_tree_exact_round_trips(((data, seed), depth) in (task(), 2usize..6)) {
+        let cfg = DecisionTreeConfig { max_depth: depth, ..DecisionTreeConfig::default() };
+        let m = cfg.fit(data.x(), data.y(), seed);
+        assert_round_trip("dt-exact", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn decision_tree_histogram_round_trips((data, seed) in task()) {
+        let cfg = DecisionTreeConfig {
+            split_method: SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        };
+        let m = cfg.fit(data.x(), data.y(), seed);
+        assert_round_trip("dt-hist", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn knn_round_trips(((data, seed), k) in (task(), 1usize..8)) {
+        let m = KnnConfig::new(k).fit(data.x(), data.y(), seed);
+        assert_round_trip("knn", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn logistic_round_trips((data, seed) in task()) {
+        let cfg = LogisticRegressionConfig { epochs: 5, ..LogisticRegressionConfig::default() };
+        let m = cfg.fit(data.x(), data.y(), seed);
+        assert_round_trip("lr", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn svm_round_trips((data, seed) in task()) {
+        let cfg = SvmConfig { epochs: 3, ..SvmConfig::default() };
+        let m = cfg.fit(data.x(), data.y(), seed);
+        assert_round_trip("svm", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn gbdt_round_trips(((data, seed), rounds) in (task(), 1usize..6)) {
+        let m = GbdtConfig::new(rounds).fit(data.x(), data.y(), seed);
+        assert_round_trip("gbdt", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn bagging_round_trips((data, seed) in task()) {
+        let m = BaggingConfig::new(4).fit(data.x(), data.y(), seed);
+        assert_round_trip("bagging", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn random_forest_round_trips((data, seed) in task()) {
+        let m = RandomForestConfig::new(4).fit(data.x(), data.y(), seed);
+        assert_round_trip("rf", m.as_ref(), data.x());
+    }
+
+    #[test]
+    fn spe_round_trips_with_alphas(((data, seed), members) in (task(), 2usize..6)) {
+        let cfg = SelfPacedEnsembleConfig::builder()
+            .n_estimators(members)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let model = cfg.try_fit_dataset(&data, seed).unwrap_or_else(|e| panic!("{e}"));
+        assert_round_trip("spe", &model, data.x());
+        // The typed loader additionally restores the alpha schedule.
+        let path = tmp_path("spe-typed");
+        save_model(&path, &model, Vec::new()).unwrap_or_else(|e| panic!("{e}"));
+        let typed = load_spe(&path).unwrap_or_else(|e| panic!("{e}"));
+        prop_assert_eq!(typed.alphas(), model.alphas());
+        prop_assert_eq!(typed.len(), model.len());
+        std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn constant_model_round_trips() {
+    // Single-class data degenerates to a ConstantModel — still saveable.
+    let x = Matrix::from_vec(3, 2, vec![0.0; 6]);
+    let m = DecisionTreeConfig::default().fit(&x, &[1, 1, 1], 0);
+    assert_round_trip("constant", m.as_ref(), &x);
+}
+
+#[test]
+fn unsupported_model_is_a_typed_error() {
+    let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+    let m = MlpConfig::default().fit(&x, &[0, 1, 0, 1], 0);
+    let path = tmp_path("mlp");
+    assert_eq!(
+        save_model(&path, m.as_ref(), Vec::new()),
+        Err(ServeError::UnsupportedModel)
+    );
+    assert!(!path.exists(), "failed save must not leave a file behind");
+}
+
+/// Fits a small tree and returns its saved bytes plus the path.
+fn saved_model_bytes() -> (PathBuf, Vec<u8>) {
+    let x = Matrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    let m = DecisionTreeConfig::with_depth(2).fit(&x, &[0, 0, 0, 1, 1, 1], 3);
+    let path = tmp_path("negative");
+    save_model(&path, m.as_ref(), vec![("k".into(), "v".into())]).unwrap_or_else(|e| panic!("{e}"));
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| panic!("{e}"));
+    (path, bytes)
+}
+
+#[test]
+fn corrupted_byte_reports_checksum_mismatch() {
+    let (path, mut bytes) = saved_model_bytes();
+    // Flip one payload bit (past the magic, before the checksum tail).
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap_or_else(|e| panic!("{e}"));
+    match load_model(&path) {
+        Err(ServeError::ChecksumMismatch { expected, found }) => assert_ne!(expected, found),
+        other => panic!(
+            "expected ChecksumMismatch, got {other:?}",
+            other = other.err()
+        ),
+    }
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn truncated_file_reports_truncated_at_every_cut() {
+    let (path, bytes) = saved_model_bytes();
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap_or_else(|e| panic!("{e}"));
+        let err = load_model(&path).map(|_| ()).unwrap_err();
+        // Short prefixes lose the checksum tail (Truncated); longer ones
+        // keep the structure but hash wrong (ChecksumMismatch); a cut
+        // inside the magic is plain corruption. All must be typed errors.
+        assert!(
+            matches!(
+                err,
+                ServeError::Truncated
+                    | ServeError::ChecksumMismatch { .. }
+                    | ServeError::Corrupt(_)
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let (path, mut bytes) = saved_model_bytes();
+    // The version field sits right after the 4-byte magic; bump it and
+    // re-stamp the checksum so only the version is "wrong".
+    bytes[MAGIC.len()] = 0xFF;
+    let body_len = bytes.len() - 8;
+    let checksum = spe::serve::fnv1a(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(
+        load_model(&path).map(|_| ()),
+        Err(ServeError::UnsupportedVersion {
+            found: 0xFF,
+            supported: FORMAT_VERSION,
+        })
+    );
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn wrong_kind_reports_kind_mismatch() {
+    let (path, _) = saved_model_bytes();
+    assert_eq!(
+        load_spe(&path).map(|_| ()),
+        Err(ServeError::KindMismatch {
+            expected: "SPE".into(),
+            found: "DT".into()
+        })
+    );
+    let env = load_envelope(&path).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(env.model_kind, "DT");
+    assert_eq!(env.metadata, vec![("k".to_string(), "v".to_string())]);
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn not_a_model_file_is_corrupt() {
+    let path = tmp_path("garbage");
+    std::fs::write(&path, b"f0,f1,label\n1.0,2.0,0\n").unwrap_or_else(|e| panic!("{e}"));
+    assert!(matches!(load_model(&path), Err(ServeError::Corrupt(_))));
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    assert!(matches!(
+        load_model(&tmp_path("missing")),
+        Err(ServeError::Io(_))
+    ));
+}

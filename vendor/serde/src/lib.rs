@@ -1,0 +1,475 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so instead of the real
+//! serde (generic data model + proc-macro derives) this stand-in provides
+//! the two traits by name — [`Serialize`] / [`Deserialize`] — over one
+//! concrete, compact little-endian binary format, plus the declarative
+//! [`impl_serde!`] macro as the derive replacement. That is exactly the
+//! surface the workspace's model-persistence layer needs: deterministic,
+//! bit-exact round-trips of numeric model parameters.
+//!
+//! Format rules:
+//!
+//! - fixed-width integers are little-endian (`usize` travels as `u64`);
+//! - `f64` is serialized via `to_bits`, so `NaN` payloads and `-0.0`
+//!   survive round-trips bit-exactly;
+//! - sequences (`Vec`, `String`) are a `u64` length followed by their
+//!   elements; `Option` is a one-byte tag followed by the value.
+//!
+//! Decoding is total: every read is bounds-checked and returns
+//! [`DecodeError`] instead of panicking, so corrupted or truncated input
+//! surfaces as a typed error at the persistence layer.
+
+use std::fmt;
+
+/// Why a byte stream failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Eof,
+    /// The bytes were structurally invalid (bad tag, bad UTF-8,
+    /// violated invariant); the message names the offending construct.
+    Invalid(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Eof => write!(f, "unexpected end of input"),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Byte sink values serialize into.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes serialization, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked cursor over encoded bytes.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Eof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length prefix, sanity-capped so a corrupted length can
+    /// never request more elements than the remaining bytes could hold.
+    pub fn get_len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.get_u64()?;
+        if n > self.remaining() as u64 {
+            // Every element costs at least one byte, so a length beyond
+            // the remaining input is unconditionally corrupt.
+            return Err(DecodeError::Invalid(format!(
+                "length {n} exceeds remaining input ({})",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// A value that can be encoded into a [`Writer`].
+pub trait Serialize {
+    /// Appends this value's encoding to `w`.
+    fn serialize(&self, w: &mut Writer);
+
+    /// Convenience: serializes into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.serialize(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// A value that can be decoded from a [`Reader`].
+pub trait Deserialize: Sized {
+    /// Decodes one value, advancing the reader past it.
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must span `bytes` exactly.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::deserialize(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(DecodeError::Invalid(format!(
+                "{} trailing bytes after value",
+                r.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! primitive_impls {
+    ($($t:ty => $put:ident, $get:ident);* $(;)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                r.$get()
+            }
+        }
+    )*};
+}
+
+primitive_impls! {
+    u8 => put_u8, get_u8;
+    u32 => put_u32, get_u32;
+    u64 => put_u64, get_u64;
+    f64 => put_f64, get_f64;
+}
+
+impl Serialize for usize {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = r.get_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid(format!("usize overflow: {v}")))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u8(u8::from(*self));
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::Invalid(format!("bool tag {other}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        w.put_bytes(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.get_len()?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError::Invalid("non-UTF-8 string".into()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.serialize(w);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.get_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::deserialize(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.serialize(w);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(r)?)),
+            other => Err(DecodeError::Invalid(format!("Option tag {other}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, w: &mut Writer) {
+        self.0.serialize(w);
+        self.1.serialize(w);
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::deserialize(r)?, B::deserialize(r)?))
+    }
+}
+
+/// Derive replacement: generates field-by-field [`Serialize`] /
+/// [`Deserialize`] impls for a struct, in declaration order. Works on
+/// structs with private fields when invoked inside their module.
+///
+/// ```
+/// struct Point {
+///     x: f64,
+///     y: f64,
+/// }
+/// serde::impl_serde!(Point { x, y });
+///
+/// use serde::{Deserialize, Serialize};
+/// let p = Point { x: 1.0, y: -0.0 };
+/// let back = Point::from_bytes(&p.to_bytes()).unwrap();
+/// assert_eq!(back.x.to_bits(), p.x.to_bits());
+/// assert_eq!(back.y.to_bits(), p.y.to_bits());
+/// ```
+#[macro_export]
+macro_rules! impl_serde {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn serialize(&self, w: &mut $crate::Writer) {
+                $( $crate::Serialize::serialize(&self.$field, w); )*
+            }
+        }
+        impl $crate::Deserialize for $name {
+            fn deserialize(
+                r: &mut $crate::Reader<'_>,
+            ) -> Result<Self, $crate::DecodeError> {
+                Ok(Self {
+                    $( $field: $crate::Deserialize::deserialize(r)?, )*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        7u8.serialize(&mut w);
+        0xDEAD_BEEFu32.serialize(&mut w);
+        u64::MAX.serialize(&mut w);
+        3.5f64.serialize(&mut w);
+        true.serialize(&mut w);
+        42usize.serialize(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(u8::deserialize(&mut r).unwrap(), 7);
+        assert_eq!(u32::deserialize(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(u64::deserialize(&mut r).unwrap(), u64::MAX);
+        assert_eq!(f64::deserialize(&mut r).unwrap(), 3.5);
+        assert!(bool::deserialize(&mut r).unwrap());
+        assert_eq!(usize::deserialize(&mut r).unwrap(), 42);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for v in [f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let back = f64::from_bytes(&v.to_bytes()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<f64> = vec![1.0, -2.5, f64::NAN];
+        let back = Vec::<f64>::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[1], -2.5);
+        assert!(back[2].is_nan());
+
+        let s = "héllo".to_string();
+        assert_eq!(String::from_bytes(&s.to_bytes()).unwrap(), s);
+
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_bytes(&none.to_bytes()).unwrap(), None);
+        let some = Some(9u32);
+        assert_eq!(Option::<u32>::from_bytes(&some.to_bytes()).unwrap(), some);
+
+        let pair = ("k".to_string(), 2u64);
+        assert_eq!(<(String, u64)>::from_bytes(&pair.to_bytes()).unwrap(), pair);
+    }
+
+    #[test]
+    fn truncated_input_is_eof_not_panic() {
+        let bytes = vec![1.0f64, 2.0].to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Vec::<f64>::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Eof | DecodeError::Invalid(_)),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_rejected_without_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // absurd Vec length
+        let err = Vec::<u8>::from_bytes(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, DecodeError::Invalid(_)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes).unwrap_err(),
+            DecodeError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(matches!(
+            bool::from_bytes(&[2]).unwrap_err(),
+            DecodeError::Invalid(_)
+        ));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[7]).unwrap_err(),
+            DecodeError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn struct_macro_round_trips_private_fields() {
+        struct Inner {
+            a: u32,
+            b: Vec<f64>,
+            c: Option<String>,
+        }
+        impl_serde!(Inner { a, b, c });
+        let v = Inner {
+            a: 3,
+            b: vec![1.5, 2.5],
+            c: Some("x".into()),
+        };
+        let back = Inner::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(back.a, 3);
+        assert_eq!(back.b, vec![1.5, 2.5]);
+        assert_eq!(back.c.as_deref(), Some("x"));
+    }
+}
