@@ -15,6 +15,9 @@ cargo test -q -p spe-learners --features fault-injection
 echo "==> cargo test -q --test persistence (save/load round-trip suite)"
 cargo test -q --test persistence
 
+echo "==> cargo test -q --test quantized (u8 kernel bit-exactness suite)"
+cargo test -q --test quantized
+
 echo "==> cargo test -q --doc"
 cargo test -q --doc
 
@@ -27,6 +30,14 @@ repo_root="$(pwd)"
 smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$repo_root/target/release/bench_train" --quick)
 rm -rf "$smoke_dir"
+
+echo "==> bench_serve --smoke (quantized backend selected + BENCH_serve.json schema)"
+cargo build --release -p spe-bench --bin bench_serve
+serve_dir="$(mktemp -d)"
+(cd "$serve_dir" && "$repo_root/target/release/bench_serve" --smoke)
+grep -q '"quantized"' "$serve_dir/BENCH_serve.json"
+grep -q '"speedup_quantized_batch64"' "$serve_dir/BENCH_serve.json"
+rm -rf "$serve_dir"
 
 echo "==> spe_score round trip (fit-save vs load-score predictions must be bit-identical)"
 cargo build --release -p spe-serve --bin spe_score

@@ -1,21 +1,27 @@
 //! Serving benchmark: single-row scoring versus the batched engine
-//! paths on a trained SPE, plus the submit-path latency distribution.
-//! Results land in `BENCH_serve.json`.
+//! paths on a trained SPE, plus the quantized u8 kernel and the
+//! submit-path latency distribution. Results land in `BENCH_serve.json`.
 //!
-//! The claim under test: batching amortizes per-call dispatch and
-//! allocation overhead and unlocks the thread pool, so batch-64 scoring
-//! should clear at least 3x the single-row throughput.
+//! Claims under test: batching amortizes per-call dispatch overhead and
+//! unlocks the thread pool (batch-64 should clear 3x single-row), and
+//! the quantized kernel clears at least 3x the batched f64 path at
+//! serving batch sizes while producing bit-identical scores.
 //!
 //! ```sh
-//! cargo run --release -p spe-bench --bin bench_serve            # full
-//! cargo run --release -p spe-bench --bin bench_serve -- --quick # smoke
+//! cargo run --release -p spe-bench --bin bench_serve             # full
+//! cargo run --release -p spe-bench --bin bench_serve -- --quick  # small
+//! cargo run --release -p spe-bench --bin bench_serve -- --smoke  # CI gate
 //! ```
+//!
+//! `--smoke` runs the quick settings, asserts that auto-selection put
+//! the engine on the quantized backend and that both backends agree
+//! bit-for-bit, then writes the JSON and exits.
 
 use spe_bench::harness::Args;
 use spe_core::SelfPacedEnsembleConfig;
 use spe_data::Matrix;
 use spe_learners::Model;
-use spe_serve::{EngineConfig, ScoringEngine};
+use spe_serve::{EngineConfig, ScoreBackend, ScoringEngine};
 use std::time::Instant;
 
 fn rows_per_sec(rows: usize, secs: f64) -> f64 {
@@ -35,16 +41,18 @@ fn raw_single_row_secs(model: &dyn Model, x: &Matrix) -> f64 {
     secs
 }
 
-/// Scores `x` through the engine's direct path in `batch`-row slices.
+/// Scores `x` through the engine's zero-alloc direct path in
+/// `batch`-row slices — borrowed input views, one reused output buffer.
 /// `batch = 1` is the per-event serving baseline the batched calls are
 /// compared against — same interface, different request shape.
 fn batched_secs(engine: &ScoringEngine, x: &Matrix, batch: usize) -> f64 {
+    let mut out = vec![0.0; batch.min(x.rows())];
     let t0 = Instant::now();
     let mut start = 0;
     while start < x.rows() {
         let end = (start + batch).min(x.rows());
         engine
-            .score_matrix(&x.row_range(start..end))
+            .score_into(x.view_rows(start..end), &mut out[..end - start])
             .unwrap_or_else(|e| panic!("{e}"));
         start = end;
     }
@@ -57,8 +65,22 @@ fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
     (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
 }
 
+fn engine_with(model: Box<dyn Model>, n_features: usize, backend: ScoreBackend) -> ScoringEngine {
+    let cfg = EngineConfig::builder()
+        .backend(backend)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    ScoringEngine::start(model, n_features, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::parse(1);
+    // `--smoke` is a bench_serve-local flag; strip it before the shared
+    // harness parser (which rejects unknown arguments) sees the argv.
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    argv.retain(|a| a != "--smoke");
+    let mut args = Args::try_parse_from(1, &argv)?;
+    args.quick |= smoke;
     let (train_rows, score_rows, members) = if args.quick {
         (4_000, 1_000, 5)
     } else {
@@ -79,11 +101,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .n_estimators(members)
         .build()?;
     let model = cfg.try_fit_dataset(&train, 42)?;
-    let engine = ScoringEngine::new(
+    let n_features = score.x().cols();
+    // Two engines over the same trained model: the f64 reference path
+    // and the u8-quantized kernel the redesigned API selects by default.
+    let engine = engine_with(
         Box::new(cfg.try_fit_dataset(&train, 42)?),
-        score.x().cols(),
-        EngineConfig::default(),
+        n_features,
+        ScoreBackend::F64,
     );
+    let quantized = engine_with(
+        Box::new(cfg.try_fit_dataset(&train, 42)?),
+        n_features,
+        ScoreBackend::Auto,
+    );
+    assert_eq!(
+        quantized.backend(),
+        ScoreBackend::Quantized,
+        "auto-selection must pick the quantized backend for a tree-shaped SPE"
+    );
+    // Exactness gate: the quantized kernel must reproduce the f64 path
+    // bit for bit before any throughput number means anything.
+    let want = engine.score_matrix(score.x())?;
+    let got = quantized.score_matrix(score.x())?;
+    assert_eq!(got, want, "quantized scores diverge from the f64 path");
+    eprintln!("quantized backend selected; scores bit-identical to f64 path");
 
     let reps = if args.quick { 2 } else { 3 };
 
@@ -98,12 +139,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("  {single_rps:.0} rows/s");
 
     let mut batch_results = Vec::new();
+    let mut quantized_results = Vec::new();
     for batch in [64usize, 256, 4096] {
-        eprintln!("scoring batched ({batch}) ...");
+        eprintln!("scoring batched f64 ({batch}) ...");
         let secs = best_of(reps, || batched_secs(&engine, score.x(), batch));
         let rps = rows_per_sec(score.len(), secs);
         eprintln!("  {rps:.0} rows/s ({:.2}x single-row)", rps / single_rps);
         batch_results.push((batch, secs, rps));
+
+        eprintln!("scoring quantized ({batch}) ...");
+        let qsecs = best_of(reps, || batched_secs(&quantized, score.x(), batch));
+        let qrps = rows_per_sec(score.len(), qsecs);
+        eprintln!("  {qrps:.0} rows/s ({:.2}x f64 batched)", qrps / rps);
+        quantized_results.push((batch, qsecs, qrps, qrps / rps.max(1e-9)));
     }
 
     // Submit-path micro-batching: queue rows one by one and let the
@@ -137,6 +185,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let speedup64 = batch_results[0].2 / single_rps.max(1e-9);
+    let qspeedup64 = quantized_results[0].3;
     let batches_json: Vec<String> = batch_results
         .iter()
         .map(|(batch, secs, rps)| {
@@ -146,8 +195,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .collect();
+    let quantized_json: Vec<String> = quantized_results
+        .iter()
+        .map(|(batch, secs, rps, speedup)| {
+            format!(
+                "    {{\n      \"batch\": {batch},\n      \"seconds\": {secs:.4},\n      \"rows_per_sec\": {rps:.1},\n      \"speedup_vs_f64_batched\": {speedup:.3}\n    }}"
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"score_rows\": {},\n  \"features\": {},\n  \"members\": {},\n  \"threads\": {},\n  \"single_row_raw_model\": {{\n    \"seconds\": {:.4},\n    \"rows_per_sec\": {:.1}\n  }},\n  \"single_row\": {{\n    \"seconds\": {:.4},\n    \"rows_per_sec\": {:.1}\n  }},\n  \"batched\": [\n{}\n  ],\n  \"submit_queue\": {{\n    \"rows\": {},\n    \"rows_per_sec\": {:.1},\n    \"batches\": {},\n    \"p50_batch_latency_us\": {},\n    \"p99_batch_latency_us\": {},\n    \"queue_high_water\": {}\n  }},\n  \"speedup_batch64\": {:.3}\n}}\n",
+        "{{\n  \"score_rows\": {},\n  \"features\": {},\n  \"members\": {},\n  \"threads\": {},\n  \"single_row_raw_model\": {{\n    \"seconds\": {:.4},\n    \"rows_per_sec\": {:.1}\n  }},\n  \"single_row\": {{\n    \"seconds\": {:.4},\n    \"rows_per_sec\": {:.1}\n  }},\n  \"batched\": [\n{}\n  ],\n  \"quantized\": [\n{}\n  ],\n  \"submit_queue\": {{\n    \"rows\": {},\n    \"rows_per_sec\": {:.1},\n    \"batches\": {},\n    \"p50_batch_latency_us\": {},\n    \"p99_batch_latency_us\": {},\n    \"queue_high_water\": {}\n  }},\n  \"speedup_batch64\": {:.3},\n  \"speedup_quantized_batch64\": {:.3}\n}}\n",
         score.len(),
         score.x().cols(),
         members,
@@ -157,16 +214,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         single_secs,
         single_rps,
         batches_json.join(",\n"),
+        quantized_json.join(",\n"),
         submit_rows,
         submit_rps,
         stats.batches,
         stats.p50_batch_latency_us,
         stats.p99_batch_latency_us,
         stats.queue_high_water,
-        speedup64
+        speedup64,
+        qspeedup64
     );
     let out = std::path::Path::new("BENCH_serve.json");
     std::fs::write(out, &json)?;
-    eprintln!("batch-64 speedup {speedup64:.2}x -> {}", out.display());
+    eprintln!(
+        "batch-64 speedup {speedup64:.2}x, quantized batch-64 {qspeedup64:.2}x vs f64 -> {}",
+        out.display()
+    );
     Ok(())
 }

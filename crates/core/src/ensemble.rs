@@ -3,7 +3,9 @@
 use crate::hardness::HardnessFn;
 use crate::report::{FitReport, MemberOutcome};
 use crate::sampler::{AlphaSchedule, SelfPacedSampler};
-use spe_data::{BinIndex, Dataset, Matrix, SanitizePolicy, Sanitizer, SeededRng, SpeError};
+use spe_data::{
+    BinIndex, Dataset, Matrix, MatrixView, SanitizePolicy, Sanitizer, SeededRng, SpeError,
+};
 use spe_learners::ensemble::SoftVoteEnsemble;
 use spe_learners::persist::ModelSnapshot;
 use spe_learners::traits::{
@@ -500,8 +502,12 @@ impl SelfPacedEnsemble {
 }
 
 impl Model for SelfPacedEnsemble {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        self.inner.predict_proba(x)
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        self.inner.predict_proba_view(x)
+    }
+
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        self.inner.predict_proba_into(x, out);
     }
 
     /// `Some` only when every member is snapshottable (always true for

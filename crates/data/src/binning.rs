@@ -20,7 +20,7 @@
 //! every cut — the same "send to the right child" behaviour the exact
 //! path gets from `total_cmp`.
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, MatrixView};
 
 /// Hard ceiling on bins per feature (codes are stored as `u8`).
 pub const MAX_BINS: usize = 256;
@@ -59,7 +59,7 @@ impl BinIndex {
             let cuts = quantile_cuts(&column, max_bins);
             let mut codes = Vec::with_capacity(n_rows);
             for r in 0..n_rows {
-                codes.push(encode(&cuts, x.get(r, f)));
+                codes.push(encode_value(&cuts, x.get(r, f)));
             }
             (cuts, codes)
         });
@@ -166,9 +166,102 @@ impl serde::Deserialize for BinIndex {
 
 /// Bin code of `v` against ascending `cuts`: the number of cuts below
 /// `v` under `total_cmp` ordering, so `NaN` lands in the last bin.
+///
+/// For finite, ascending, `-0.0`-free `cuts` (every grid this crate
+/// builds) the invariant `encode_value(cuts, v) <= b ⟺ v <= cuts[b]`
+/// holds under plain IEEE comparison for *every* `v` including `NaN`
+/// and `-0.0` — `total_cmp` and `<=` only disagree at signed zero and
+/// `NaN`, and both land on the same side here. Serving-side quantized
+/// inference leans on this to stay bit-exact with f64 tree traversal.
+///
+/// `cuts` must hold fewer than [`MAX_BINS`] entries so the code fits
+/// in a `u8`.
 #[inline]
-fn encode(cuts: &[f64], v: f64) -> u8 {
+pub fn encode_value(cuts: &[f64], v: f64) -> u8 {
+    debug_assert!(cuts.len() < MAX_BINS);
     cuts.partition_point(|c| v.total_cmp(c) == std::cmp::Ordering::Greater) as u8
+}
+
+/// Encodes a batch to u8 bin codes, column-major, in one pass.
+///
+/// `cuts[f]` is the ascending cut grid for feature `f`; `out` receives
+/// `x.rows()` codes per feature at `out[f * x.rows() + row]` — the
+/// layout quantized tree traversal wants, where one cache line of
+/// codes serves 64 rows.
+///
+/// Cuts must be finite-or-infinite (no NaN) and `-0.0`-free — every
+/// grid this crate builds is — so the code can be computed with plain
+/// IEEE comparisons: `code = #{c : !(v <= c)}` agrees with
+/// [`encode_value`] for every `v` (NaN fails every `<=`, counting all
+/// cuts and landing in the last bin, exactly where `total_cmp` puts
+/// it). The batch is processed in sixteen-row panels: a panel's rows
+/// stay L1-hot across every feature, each feature's sixteen values
+/// gather into a lane array once, and every cut then costs a single
+/// sixteen-wide packed compare plus a masked byte increment —
+/// branchless counting of `code = #{c : !(v <= c)}`. Output lands
+/// column-major directly, so the traversal side reads each feature's
+/// codes as a contiguous run.
+///
+/// # Panics
+/// Panics if `cuts.len() != x.cols()` or `out` is not exactly
+/// `x.rows() * x.cols()` long.
+// `!(v <= cut)` is NOT `v > cut`: NaN must fail the `<=` and count
+// every cut to land in the last bin, matching `encode_value`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn encode_batch_into(cuts: &[Vec<f64>], x: MatrixView<'_>, out: &mut [u8]) {
+    assert_eq!(cuts.len(), x.cols(), "one cut grid per feature");
+    assert_eq!(out.len(), x.rows() * x.cols(), "code buffer size");
+    debug_assert!(cuts
+        .iter()
+        .flatten()
+        .all(|c| !c.is_nan() && (*c != 0.0 || c.is_sign_positive())));
+    let rows = x.rows();
+    let cols = x.cols();
+    if rows == 0 {
+        return;
+    }
+    let data = x.as_slice();
+    let stride = cols.max(1);
+    let mut r = 0;
+    while r + 16 <= rows {
+        let base = r * stride;
+        for (f, feature_cuts) in cuts.iter().enumerate() {
+            let dst = &mut out[f * rows + r..f * rows + r + 16];
+            if feature_cuts.is_empty() {
+                // Constant feature: never split on, every row is bin 0.
+                dst.fill(0);
+                continue;
+            }
+            let mut v = [0.0f64; 16];
+            for (k, lane) in v.iter_mut().enumerate() {
+                *lane = data[base + k * stride + f];
+            }
+            let mut cnt = [0u8; 16];
+            for &cut in feature_cuts {
+                for (c, lane) in cnt.iter_mut().zip(&v) {
+                    *c += u8::from(!(*lane <= cut));
+                }
+            }
+            dst.copy_from_slice(&cnt);
+        }
+        r += 16;
+    }
+    // Tail rows (fewer than a panel): scalar counting per cell.
+    while r < rows {
+        for (f, feature_cuts) in cuts.iter().enumerate() {
+            let v = data[r * stride + f];
+            out[f * rows + r] = if feature_cuts.len() <= 16 {
+                let mut c = 0u8;
+                for &cut in feature_cuts {
+                    c += u8::from(!(v <= cut));
+                }
+                c
+            } else {
+                feature_cuts.partition_point(|&cut| !(v <= cut)) as u8
+            };
+        }
+        r += 1;
+    }
 }
 
 /// Cut points for one sorted column: midpoints between all adjacent

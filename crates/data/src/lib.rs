@@ -26,7 +26,7 @@ pub mod sanitize;
 pub mod split;
 pub mod stats;
 
-pub use binning::BinIndex;
+pub use binning::{encode_batch_into, encode_value, BinIndex};
 pub use dataset::{ClassIndex, Dataset};
 pub use error::SpeError;
 pub use matrix::{Matrix, MatrixView};

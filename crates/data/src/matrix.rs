@@ -255,6 +255,24 @@ pub struct MatrixView<'a> {
 }
 
 impl<'a> MatrixView<'a> {
+    /// Wraps a borrowed row-major buffer as a view without copying.
+    ///
+    /// The serving batch loop uses this to score rows gathered into a
+    /// reusable buffer without building an owned [`Matrix`] per batch.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    #[inline]
+    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
     /// Number of rows in the view.
     #[inline]
     pub fn rows(&self) -> usize {

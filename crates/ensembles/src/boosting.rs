@@ -10,7 +10,7 @@
 //!   minority samples (SMOTE) to the weighted training set; synthetics
 //!   exist only for that round and never receive boosting weight updates.
 
-use spe_data::{Matrix, SeededRng};
+use spe_data::{Matrix, MatrixView, SeededRng};
 use spe_learners::traits::{check_fit_inputs, ConstantModel, Learner, Model, SharedLearner};
 use spe_learners::DecisionTreeConfig;
 use spe_sampling::generate_synthetics;
@@ -80,10 +80,10 @@ struct BoostedModel {
 }
 
 impl Model for BoostedModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let mut acc = vec![0.0; x.rows()];
         for (alpha, m) in &self.members {
-            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba_view(x)) {
                 *a += alpha * (2.0 * p - 1.0);
             }
         }

@@ -20,7 +20,7 @@
 
 use crate::traits::{check_fit_inputs, effective_weights, ConstantModel, Learner, Model};
 use crate::tree::DecisionTreeConfig;
-use spe_data::Matrix;
+use spe_data::{Matrix, MatrixView};
 use std::sync::Arc;
 
 /// AdaBoost hyper-parameters.
@@ -83,10 +83,10 @@ struct AdaBoostModel {
 }
 
 impl AdaBoostModel {
-    fn decision(&self, x: &Matrix) -> Vec<f64> {
+    fn decision(&self, x: MatrixView<'_>) -> Vec<f64> {
         let mut acc = vec![0.0; x.rows()];
         for m in &self.members {
-            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba_view(x)) {
                 *a += half_log_odds(p);
             }
         }
@@ -102,7 +102,7 @@ fn half_log_odds(p: f64) -> f64 {
 }
 
 impl Model for AdaBoostModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let scale = 1.0 / (self.members.len() as f64).max(1.0);
         self.decision(x)
             .into_iter()

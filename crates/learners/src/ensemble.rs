@@ -83,13 +83,37 @@ impl SoftVoteEnsemble {
     }
 }
 
-impl Model for SoftVoteEnsemble {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_proba_prefix(x, self.models.len())
-    }
+thread_local! {
+    /// Reusable member-output buffer for [`SoftVoteEnsemble::predict_proba_into`].
+    static MEMBER_SCRATCH: std::cell::Cell<Vec<f64>> = const { std::cell::Cell::new(Vec::new()) };
+}
 
+impl Model for SoftVoteEnsemble {
     fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         self.predict_proba_prefix_view(x, self.models.len())
+    }
+
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output buffer must match row count");
+        // Same accumulation order as `predict_proba_prefix_view` (member
+        // by member, then one divide), so both paths are bit-identical.
+        // The member buffer is thread-local and taken (not borrowed) so
+        // nested soft-votes stay correct, merely re-allocating.
+        let mut member = MEMBER_SCRATCH.with(std::cell::Cell::take);
+        member.clear();
+        member.resize(x.rows(), 0.0);
+        out.fill(0.0);
+        for m in &self.models {
+            m.predict_proba_into(x, &mut member);
+            for (o, &p) in out.iter_mut().zip(&member) {
+                *o += p;
+            }
+        }
+        let k = self.models.len() as f64;
+        for o in out.iter_mut() {
+            *o /= k;
+        }
+        MEMBER_SCRATCH.with(|c| c.set(member));
     }
 
     /// `Some` only when *every* member is itself snapshottable.
@@ -162,7 +186,7 @@ mod tests {
 
     struct Const(f64);
     impl Model for Const {
-        fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
             vec![self.0; x.rows()]
         }
     }

@@ -9,7 +9,7 @@
 //! exactly the property the ensemble's fault-isolation tests need.
 
 use crate::traits::{Learner, Model};
-use spe_data::{Matrix, SeededRng};
+use spe_data::{Matrix, MatrixView, SeededRng};
 use spe_runtime::fork_seed;
 use std::sync::Arc;
 use std::time::Duration;
@@ -95,7 +95,7 @@ impl FaultyLearner {
 pub struct NanModel;
 
 impl Model for NanModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         vec![f64::NAN; x.rows()]
     }
 }

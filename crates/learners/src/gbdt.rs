@@ -14,7 +14,7 @@ use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
 use crate::tree::SplitMethod;
-use spe_data::{BinIndex, Matrix, SeededRng};
+use spe_data::{BinIndex, Matrix, MatrixView, SeededRng};
 
 /// Early-stopping policy for GBDT.
 #[derive(Clone, Copy, Debug)]
@@ -85,18 +85,42 @@ pub struct GbdtModel {
 serde::impl_serde!(GbdtModel { f0, eta, trees });
 
 impl GbdtModel {
-    fn raw_scores(&self, x: &Matrix) -> Vec<f64> {
-        let mut scores = vec![self.f0; x.rows()];
+    fn raw_scores_into(&self, x: MatrixView<'_>, scores: &mut [f64]) {
+        scores.fill(self.f0);
         for t in &self.trees {
-            t.add_scores(x, self.eta, &mut scores);
+            t.add_scores_view(x, self.eta, scores);
         }
-        scores
+    }
+
+    /// Base score `f0` (log-odds of the weighted prior).
+    pub fn base_score(&self) -> f64 {
+        self.f0
+    }
+
+    /// Shrinkage η applied to every tree's contribution.
+    pub fn shrinkage(&self) -> f64 {
+        self.eta
+    }
+
+    /// The boosted regression trees, in boosting order.
+    pub fn trees(&self) -> &[RegTree] {
+        &self.trees
     }
 }
 
 impl Model for GbdtModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        self.raw_scores(x).into_iter().map(sigmoid).collect()
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        let mut scores = vec![0.0; x.rows()];
+        self.predict_proba_into(x, &mut scores);
+        scores
+    }
+
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output buffer must match row count");
+        self.raw_scores_into(x, out);
+        for s in out.iter_mut() {
+            *s = sigmoid(*s);
+        }
     }
 
     fn snapshot(&self) -> Option<ModelSnapshot> {

@@ -63,10 +63,6 @@ impl KnnModel {
 }
 
 impl Model for KnnModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_proba_view(x.view())
-    }
-
     fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let hits = knn_batch_view(&self.x, x, self.k.min(self.x.rows()), false);
         hits.into_iter().map(|neigh| self.vote(&neigh)).collect()

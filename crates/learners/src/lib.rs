@@ -47,10 +47,12 @@ pub use fault::{FaultPlan, FaultyLearner, NanModel};
 pub use forest::RandomForestConfig;
 pub use gbdt::{GbdtConfig, GbdtModel};
 pub use knn::{KnnConfig, KnnModel};
+pub use logistic::sigmoid;
 pub use logistic::{LogisticModel, LogisticRegressionConfig};
 pub use mlp::MlpConfig;
 pub use naive_bayes::GaussianNbConfig;
 pub use persist::ModelSnapshot;
+pub use regtree::RegTree;
 pub use svm::{SvmConfig, SvmModel};
 pub use traits::{BinRequest, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner};
-pub use tree::{DecisionTreeConfig, SplitCriterion, SplitMethod, TreeModel};
+pub use tree::{DecisionTreeConfig, NodeView, SplitCriterion, SplitMethod, TreeModel};

@@ -8,11 +8,14 @@ use crate::persist::ModelSnapshot;
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
-use spe_data::{Matrix, SeededRng, Standardizer};
+use spe_data::{Matrix, MatrixView, SeededRng, Standardizer};
 
 /// Numerically-stable logistic sigmoid.
+///
+/// Public so downstream scoring paths (the serving-side quantized
+/// kernel) can replay GBDT's exact link function bit-for-bit.
 #[inline]
-pub(crate) fn sigmoid(z: f64) -> f64 {
+pub fn sigmoid(z: f64) -> f64 {
     if z >= 0.0 {
         1.0 / (1.0 + (-z).exp())
     } else {
@@ -75,7 +78,7 @@ impl LogisticModel {
 }
 
 impl Model for LogisticModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let mut buf = Vec::with_capacity(x.cols());
         x.iter_rows()
             .map(|r| {

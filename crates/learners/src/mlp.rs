@@ -12,7 +12,7 @@ use crate::logistic::sigmoid;
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
-use spe_data::{Matrix, SeededRng, Standardizer};
+use spe_data::{Matrix, MatrixView, SeededRng, Standardizer};
 
 /// MLP hyper-parameters.
 #[derive(Clone, Debug)]
@@ -86,7 +86,7 @@ struct MlpModel {
 }
 
 impl Model for MlpModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let mut std_buf = Vec::new();
         let mut hid_buf = Vec::with_capacity(self.params.h);
         x.iter_rows()

@@ -6,7 +6,7 @@
 //! variance floor, combined through class log-priors.
 
 use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
-use spe_data::Matrix;
+use spe_data::{Matrix, MatrixView};
 
 /// Gaussian Naive Bayes configuration.
 #[derive(Clone, Copy, Debug)]
@@ -33,7 +33,7 @@ struct NbModel {
 }
 
 impl Model for NbModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         x.iter_rows()
             .map(|row| {
                 let mut ll = [0.0f64; 2];

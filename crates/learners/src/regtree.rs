@@ -12,7 +12,7 @@
 //! round, with sibling histograms derived by parent−child subtraction.
 
 use crate::histogram::{self, BinStat, HistLayout};
-use spe_data::{BinIndex, Matrix};
+use spe_data::{BinIndex, Matrix, MatrixView};
 
 /// Hyper-parameters for the gradient regression tree.
 #[derive(Clone, Debug)]
@@ -185,6 +185,11 @@ impl RegTree {
 
     /// Adds `eta * prediction` to the running scores, in place.
     pub fn add_scores(&self, x: &Matrix, eta: f64, scores: &mut [f64]) {
+        self.add_scores_view(x.view(), eta, scores);
+    }
+
+    /// [`RegTree::add_scores`] over a borrowed row view.
+    pub fn add_scores_view(&self, x: MatrixView<'_>, eta: f64, scores: &mut [f64]) {
         debug_assert_eq!(x.rows(), scores.len());
         for (s, row) in scores.iter_mut().zip(x.iter_rows()) {
             *s += eta * self.predict_one(row);
@@ -194,6 +199,25 @@ impl RegTree {
     /// Node count (diagnostic).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Read-only view of arena node `i` (root at 0), in the same shape
+    /// classification trees expose — `value` here is the leaf weight.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n_nodes()`.
+    pub fn node(&self, i: usize) -> crate::tree::NodeView {
+        let n = self.nodes[i];
+        if n.feature == LEAF {
+            crate::tree::NodeView::Leaf { value: n.value }
+        } else {
+            crate::tree::NodeView::Split {
+                feature: n.feature as usize,
+                threshold: n.value,
+                left: n.left as usize,
+                right: n.right as usize,
+            }
+        }
     }
 }
 

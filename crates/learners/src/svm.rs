@@ -13,7 +13,7 @@ use crate::persist::ModelSnapshot;
 use crate::traits::{
     check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
 };
-use spe_data::{Matrix, SeededRng, Standardizer};
+use spe_data::{Matrix, MatrixView, SeededRng, Standardizer};
 
 /// SVM hyper-parameters.
 #[derive(Clone, Debug)]
@@ -150,7 +150,7 @@ impl SvmModel {
 }
 
 impl Model for SvmModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         let mut std_buf = Vec::new();
         let mut rff_buf = Vec::new();
         x.iter_rows()

@@ -5,22 +5,38 @@ use spe_data::{BinIndex, Matrix, MatrixView, SpeError};
 use std::sync::Arc;
 
 /// A trained classifier: immutable, thread-safe, probability-scoring.
+///
+/// The required entry point is view-based: every model scores borrowed
+/// row chunks directly, so batch predictors can fan a matrix out across
+/// threads without per-chunk copies. The owned-matrix and write-into
+/// forms are derived conveniences.
 pub trait Model: Send + Sync {
     /// Probability of the positive (minority) class for each row of `x`.
     ///
     /// Values lie in `[0, 1]`. Implementations that natively produce a
     /// margin (SVM, AdaBoost) squash it into this range so the hardness
     /// functions of SPE remain well-defined.
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64>;
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64>;
 
-    /// [`Model::predict_proba`] over a borrowed row view.
+    /// [`Model::predict_proba_view`] over an owned matrix.
     ///
-    /// Batch predictors chunk their input across threads; this entry
-    /// point lets models score a chunk without the row-copy that
-    /// `Matrix::row_range` pays. The default falls back to copying, so
-    /// only hot models (trees, ensembles, KNN) need an override.
-    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
-        self.predict_proba(&x.to_matrix())
+    /// Pure convenience: borrows `x` as a view, no copy involved.
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_proba_view(x.view())
+    }
+
+    /// Writes the probabilities for `x` into `out` (one per row).
+    ///
+    /// The serving engine's steady-state path: callers own the output
+    /// buffer, so scoring a batch allocates nothing per call once hot
+    /// models override this. The default delegates to
+    /// [`Model::predict_proba_view`] and copies.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != x.rows()`.
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output buffer must match row count");
+        out.copy_from_slice(&self.predict_proba_view(x));
     }
 
     /// Hard 0/1 labels at the 0.5 probability threshold.
@@ -241,12 +257,13 @@ pub(crate) fn weighted_positive_fraction(y: &[u8], w: &[f64]) -> f64 {
 pub struct ConstantModel(pub f64);
 
 impl Model for ConstantModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         vec![self.0; x.rows()]
     }
 
-    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
-        vec![self.0; x.rows()]
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output buffer must match row count");
+        out.fill(self.0);
     }
 
     fn snapshot(&self) -> Option<ModelSnapshot> {

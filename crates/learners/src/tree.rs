@@ -246,6 +246,33 @@ fn validate_arena(nodes: &[FlatNode]) -> Result<(), String> {
     Ok(())
 }
 
+/// Read-only view of one flat-arena tree node, for consumers that
+/// re-compile trees into other layouts (the serving-side quantized
+/// kernel) without exposing the private arena representation.
+///
+/// Indices come from [`TreeModel::node`] / `RegTree::node`; the root is
+/// node 0 and children always point strictly forward in the arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NodeView {
+    /// A terminal node carrying the prediction (probability for
+    /// classification trees, leaf weight for regression trees).
+    Leaf {
+        /// Predicted value.
+        value: f64,
+    },
+    /// An internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index tested.
+        feature: usize,
+        /// Split threshold (`<=` goes left, `NaN` goes right).
+        threshold: f64,
+        /// Arena index of the left child (`> self`).
+        left: usize,
+        /// Arena index of the right child (`> self`).
+        right: usize,
+    },
+}
+
 impl TreeModel {
     /// Probability of the positive class for one sample.
     #[inline]
@@ -281,15 +308,36 @@ impl TreeModel {
         }
         go(&self.nodes, 0)
     }
+
+    /// Read-only view of arena node `i` (root at 0).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.n_nodes()`.
+    pub fn node(&self, i: usize) -> NodeView {
+        let n = self.nodes[i];
+        if n.feature == LEAF {
+            NodeView::Leaf { value: n.value }
+        } else {
+            NodeView::Split {
+                feature: n.feature as usize,
+                threshold: n.value,
+                left: n.left as usize,
+                right: n.right as usize,
+            }
+        }
+    }
 }
 
 impl Model for TreeModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         x.iter_rows().map(|r| self.predict_one(r)).collect()
     }
 
-    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
-        x.iter_rows().map(|r| self.predict_one(r)).collect()
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output buffer must match row count");
+        for (o, r) in out.iter_mut().zip(x.iter_rows()) {
+            *o = self.predict_one(r);
+        }
     }
 
     fn snapshot(&self) -> Option<ModelSnapshot> {

@@ -9,23 +9,48 @@
 //! first. Batches are scored through the model's batch entry point,
 //! which fans out across the shared `spe-runtime` pool.
 //!
-//! The model lives behind an `RwLock<Arc<dyn Model>>` registry slot, so
-//! a retrained model can be hot-swapped with [`ScoringEngine::swap_model`]
-//! while requests are in flight: in-flight batches finish on the Arc
-//! they already cloned, later batches pick up the new model. Nothing
-//! blocks for longer than the pointer swap.
+//! The model lives behind an `RwLock`ed registry slot, so a retrained
+//! model can be hot-swapped with [`ScoringEngine::swap_model`] while
+//! requests are in flight: in-flight batches finish on the Arc they
+//! already cloned, later batches pick up the new model. Nothing blocks
+//! for longer than the pointer swap.
+//!
+//! Scoring runs on one of two backends selected by [`ScoreBackend`]:
+//! the plain f64 path through the model itself, or the
+//! [quantized](crate::quantize) u8 kernel compiled from the model's
+//! snapshot. Both produce bit-identical probabilities; `Auto` (the
+//! default) quantizes when the model supports it and silently keeps the
+//! f64 path otherwise.
 
 use crate::error::ServeError;
+use crate::quantize::QuantizedModel;
 use crossbeam::deque::Injector;
 use parking_lot::{Condvar, Mutex, RwLock};
-use spe_data::Matrix;
+use spe_data::{Matrix, MatrixView};
 use spe_learners::Model;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for the [`ScoringEngine`].
+/// Which kernel the engine scores with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScoreBackend {
+    /// Always traverse the model's own f64 representation.
+    F64,
+    /// Require the quantized u8 kernel; [`ScoringEngine::start`] and
+    /// [`ScoringEngine::swap_model`] fail with
+    /// [`ServeError::Unquantizable`] if the model cannot compile.
+    Quantized,
+    /// Use the quantized kernel when the model compiles, the f64 path
+    /// otherwise. [`ScoringEngine::backend`] reports which one won.
+    #[default]
+    Auto,
+}
+
+/// Tuning knobs for the [`ScoringEngine`]. Build with
+/// [`EngineConfig::builder`], which validates the parameters instead of
+/// clamping them; `EngineConfig::default()` is the builder's default.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Rows per batch at which the scheduler flushes immediately.
@@ -37,6 +62,8 @@ pub struct EngineConfig {
     /// [`ServeError::QueueFull`] so overload backpressures the caller
     /// instead of growing an unbounded buffer.
     pub queue_capacity: usize,
+    /// Scoring kernel selection.
+    pub backend: ScoreBackend,
 }
 
 impl Default for EngineConfig {
@@ -45,7 +72,73 @@ impl Default for EngineConfig {
             max_batch: 64,
             max_delay: Duration::from_millis(2),
             queue_capacity: 1024,
+            backend: ScoreBackend::Auto,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder with the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Chainable builder for [`EngineConfig`], in the style of
+/// `SelfPacedEnsembleConfig::builder()`: setters accumulate, `build`
+/// validates and reports problems as [`ServeError::InvalidConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Rows per batch at which the scheduler flushes immediately.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Longest a queued row waits before its batch is flushed anyway.
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.config.max_delay = max_delay;
+        self
+    }
+
+    /// Queue capacity before submissions fail with `QueueFull`.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Scoring kernel selection.
+    pub fn backend(mut self, backend: ScoreBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig, ServeError> {
+        let c = &self.config;
+        if c.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        if c.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if c.queue_capacity < c.max_batch {
+            return Err(ServeError::InvalidConfig(format!(
+                "queue_capacity ({}) must hold at least one full batch ({})",
+                c.queue_capacity, c.max_batch
+            )));
+        }
+        Ok(self.config)
     }
 }
 
@@ -189,10 +282,50 @@ impl PendingScore {
     }
 }
 
+/// The served model plus its (optional) quantized compilation; both
+/// swap atomically under the registry lock so a batch never mixes
+/// kernels from different models.
+struct ServingSlot {
+    model: Arc<dyn Model>,
+    quantized: Option<Arc<QuantizedModel>>,
+}
+
+impl ServingSlot {
+    /// Resolves `backend` for `model`: compiles the quantized kernel
+    /// when requested (hard failure for `Quantized`, silent f64
+    /// fallback for `Auto`).
+    fn resolve(
+        model: Arc<dyn Model>,
+        n_features: usize,
+        backend: ScoreBackend,
+    ) -> Result<Self, ServeError> {
+        let compile = || -> Result<QuantizedModel, ServeError> {
+            let snap = model.snapshot().ok_or_else(|| {
+                ServeError::Unquantizable("model does not support snapshots".into())
+            })?;
+            QuantizedModel::compile(&snap, n_features)
+        };
+        let quantized = match backend {
+            ScoreBackend::F64 => None,
+            ScoreBackend::Quantized => Some(Arc::new(compile()?)),
+            ScoreBackend::Auto => compile().ok().map(Arc::new),
+        };
+        Ok(Self { model, quantized })
+    }
+
+    /// The scorer batches should run on.
+    fn active(&self) -> Arc<dyn Model> {
+        match &self.quantized {
+            Some(q) => Arc::clone(q) as Arc<dyn Model>,
+            None => Arc::clone(&self.model),
+        }
+    }
+}
+
 /// State shared between the engine handle and its scheduler thread.
 struct Shared {
     queue: Injector<Request>,
-    model: RwLock<Arc<dyn Model>>,
+    model: RwLock<ServingSlot>,
     /// Scheduler wake signal: set when work arrives or on shutdown.
     wake: Mutex<bool>,
     wake_cv: Condvar,
@@ -214,29 +347,49 @@ pub struct ScoringEngine {
 
 impl ScoringEngine {
     /// Starts an engine serving `model` for rows of `n_features`.
-    pub fn new(model: Box<dyn Model>, n_features: usize, config: EngineConfig) -> Self {
+    ///
+    /// Fails with [`ServeError::InvalidConfig`] on out-of-range
+    /// parameters (hand-built configs bypassing
+    /// [`EngineConfig::builder`] are re-validated here), with
+    /// [`ServeError::Unquantizable`] when `config.backend` demands the
+    /// quantized kernel and the model cannot compile, and with
+    /// [`ServeError::Io`] if the scheduler thread cannot spawn.
+    pub fn start(
+        model: Box<dyn Model>,
+        n_features: usize,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let config = EngineConfigBuilder { config }.build()?;
+        let slot = ServingSlot::resolve(Arc::from(model), n_features, config.backend)?;
         let shared = Arc::new(Shared {
             queue: Injector::new(),
-            model: RwLock::new(Arc::from(model)),
+            model: RwLock::new(slot),
             wake: Mutex::new(false),
             wake_cv: Condvar::new(),
             stopping: AtomicBool::new(false),
             stats: StatsInner::new(),
-            config: EngineConfig {
-                max_batch: config.max_batch.max(1),
-                queue_capacity: config.queue_capacity.max(1),
-                ..config
-            },
+            config,
             n_features,
         });
         let worker = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
             .name("spe-serve-scheduler".into())
             .spawn(move || scheduler_loop(&worker))
-            .unwrap_or_else(|e| panic!("failed to spawn scheduler thread: {e}"));
-        Self {
+            .map_err(|e| ServeError::Io(format!("failed to spawn scheduler thread: {e}")))?;
+        Ok(Self {
             shared,
             scheduler: Some(scheduler),
+        })
+    }
+
+    /// The backend the *current* model actually scores on — `Quantized`
+    /// only when a compiled kernel is installed. An `Auto` engine
+    /// reports what auto-selection picked.
+    pub fn backend(&self) -> ScoreBackend {
+        if self.shared.model.read().quantized.is_some() {
+            ScoreBackend::Quantized
+        } else {
+            ScoreBackend::F64
         }
     }
 
@@ -277,6 +430,23 @@ impl ScoringEngine {
     /// Rows fan out across the shared runtime in contiguous chunks; the
     /// output is bit-identical to scoring the matrix in one call.
     pub fn score_matrix(&self, x: &Matrix) -> Result<Vec<f64>, ServeError> {
+        let mut out = vec![0.0; x.rows()];
+        self.score_into(x.view(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Scores a borrowed row block into a caller-owned buffer — the
+    /// zero-alloc serving path.
+    ///
+    /// Steady-state scoring through this entry allocates nothing: the
+    /// input is a view, the output is the caller's slice, and the
+    /// backend's per-batch scratch is thread-local. Small batches skip
+    /// the fan-out machinery entirely; larger ones split across the
+    /// shared runtime in contiguous chunks. Chunk geometry mirrors
+    /// `par_chunks` (≥64 rows, ≤4 chunks/thread); per-row results are
+    /// chunk-independent, so the output is bit-identical for every
+    /// thread count and batch split.
+    pub fn score_into(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), ServeError> {
         if self.shared.stopping.load(Ordering::Acquire) {
             return Err(ServeError::EngineStopped);
         }
@@ -286,28 +456,52 @@ impl ScoringEngine {
                 got: x.cols(),
             });
         }
-        let model = Arc::clone(&self.shared.model.read());
-        let view = x.view();
-        let chunks = spe_runtime::par_chunks(x.rows(), 64, |range| {
-            model.predict_proba_view(view.rows_range(range))
-        });
+        if out.len() != x.rows() {
+            return Err(ServeError::OutputLengthMismatch {
+                expected: x.rows(),
+                got: out.len(),
+            });
+        }
+        let model = self.shared.model.read().active();
+        let threads = spe_runtime::current_threads().max(1);
+        let chunk_len = x.rows().div_ceil(threads * 4).max(64);
+        if threads <= 1 || x.rows() <= chunk_len {
+            // One worker (or one chunk) gains nothing from splitting —
+            // score the whole block in place.
+            model.predict_proba_into(x, out);
+        } else {
+            let mut chunks: Vec<&mut [f64]> = out.chunks_mut(chunk_len).collect();
+            spe_runtime::par_for_each_mut(&mut chunks, |i, chunk| {
+                let start = i * chunk_len;
+                model.predict_proba_into(x.rows_range(start..start + chunk.len()), chunk);
+            });
+        }
         self.shared
             .stats
             .direct_rows
             .fetch_add(x.rows() as u64, Ordering::Relaxed);
-        Ok(chunks.into_iter().flatten().collect())
+        Ok(())
     }
 
     /// Installs a new model; later batches score against it.
     ///
     /// In-flight batches finish on the model they already hold, so
-    /// there is no downtime and no torn batch.
-    pub fn swap_model(&self, model: Box<dyn Model>) {
-        *self.shared.model.write() = Arc::from(model);
+    /// there is no downtime and no torn batch. The configured
+    /// [`ScoreBackend`] is re-resolved for the new model; on a
+    /// `Quantized` engine a model that cannot compile is rejected and
+    /// the old model keeps serving.
+    pub fn swap_model(&self, model: Box<dyn Model>) -> Result<(), ServeError> {
+        let slot = ServingSlot::resolve(
+            Arc::from(model),
+            self.shared.n_features,
+            self.shared.config.backend,
+        )?;
+        *self.shared.model.write() = slot;
         self.shared
             .stats
             .model_swaps
             .fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Rows currently waiting in the queue.
@@ -349,6 +543,12 @@ fn drain(queue: &Injector<Request>, batch: &mut Vec<Request>, limit: usize) {
 
 fn scheduler_loop(shared: &Shared) {
     let max_batch = shared.config.max_batch;
+    // Buffers reused across batches: requests, the gathered row-major
+    // feature block and the probability output. Steady-state scoring
+    // allocates nothing per batch.
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    let mut rows: Vec<f64> = Vec::with_capacity(max_batch * shared.n_features);
+    let mut probs: Vec<f64> = Vec::with_capacity(max_batch);
     loop {
         // Sleep until work or shutdown.
         {
@@ -364,7 +564,7 @@ fn scheduler_loop(shared: &Shared) {
         }
 
         let started = Instant::now();
-        let mut batch = Vec::with_capacity(max_batch);
+        batch.clear();
         drain(&shared.queue, &mut batch, max_batch);
         if batch.is_empty() {
             continue;
@@ -388,33 +588,46 @@ fn scheduler_loop(shared: &Shared) {
             drain(&shared.queue, &mut batch, max_batch);
         }
 
-        score_batch(shared, batch, started);
+        score_batch(shared, &batch, &mut rows, &mut probs, started);
     }
 }
 
-fn score_batch(shared: &Shared, batch: Vec<Request>, started: Instant) {
-    let mut x = Matrix::with_capacity(batch.len(), shared.n_features);
-    for req in &batch {
-        x.push_row(&req.row);
+fn score_batch(
+    shared: &Shared,
+    batch: &[Request],
+    rows: &mut Vec<f64>,
+    probs: &mut Vec<f64>,
+    started: Instant,
+) {
+    // Gather the rows into the reusable row-major buffer and score
+    // through `predict_proba_into` — no owned `Matrix`, no per-batch
+    // output vector.
+    rows.clear();
+    for req in batch {
+        rows.extend_from_slice(&req.row);
     }
-    let model = Arc::clone(&shared.model.read());
-    let probs = model.predict_proba(&x);
+    probs.clear();
+    probs.resize(batch.len(), 0.0);
+    let x = MatrixView::from_slice(rows, batch.len(), shared.n_features);
+    let model = shared.model.read().active();
+    // A misbehaving custom model (wrong output length, internal panic)
+    // must fail the batch with a typed error, not kill the scheduler
+    // thread and hang every waiter.
+    let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        model.predict_proba_into(x, probs);
+    }));
     // Record before filling any slot: a waiter released by `fill` may
     // read the stats immediately and must already see this batch.
     shared.stats.record_batch(started.elapsed());
-    if probs.len() != batch.len() {
-        // A misbehaving custom model; fail the whole batch rather than
-        // misassign probabilities.
-        for req in &batch {
-            req.slot.fill(Err(ServeError::Corrupt(format!(
-                "model returned {} probabilities for {} rows",
-                probs.len(),
-                batch.len()
-            ))));
+    if scored.is_err() {
+        for req in batch {
+            req.slot.fill(Err(ServeError::Corrupt(
+                "model panicked while scoring the batch".into(),
+            )));
         }
         return;
     }
-    for (req, p) in batch.iter().zip(probs) {
+    for (req, &p) in batch.iter().zip(probs.iter()) {
         req.slot.fill(Ok(p));
     }
 }
@@ -428,13 +641,13 @@ mod tests {
     /// makes result/request alignment checkable.
     struct Echo;
     impl Model for Echo {
-        fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
             x.iter_rows().map(|r| r[0]).collect()
         }
     }
 
     fn engine(model: Box<dyn Model>) -> ScoringEngine {
-        ScoringEngine::new(model, 2, EngineConfig::default())
+        ScoringEngine::start(model, 2, EngineConfig::default()).unwrap_or_else(|e| panic!("{e}"))
     }
 
     #[test]
@@ -479,7 +692,7 @@ mod tests {
     /// can fill the queue deterministically.
     struct Slow;
     impl Model for Slow {
-        fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
             std::thread::sleep(Duration::from_millis(40));
             vec![0.5; x.rows()]
         }
@@ -487,12 +700,13 @@ mod tests {
 
     #[test]
     fn queue_overflow_backpressures() {
-        let cfg = EngineConfig {
-            queue_capacity: 4,
-            max_batch: 1,
-            max_delay: Duration::ZERO,
-        };
-        let e = ScoringEngine::new(Box::new(Slow), 1, cfg);
+        let cfg = EngineConfig::builder()
+            .queue_capacity(4)
+            .max_batch(1)
+            .max_delay(Duration::ZERO)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let e = ScoringEngine::start(Box::new(Slow), 1, cfg).unwrap_or_else(|e| panic!("{e}"));
         // First row gets pulled into a (slow) batch almost immediately.
         let mut pending = vec![e.submit(&[0.0]).unwrap_or_else(|err| panic!("{err}"))];
         std::thread::sleep(Duration::from_millis(10));
@@ -542,7 +756,8 @@ mod tests {
         let e = engine(Box::new(ConstantModel(0.1)));
         let before = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
         assert_eq!(before.wait(), Ok(0.1));
-        e.swap_model(Box::new(ConstantModel(0.9)));
+        e.swap_model(Box::new(ConstantModel(0.9)))
+            .unwrap_or_else(|err| panic!("{err}"));
         let after = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
         assert_eq!(after.wait(), Ok(0.9));
         assert_eq!(e.stats().model_swaps, 1);
@@ -564,6 +779,36 @@ mod tests {
     }
 
     #[test]
+    fn score_into_matches_score_matrix_and_checks_buffer() {
+        let e = engine(Box::new(Echo));
+        let x = Matrix::from_vec(4, 2, vec![0.1, 0.0, 0.2, 0.0, 0.3, 0.0, 0.4, 0.0]);
+        let mut buf = vec![0.0; 4];
+        e.score_into(x.view(), &mut buf)
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(
+            buf,
+            e.score_matrix(&x).unwrap_or_else(|err| panic!("{err}"))
+        );
+        let mut short = vec![0.0; 3];
+        assert!(matches!(
+            e.score_into(x.view(), &mut short),
+            Err(ServeError::OutputLengthMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
+        let wide = Matrix::from_vec(1, 3, vec![0.1, 0.2, 0.3]);
+        let mut one = vec![0.0; 1];
+        assert!(matches!(
+            e.score_into(wide.view(), &mut one),
+            Err(ServeError::RowWidthMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
     fn latency_percentiles_populate() {
         let e = engine(Box::new(Echo));
         for _ in 0..5 {
@@ -572,5 +817,90 @@ mod tests {
         }
         let s = e.stats();
         assert!(s.p50_batch_latency_us <= s.p99_batch_latency_us);
+    }
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        let zero_batch = EngineConfig::builder().max_batch(0).build();
+        assert!(matches!(zero_batch, Err(ServeError::InvalidConfig(_))));
+        let zero_queue = EngineConfig::builder().queue_capacity(0).build();
+        assert!(matches!(zero_queue, Err(ServeError::InvalidConfig(_))));
+        let queue_lt_batch = EngineConfig::builder()
+            .max_batch(64)
+            .queue_capacity(8)
+            .build();
+        assert!(matches!(queue_lt_batch, Err(ServeError::InvalidConfig(_))));
+        // `start` re-validates so a hand-built struct literal can't
+        // smuggle a bad config past the builder.
+        let cfg = EngineConfig {
+            max_batch: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            ScoringEngine::start(Box::new(Echo), 2, cfg).map(|_| ()),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn backend_selection_and_fallback() {
+        // Echo has no snapshot: Quantized is a hard error, Auto falls
+        // back to the f64 path and keeps serving.
+        let want_quantized = EngineConfig::builder()
+            .backend(ScoreBackend::Quantized)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(matches!(
+            ScoringEngine::start(Box::new(Echo), 2, want_quantized).map(|_| ()),
+            Err(ServeError::Unquantizable(_))
+        ));
+        let e = engine(Box::new(Echo));
+        assert_eq!(e.backend(), ScoreBackend::F64);
+        let p = e.submit(&[0.75, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait(), Ok(0.75));
+        // A quantizable swap target upgrades the slot in place.
+        e.swap_model(Box::new(ConstantModel(0.5)))
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(e.backend(), ScoreBackend::Quantized);
+        let p = e.submit(&[0.1, 0.2]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait(), Ok(0.5));
+    }
+
+    #[test]
+    fn swap_failure_keeps_old_model_serving() {
+        let cfg = EngineConfig::builder()
+            .backend(ScoreBackend::Quantized)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let e = ScoringEngine::start(Box::new(ConstantModel(0.3)), 2, cfg)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(matches!(
+            e.swap_model(Box::new(Echo)),
+            Err(ServeError::Unquantizable(_))
+        ));
+        assert_eq!(e.stats().model_swaps, 0);
+        let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait(), Ok(0.3));
+    }
+
+    /// Model that panics while scoring — the batch must resolve to
+    /// `Corrupt` errors instead of hanging every waiter.
+    struct Panicky;
+    impl Model for Panicky {
+        fn predict_proba_view(&self, _x: MatrixView<'_>) -> Vec<f64> {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn panicking_model_fails_the_batch_not_the_engine() {
+        let e = engine(Box::new(Panicky));
+        let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert!(matches!(p.wait(), Err(ServeError::Corrupt(_))));
+        // Scheduler survived; a healthy swap restores service.
+        e.swap_model(Box::new(ConstantModel(0.6)))
+            .unwrap_or_else(|err| panic!("{err}"));
+        let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait(), Ok(0.6));
     }
 }

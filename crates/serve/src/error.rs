@@ -55,8 +55,23 @@ pub enum ServeError {
         /// Feature count of the offending row.
         got: usize,
     },
+    /// A caller-owned output buffer does not hold one slot per row of
+    /// the batch being scored.
+    OutputLengthMismatch {
+        /// Rows in the batch (slots required).
+        expected: usize,
+        /// Length of the buffer the caller passed.
+        got: usize,
+    },
     /// A training-side error bubbled through a fit-then-save pipeline.
     Train(SpeError),
+    /// An engine configuration parameter is out of range (rejected by
+    /// `EngineConfig::builder()` instead of being silently clamped).
+    InvalidConfig(String),
+    /// The model cannot be compiled to the quantized backend (no
+    /// snapshot, an unsupported member kind, or a feature tested
+    /// against more distinct thresholds than a u8 code can carry).
+    Unquantizable(String),
 }
 
 impl fmt::Display for ServeError {
@@ -86,7 +101,17 @@ impl fmt::Display for ServeError {
             ServeError::RowWidthMismatch { expected, got } => {
                 write!(f, "row has {got} features, engine expects {expected}")
             }
+            ServeError::OutputLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "output buffer holds {got} slots, batch has {expected} rows"
+                )
+            }
             ServeError::Train(e) => write!(f, "training failed: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid engine config: {msg}"),
+            ServeError::Unquantizable(msg) => {
+                write!(f, "model cannot use the quantized backend: {msg}")
+            }
         }
     }
 }

@@ -14,14 +14,24 @@
 //!   (flushing on size or delay) and scores them through the shared
 //!   `spe-runtime` pool. The served model sits behind a hot-swap
 //!   registry slot so retrained models roll out with zero downtime.
+//! - [`quantize`] — a u8-quantized tree kernel. Tree-shaped snapshots
+//!   (DT, GBDT, SPE, soft-vote) compile into flat node arrays whose
+//!   split thresholds are bin codes against a serving-side cut grid;
+//!   each batch is encoded to u8 once and traversed batch-major. The
+//!   engine picks it automatically ([`ScoreBackend::Auto`]) and the
+//!   scores are bit-identical to the f64 path.
 //!
 //! ```no_run
-//! use spe_serve::{save_model, load_spe, EngineConfig, ScoringEngine};
+//! use spe_serve::{save_model, load_spe, EngineConfig, ScoreBackend, ScoringEngine};
 //! # fn demo(model: &dyn spe_learners::Model) -> Result<(), spe_serve::ServeError> {
 //! let path = std::path::Path::new("fraud.spe");
 //! save_model(path, model, vec![("trained_on".into(), "2026-08".into())])?;
 //! let loaded = load_spe(path)?;
-//! let engine = ScoringEngine::new(Box::new(loaded), 30, EngineConfig::default());
+//! let config = EngineConfig::builder()
+//!     .max_batch(256)
+//!     .backend(ScoreBackend::Auto)
+//!     .build()?;
+//! let engine = ScoringEngine::start(Box::new(loaded), 30, config)?;
 //! let p = engine.submit(&[0.0; 30])?.wait()?;
 //! # let _ = p; Ok(())
 //! # }
@@ -30,13 +40,17 @@
 pub mod engine;
 pub mod envelope;
 pub mod error;
+pub mod quantize;
 
-pub use engine::{EngineConfig, PendingScore, ScoringEngine, ServeStats};
+pub use engine::{
+    EngineConfig, EngineConfigBuilder, PendingScore, ScoreBackend, ScoringEngine, ServeStats,
+};
 pub use envelope::{
     fnv1a, load_envelope, load_model, load_model_expecting, load_spe, save_model, save_snapshot,
     ModelEnvelope, FORMAT_VERSION, MAGIC,
 };
 pub use error::ServeError;
+pub use quantize::QuantizedModel;
 
 #[cfg(test)]
 mod tests {
@@ -101,7 +115,12 @@ mod tests {
         let path = tmp_path("engine.spe");
         save_model(&path, &model, Vec::new()).unwrap_or_else(|e| panic!("{e}"));
         let loaded = load_model(&path).unwrap_or_else(|e| panic!("{e}"));
-        let engine = ScoringEngine::new(loaded, data.x().cols(), EngineConfig::default());
+        let engine = ScoringEngine::start(loaded, data.x().cols(), EngineConfig::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        // A loaded SPE is tree-shaped, so `Auto` must select the
+        // quantized backend — and still agree bit-for-bit with the
+        // model's own f64 path.
+        assert_eq!(engine.backend(), ScoreBackend::Quantized);
         let want = model.predict_proba(data.x());
         // Batched direct path.
         let got = engine

@@ -1,0 +1,957 @@
+//! Quantized u8 inference kernel: the serving-side twin of the
+//! training-side histogram engine.
+//!
+//! [`QuantizedModel::compile`] takes a [`ModelSnapshot`] of a decision
+//! tree, a GBDT, or an SPE/soft-vote ensemble of those and re-expresses
+//! every split threshold as a **u8 bin code** against a per-feature cut
+//! grid harvested from the trees themselves. Scoring a batch then costs
+//! one f64→u8 encode pass per column plus branch-free u8 comparisons in
+//! the traversal loop — one 64-byte cache line of codes serves 64 rows,
+//! where the f64 path pulled 8 bytes per row per split.
+//!
+//! # Exactness
+//!
+//! The kernel is **bit-exact**, not approximately equal, to the f64
+//! path. The cut grid for feature `f` is the sorted set of *distinct
+//! thresholds* the compiled trees actually test on `f` (signed zero
+//! normalized to `+0.0`, which `<=` cannot distinguish anyway). Each
+//! split's threshold `t` therefore *is* `cuts[f][b]` for some `b`, and
+//! the training-side invariant from `spe_data::binning` applies
+//! verbatim:
+//!
+//! ```text
+//! encode(cuts, v) <= b  ⟺  v <= cuts[b]      for every v, incl. NaN
+//! ```
+//!
+//! so comparing the u8 code against `b` routes every row — including
+//! `NaN`s, which encode past the last cut and go right — to exactly the
+//! leaf the f64 comparison picks. Member outputs are then reduced by
+//! replaying the floating-point operation order of the source model
+//! (`Σ` in member order, one divide for the soft-vote mean; `f0 +
+//! Σ η·leaf` then the sigmoid for GBDT), so the final probabilities are
+//! identical bit patterns.
+//!
+//! A feature tested with more than 255 distinct thresholds cannot be
+//! coded in a u8; compilation reports that (and unsupported member
+//! kinds) as [`ServeError::Unquantizable`], which the engine's `Auto`
+//! backend treats as "stay on the f64 path".
+
+use crate::error::ServeError;
+use spe_data::{binning, MatrixView};
+use spe_learners::{sigmoid, GbdtModel, Model, ModelSnapshot, NodeView, TreeModel};
+use std::cell::Cell;
+
+/// Rows scored per encode-then-traverse block: codes for a block
+/// (`256 rows × d features` u8) stay L1/L2-resident while every tree
+/// walks them.
+const ROW_BLOCK: usize = 256;
+
+/// One flat node. Children are explicit arena indices; leaves point at
+/// themselves, so the traversal loop can run a fixed `depth` iterations
+/// per row with no branch — once a row reaches a leaf, further steps
+/// are no-ops.
+#[derive(Clone, Copy, Debug)]
+struct QNode {
+    left: u32,
+    right: u32,
+    /// Feature whose code is compared (0 for leaves; reading code
+    /// column 0 is always in bounds because a tree with any split
+    /// implies at least one feature).
+    feature: u32,
+    /// Threshold as an index into the feature's cut grid: code `<= bin`
+    /// goes left, exactly when `value <= cuts[feature][bin]`.
+    bin: u8,
+}
+
+/// One compiled tree: root offset into the shared arena plus its depth
+/// (the fixed traversal trip count), and which evaluation strategy the
+/// compiler picked for it.
+#[derive(Clone, Copy, Debug)]
+struct QTree {
+    root: u32,
+    depth: u32,
+    kind: TreeKind,
+}
+
+/// How a compiled tree is evaluated.
+#[derive(Clone, Copy, Debug)]
+enum TreeKind {
+    /// Level-synchronous bitmask evaluation (QuickScorer-style) for
+    /// trees with at most 64 leaves: apply every *failed* split's
+    /// leaf-mask, then the lowest surviving bit is the exit leaf. No
+    /// pointer chasing — each split node is one load + compare + masked
+    /// AND, fully pipelined across a row lane group.
+    Masked {
+        /// Range into [`QuantizedModel::masked`].
+        nodes: (u32, u32),
+        /// Start of this tree's leaf values in [`QuantizedModel::leaves`].
+        leaves: u32,
+    },
+    /// Fixed-depth pointer walk from `root` — fallback for trees whose
+    /// leaf count overflows a u64 mask.
+    Walk,
+}
+
+/// One split node in the bitmask form. `mask` clears the leaves of the
+/// node's left subtree and is applied exactly when the node's test
+/// fails (`code > bin`, i.e. `value > threshold` — the row goes right,
+/// so no left-subtree leaf can be its exit). NaN codes compare greater
+/// than every bin, failing every test on the row's path — the same
+/// "send right" routing the f64 tree applies.
+#[derive(Clone, Copy, Debug)]
+struct MaskNode {
+    mask: u64,
+    feature: u32,
+    bin: u8,
+}
+
+/// How a member turns its accumulated raw score into a probability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Link {
+    /// Probability-space trees / constants: the score is the output.
+    Identity,
+    /// GBDT: logistic link over the boosted log-odds score.
+    Sigmoid,
+}
+
+/// One ensemble member: a contiguous run of compiled trees plus the
+/// scalar frame (`bias + Σ scale·leaf`, then the link) that replays the
+/// member's own floating-point evaluation order.
+#[derive(Clone, Debug)]
+struct Member {
+    trees: std::ops::Range<usize>,
+    /// Per-tree multiplier: GBDT shrinkage η, 1.0 for plain trees.
+    scale: f64,
+    /// Starting score: GBDT base score `f0`, the constant itself for
+    /// constant members, 0.0 otherwise.
+    bias: f64,
+    link: Link,
+}
+
+/// Reusable per-thread buffers for [`QuantizedModel::predict_proba_into`]:
+/// the u8 code block and the per-member score block. Taken (not
+/// borrowed) from the thread-local so re-entrant scoring stays correct.
+#[derive(Default)]
+struct Scratch {
+    codes: Vec<u8>,
+    member: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: Cell<Scratch> = Cell::new(Scratch::default());
+}
+
+/// A model compiled to the quantized flat representation.
+///
+/// Compiled from (and carrying) a [`ModelSnapshot`], so it persists
+/// through the standard SPEM envelope: `snapshot()` returns the source
+/// snapshot and re-compilation after a round trip is deterministic.
+pub struct QuantizedModel {
+    n_features: usize,
+    /// Per-feature ascending cut grids; `cuts[f][b]` is the `b`-th
+    /// distinct threshold the trees test feature `f` against.
+    cuts: Vec<Vec<f64>>,
+    /// All trees' nodes, arena-concatenated.
+    nodes: Vec<QNode>,
+    /// Leaf payload per node (0.0 for split nodes).
+    values: Vec<f64>,
+    /// Bitmask-form split nodes of all `Masked` trees, concatenated
+    /// (grouped by feature within each tree for cache locality).
+    masked: Vec<MaskNode>,
+    /// Leaf values of all `Masked` trees, left-to-right per tree.
+    leaves: Vec<f64>,
+    trees: Vec<QTree>,
+    members: Vec<Member>,
+    /// Whether the top level is a soft-vote ensemble (divide by member
+    /// count) or a single model (score passes through unchanged).
+    ensemble: bool,
+    /// True when every ensemble member is a bare single tree
+    /// (`bias = +0.0`, `scale = 1.0`, identity link — the SPE shape):
+    /// member scores are then the leaf values themselves, so trees can
+    /// accumulate straight into the output with no per-member buffer.
+    direct: bool,
+    /// `direct` and every tree compiled to the bitmask form: the whole
+    /// forest evaluates in one fused register-blocked pass.
+    fused: bool,
+    source: ModelSnapshot,
+}
+
+impl QuantizedModel {
+    /// Compiles `snapshot` for rows of `n_features` features.
+    ///
+    /// Supported shapes: `Constant`, `Tree`, `Gbdt`, and one level of
+    /// `SoftVote` / `SelfPaced` over those. Anything else — and any
+    /// feature with more than 255 distinct split thresholds — returns
+    /// [`ServeError::Unquantizable`].
+    pub fn compile(snapshot: &ModelSnapshot, n_features: usize) -> Result<Self, ServeError> {
+        let (specs, ensemble) = member_specs(snapshot)?;
+        let cuts = harvest_cuts(&specs, n_features)?;
+
+        let (nodes, values, masked, leaves, trees, members) = {
+            let mut c = Compiler {
+                cuts: &cuts,
+                nodes: Vec::new(),
+                values: Vec::new(),
+                masked: Vec::new(),
+                leaves: Vec::new(),
+                trees: Vec::new(),
+            };
+            let mut members = Vec::with_capacity(specs.len());
+            for spec in &specs {
+                members.push(match *spec {
+                    MemberSpec::Constant(p) => Member {
+                        trees: c.trees.len()..c.trees.len(),
+                        scale: 1.0,
+                        bias: p,
+                        link: Link::Identity,
+                    },
+                    MemberSpec::Tree(t) => {
+                        let start = c.trees.len();
+                        c.push_tree(t.n_nodes(), |i| t.node(i));
+                        Member {
+                            trees: start..start + 1,
+                            scale: 1.0,
+                            bias: 0.0,
+                            link: Link::Identity,
+                        }
+                    }
+                    MemberSpec::Gbdt(g) => {
+                        let start = c.trees.len();
+                        for t in g.trees() {
+                            c.push_tree(t.n_nodes(), |i| t.node(i));
+                        }
+                        Member {
+                            trees: start..start + g.trees().len(),
+                            scale: g.shrinkage(),
+                            bias: g.base_score(),
+                            link: Link::Sigmoid,
+                        }
+                    }
+                });
+            }
+            (c.nodes, c.values, c.masked, c.leaves, c.trees, members)
+        };
+        let direct = ensemble
+            && members.iter().all(|m| {
+                m.trees.len() == 1
+                    && m.scale.to_bits() == 1.0f64.to_bits()
+                    && m.bias.to_bits() == 0
+                    && m.link == Link::Identity
+            });
+        let fused = direct
+            && trees
+                .iter()
+                .all(|t| matches!(t.kind, TreeKind::Masked { .. }));
+
+        Ok(Self {
+            n_features,
+            cuts,
+            nodes,
+            values,
+            masked,
+            leaves,
+            trees,
+            members,
+            ensemble,
+            direct,
+            fused,
+            source: snapshot.clone(),
+        })
+    }
+
+    /// Feature count the model was compiled for.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total compiled trees across all members.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Ensemble member count (1 for a single compiled model).
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Largest cut-grid size across features — how much of the u8 range
+    /// the thresholds actually use.
+    pub fn max_cuts(&self) -> usize {
+        self.cuts.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Scores one encode-sized block of rows.
+    fn score_block(&self, x: MatrixView<'_>, out: &mut [f64], scratch: &mut Scratch) {
+        let rows = x.rows();
+        scratch.codes.clear();
+        scratch.codes.resize(rows * self.n_features, 0);
+        binning::encode_batch_into(&self.cuts, x, &mut scratch.codes);
+
+        if !self.ensemble {
+            // Single model: its score *is* the output, no mean.
+            self.eval_member(&self.members[0], &scratch.codes, rows, out);
+            return;
+        }
+        out.fill(0.0);
+        if self.fused {
+            // Every member is a bare single `Masked` tree: one fused
+            // pass keeps each row group's running sum in registers
+            // across all trees instead of re-reading `out` per tree.
+            self.eval_forest(&scratch.codes, rows, out);
+        } else if self.direct {
+            // Every member is a bare tree (`0.0 + 1.0·leaf` is exactly
+            // `leaf`), so accumulate the trees straight into `out` —
+            // no per-member buffer fill / add pass.
+            for m in &self.members {
+                self.accumulate_tree(self.trees[m.trees.start], &scratch.codes, rows, 1.0, out);
+            }
+        } else {
+            scratch.member.clear();
+            scratch.member.resize(rows, 0.0);
+            for m in &self.members {
+                self.eval_member(m, &scratch.codes, rows, &mut scratch.member);
+                for (o, &p) in out.iter_mut().zip(&scratch.member) {
+                    *o += p;
+                }
+            }
+        }
+        let k = self.members.len() as f64;
+        for o in out.iter_mut() {
+            *o /= k;
+        }
+    }
+
+    /// Evaluates one member into `out` (`bias`, `+= scale·leaf` per tree
+    /// in order, then the link) — the same op sequence the f64 model
+    /// runs, so the result is bit-identical.
+    fn eval_member(&self, m: &Member, codes: &[u8], rows: usize, out: &mut [f64]) {
+        out.fill(m.bias);
+        for t in &self.trees[m.trees.clone()] {
+            self.accumulate_tree(*t, codes, rows, m.scale, out);
+        }
+        if m.link == Link::Sigmoid {
+            for o in out.iter_mut() {
+                *o = sigmoid(*o);
+            }
+        }
+    }
+
+    /// Fused direct-ensemble kernel: for each 16-row group, runs every
+    /// tree's bitmask evaluation and accumulates the leaf sum in a
+    /// register block, storing into `out` once per group. The per-row
+    /// addition order (tree order, starting from `0.0`) is exactly the
+    /// order [`Self::accumulate_tree`] produces, so the result is
+    /// bit-identical. Requires `self.fused`.
+    fn eval_forest(&self, codes: &[u8], rows: usize, out: &mut [f64]) {
+        let mut r = 0;
+        while r + 16 <= rows {
+            let mut acc = [0.0f64; 16];
+            for t in &self.trees {
+                let TreeKind::Masked {
+                    nodes: (lo, hi),
+                    leaves,
+                } = t.kind
+                else {
+                    unreachable!("fused model holds only masked trees")
+                };
+                let masked = &self.masked[lo as usize..hi as usize];
+                let leaves = &self.leaves[leaves as usize..];
+                let mut m = [u64::MAX; 16];
+                for n in masked {
+                    let base = n.feature as usize * rows + r;
+                    let c: [u8; 16] = codes[base..base + 16].try_into().unwrap();
+                    for (lane, &code) in m.iter_mut().zip(&c) {
+                        *lane &= n.mask | u64::from(code <= n.bin).wrapping_neg();
+                    }
+                }
+                for (a, lane) in acc.iter_mut().zip(&m) {
+                    *a += 1.0 * leaves[lane.trailing_zeros() as usize];
+                }
+            }
+            out[r..r + 16].copy_from_slice(&acc);
+            r += 16;
+        }
+        while r < rows {
+            let mut a = 0.0;
+            for t in &self.trees {
+                let TreeKind::Masked {
+                    nodes: (lo, hi),
+                    leaves,
+                } = t.kind
+                else {
+                    unreachable!("fused model holds only masked trees")
+                };
+                let mut live = u64::MAX;
+                for n in &self.masked[lo as usize..hi as usize] {
+                    if codes[n.feature as usize * rows + r] > n.bin {
+                        live &= n.mask;
+                    }
+                }
+                a += 1.0 * self.leaves[leaves as usize + live.trailing_zeros() as usize];
+            }
+            out[r] = a;
+            r += 1;
+        }
+    }
+
+    /// Adds `scale · leaf(row)` of one tree to `out`, dispatching on the
+    /// tree's compiled evaluation strategy.
+    fn accumulate_tree(&self, t: QTree, codes: &[u8], rows: usize, scale: f64, out: &mut [f64]) {
+        match t.kind {
+            TreeKind::Masked {
+                nodes: (lo, hi),
+                leaves,
+            } => eval_masked(
+                &self.masked[lo as usize..hi as usize],
+                &self.leaves[leaves as usize..],
+                codes,
+                rows,
+                scale,
+                out,
+            ),
+            TreeKind::Walk => eval_tree(&self.nodes, &self.values, t, codes, rows, scale, out),
+        }
+    }
+}
+
+impl Model for QuantizedModel {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        let mut out = vec![0.0; x.rows()];
+        self.predict_proba_into(x, &mut out);
+        out
+    }
+
+    fn predict_proba_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.rows(), "output buffer must match row count");
+        assert!(
+            x.cols() == self.n_features || x.rows() == 0,
+            "row has {} features, model compiled for {}",
+            x.cols(),
+            self.n_features
+        );
+        let mut scratch = SCRATCH.with(Cell::take);
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + ROW_BLOCK).min(x.rows());
+            self.score_block(x.rows_range(start..end), &mut out[start..end], &mut scratch);
+            start = end;
+        }
+        SCRATCH.with(|c| c.set(scratch));
+    }
+
+    /// The *source* snapshot: a quantized model persists as the model it
+    /// was compiled from, so SPEM round trips re-compile bit-identically
+    /// with no new envelope format.
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(self.source.clone())
+    }
+}
+
+/// Bitmask evaluation of one tree over a block: every row starts with
+/// all leaves live (`u64::MAX`); each *failed* split test ANDs away its
+/// left subtree's leaves; the lowest surviving bit is the exit leaf.
+///
+/// The nodes are visited unconditionally — no pointer chasing, no
+/// data-dependent loads — and sixteen row lanes share each node's
+/// single load, so the loop is one compare + masked AND per (node,
+/// row), fully pipelined. Nodes are feature-grouped, so the sixteen
+/// `codes` reads per node hit one cache line and consecutive nodes
+/// often reuse it.
+fn eval_masked(
+    masked: &[MaskNode],
+    leaves: &[f64],
+    codes: &[u8],
+    rows: usize,
+    scale: f64,
+    acc: &mut [f64],
+) {
+    let mut r = 0;
+    while r + 16 <= rows {
+        let mut m = [u64::MAX; 16];
+        for n in masked {
+            let base = n.feature as usize * rows + r;
+            let c: [u8; 16] = codes[base..base + 16].try_into().unwrap();
+            for (lane, &code) in m.iter_mut().zip(&c) {
+                // Branchless select: all-ones when the test passes
+                // (keep every leaf), the node mask when it fails.
+                *lane &= n.mask | u64::from(code <= n.bin).wrapping_neg();
+            }
+        }
+        for (a, lane) in acc[r..r + 16].iter_mut().zip(&m) {
+            *a += scale * leaves[lane.trailing_zeros() as usize];
+        }
+        r += 16;
+    }
+    while r < rows {
+        let mut live = u64::MAX;
+        for n in masked {
+            if codes[n.feature as usize * rows + r] > n.bin {
+                live &= n.mask;
+            }
+        }
+        acc[r] += scale * leaves[live.trailing_zeros() as usize];
+        r += 1;
+    }
+}
+
+/// Walks `depth` levels for four rows at once (plus a scalar tail) and
+/// accumulates `scale * leaf` into `acc`. Leaves self-loop, so the trip
+/// count is fixed and the inner step compiles to a branch-free select.
+fn eval_tree(
+    nodes: &[QNode],
+    values: &[f64],
+    tree: QTree,
+    codes: &[u8],
+    rows: usize,
+    scale: f64,
+    acc: &mut [f64],
+) {
+    let root = tree.root as usize;
+    let depth = tree.depth as usize;
+    if depth == 0 {
+        let v = scale * values[root];
+        for a in acc.iter_mut() {
+            *a += v;
+        }
+        return;
+    }
+    #[inline(always)]
+    fn step(nodes: &[QNode], codes: &[u8], rows: usize, r: usize, i: usize) -> usize {
+        let n = nodes[i];
+        let c = codes[n.feature as usize * rows + r];
+        (if c <= n.bin { n.left } else { n.right }) as usize
+    }
+    let mut r = 0;
+    // Four independent traversal lanes hide the code-load latency.
+    while r + 4 <= rows {
+        let (mut i0, mut i1, mut i2, mut i3) = (root, root, root, root);
+        for _ in 0..depth {
+            i0 = step(nodes, codes, rows, r, i0);
+            i1 = step(nodes, codes, rows, r + 1, i1);
+            i2 = step(nodes, codes, rows, r + 2, i2);
+            i3 = step(nodes, codes, rows, r + 3, i3);
+        }
+        acc[r] += scale * values[i0];
+        acc[r + 1] += scale * values[i1];
+        acc[r + 2] += scale * values[i2];
+        acc[r + 3] += scale * values[i3];
+        r += 4;
+    }
+    while r < rows {
+        let mut i = root;
+        for _ in 0..depth {
+            i = step(nodes, codes, rows, r, i);
+        }
+        acc[r] += scale * values[i];
+        r += 1;
+    }
+}
+
+/// A member of the compiled model, borrowed from the snapshot.
+enum MemberSpec<'a> {
+    Constant(f64),
+    Tree(&'a TreeModel),
+    Gbdt(&'a GbdtModel),
+}
+
+/// Flattens the snapshot into quantizable members; the bool says
+/// whether soft-vote mean semantics apply at the top level.
+fn member_specs(snapshot: &ModelSnapshot) -> Result<(Vec<MemberSpec<'_>>, bool), ServeError> {
+    fn leaf_spec(s: &ModelSnapshot) -> Result<MemberSpec<'_>, ServeError> {
+        match s {
+            ModelSnapshot::Constant(p) => Ok(MemberSpec::Constant(*p)),
+            ModelSnapshot::Tree(t) => Ok(MemberSpec::Tree(t)),
+            ModelSnapshot::Gbdt(g) => Ok(MemberSpec::Gbdt(g)),
+            other => Err(ServeError::Unquantizable(format!(
+                "{} members have no quantized form",
+                other.kind()
+            ))),
+        }
+    }
+    match snapshot {
+        ModelSnapshot::SoftVote(members) => Ok((
+            members.iter().map(leaf_spec).collect::<Result<_, _>>()?,
+            true,
+        )),
+        ModelSnapshot::SelfPaced { members, .. } => Ok((
+            members.iter().map(leaf_spec).collect::<Result<_, _>>()?,
+            true,
+        )),
+        single => Ok((vec![leaf_spec(single)?], false)),
+    }
+}
+
+/// Normalizes `-0.0` to `+0.0`: IEEE `<=` cannot tell them apart, and a
+/// grid ordered by `total_cmp` must not contain both.
+#[inline]
+fn normalize_zero(t: f64) -> f64 {
+    if t == 0.0 {
+        0.0
+    } else {
+        t
+    }
+}
+
+/// Collects the distinct split thresholds per feature into sorted cut
+/// grids, validating feature indices and the 255-cut u8 budget.
+fn harvest_cuts(specs: &[MemberSpec<'_>], n_features: usize) -> Result<Vec<Vec<f64>>, ServeError> {
+    let mut per_feature: Vec<Vec<f64>> = vec![Vec::new(); n_features];
+    let mut add = |feature: usize, threshold: f64| -> Result<(), ServeError> {
+        if feature >= n_features {
+            return Err(ServeError::Unquantizable(format!(
+                "tree tests feature {feature}, engine serves {n_features} features"
+            )));
+        }
+        if threshold.is_nan() {
+            return Err(ServeError::Unquantizable(
+                "tree has a NaN split threshold".into(),
+            ));
+        }
+        per_feature[feature].push(normalize_zero(threshold));
+        Ok(())
+    };
+    for spec in specs {
+        match spec {
+            MemberSpec::Constant(_) => {}
+            MemberSpec::Tree(t) => {
+                for i in 0..t.n_nodes() {
+                    if let NodeView::Split {
+                        feature, threshold, ..
+                    } = t.node(i)
+                    {
+                        add(feature, threshold)?;
+                    }
+                }
+            }
+            MemberSpec::Gbdt(g) => {
+                for t in g.trees() {
+                    for i in 0..t.n_nodes() {
+                        if let NodeView::Split {
+                            feature, threshold, ..
+                        } = t.node(i)
+                        {
+                            add(feature, threshold)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (f, cuts) in per_feature.iter_mut().enumerate() {
+        cuts.sort_unstable_by(|a, b| a.total_cmp(b));
+        cuts.dedup();
+        if cuts.len() >= binning::MAX_BINS {
+            return Err(ServeError::Unquantizable(format!(
+                "feature {f} is tested against {} distinct thresholds (u8 codes allow {})",
+                cuts.len(),
+                binning::MAX_BINS - 1
+            )));
+        }
+    }
+    Ok(per_feature)
+}
+
+/// Accumulates flattened trees into the shared arena.
+struct Compiler<'a> {
+    cuts: &'a [Vec<f64>],
+    nodes: Vec<QNode>,
+    values: Vec<f64>,
+    masked: Vec<MaskNode>,
+    leaves: Vec<f64>,
+    trees: Vec<QTree>,
+}
+
+impl Compiler<'_> {
+    /// Cut-grid index of `threshold` on `feature` (harvested earlier,
+    /// so the lookup cannot miss).
+    fn bin_of(&self, feature: usize, threshold: f64) -> u8 {
+        let t = normalize_zero(threshold);
+        self.cuts[feature]
+            .binary_search_by(|c| c.total_cmp(&t))
+            .unwrap_or_else(|_| unreachable!("threshold harvested into the grid")) as u8
+    }
+
+    /// Flattens one source tree (exposed as `node(i)` views over a
+    /// parent-before-child arena) into the shared arena, keeping its
+    /// node order and remapping thresholds to cut-grid indices. Trees
+    /// with at most 64 leaves additionally get the bitmask form, which
+    /// the evaluator prefers.
+    fn push_tree(&mut self, n_nodes: usize, node: impl Fn(usize) -> NodeView) {
+        let base = self.nodes.len() as u32;
+        for i in 0..n_nodes {
+            match node(i) {
+                NodeView::Leaf { value } => {
+                    let me = base + i as u32;
+                    self.nodes.push(QNode {
+                        left: me,
+                        right: me,
+                        feature: 0,
+                        bin: 0,
+                    });
+                    self.values.push(value);
+                }
+                NodeView::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let bin = self.bin_of(feature, threshold);
+                    self.nodes.push(QNode {
+                        left: base + left as u32,
+                        right: base + right as u32,
+                        feature: feature as u32,
+                        bin,
+                    });
+                    self.values.push(0.0);
+                }
+            }
+        }
+        let depth = tree_depth(&node, 0);
+        let kind = self.build_masked(&node).unwrap_or(TreeKind::Walk);
+        self.trees.push(QTree {
+            root: base,
+            depth: depth as u32,
+            kind,
+        });
+    }
+
+    /// Builds the bitmask form of the tree rooted at source index 0, or
+    /// `None` when its leaf count overflows a u64 mask.
+    fn build_masked(&mut self, node: &impl Fn(usize) -> NodeView) -> Option<TreeKind> {
+        // In-order walk: number leaves left-to-right, record each split
+        // node with the leaf range of its left subtree.
+        fn walk(
+            c: &Compiler<'_>,
+            node: &impl Fn(usize) -> NodeView,
+            i: usize,
+            leaves: &mut Vec<f64>,
+            splits: &mut Vec<MaskNode>,
+        ) -> Option<(u32, u32)> {
+            match node(i) {
+                NodeView::Leaf { value } => {
+                    if leaves.len() == 64 {
+                        return None;
+                    }
+                    let s = leaves.len() as u32;
+                    leaves.push(value);
+                    Some((s, s + 1))
+                }
+                NodeView::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let (l0, l1) = walk(c, node, left, leaves, splits)?;
+                    let (_, r1) = walk(c, node, right, leaves, splits)?;
+                    // Left subtree holds < 64 leaves (the right one has
+                    // at least one), so the shift cannot overflow.
+                    let bits = ((1u64 << (l1 - l0)) - 1) << l0;
+                    splits.push(MaskNode {
+                        mask: !bits,
+                        feature: feature as u32,
+                        bin: c.bin_of(feature, threshold),
+                    });
+                    Some((l0, r1))
+                }
+            }
+        }
+        let mut leaves = Vec::new();
+        let mut splits = Vec::new();
+        walk(self, node, 0, &mut leaves, &mut splits)?;
+        // Feature-major order: consecutive nodes reuse the same code
+        // cache line. The masks are ANDs, so order does not affect the
+        // selected leaf.
+        splits.sort_unstable_by_key(|n| (n.feature, n.bin));
+        let lo = self.masked.len() as u32;
+        let leaf_start = self.leaves.len() as u32;
+        self.masked.extend_from_slice(&splits);
+        self.leaves.extend_from_slice(&leaves);
+        Some(TreeKind::Masked {
+            nodes: (lo, self.masked.len() as u32),
+            leaves: leaf_start,
+        })
+    }
+}
+
+/// Depth of the subtree at `i` (0 for a lone leaf).
+fn tree_depth(node: &impl Fn(usize) -> NodeView, i: usize) -> usize {
+    match node(i) {
+        NodeView::Leaf { .. } => 0,
+        NodeView::Split { left, right, .. } => {
+            1 + tree_depth(node, left).max(tree_depth(node, right))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_data::Matrix;
+    use spe_learners::{DecisionTreeConfig, GbdtConfig, Learner};
+
+    #[test]
+    #[ignore]
+    fn profile_encode_vs_traverse() {
+        let train = spe_datasets::credit_fraud_sim(40_000, 7);
+        let score = spe_datasets::credit_fraud_sim(20_000, 8);
+        let cfg = spe_core::SelfPacedEnsembleConfig::builder()
+            .n_estimators(10)
+            .build()
+            .unwrap();
+        let model = cfg.try_fit_dataset(&train, 42).unwrap();
+        let q = QuantizedModel::compile(&model.snapshot().unwrap(), 30).unwrap();
+        eprintln!(
+            "trees={} members={} max_cuts={} nodes={} depths={:?}",
+            q.n_trees(),
+            q.n_members(),
+            q.max_cuts(),
+            q.nodes.len(),
+            q.trees.iter().map(|t| t.depth).collect::<Vec<_>>()
+        );
+        let per_feature: Vec<usize> = q.cuts.iter().map(Vec::len).collect();
+        eprintln!("cuts per feature: {per_feature:?}");
+        let x = score.x().view();
+        let rows = x.rows();
+        let mut codes = vec![0u8; rows * 30];
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            binning::encode_batch_into(&q.cuts, x, &mut codes);
+        }
+        let enc = t0.elapsed().as_secs_f64() / 10.0;
+        let mut out = vec![0.0; rows];
+        let mut member = vec![0.0; rows];
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            out.fill(0.0);
+            for m in &q.members {
+                member.fill(m.bias);
+                for t in &q.trees[m.trees.clone()] {
+                    eval_tree(&q.nodes, &q.values, *t, &codes, rows, m.scale, &mut member);
+                }
+                for (o, &p) in out.iter_mut().zip(&member) {
+                    *o += p;
+                }
+            }
+        }
+        let trav = t0.elapsed().as_secs_f64() / 10.0;
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            out.fill(0.0);
+            for m in &q.members {
+                q.eval_member(m, &codes, rows, &mut member);
+                for (o, &p) in out.iter_mut().zip(&member) {
+                    *o += p;
+                }
+            }
+        }
+        let masked = t0.elapsed().as_secs_f64() / 10.0;
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            q.predict_proba_into(x, &mut out);
+        }
+        let full = t0.elapsed().as_secs_f64() / 10.0;
+        eprintln!(
+            "encode {:.1}ns/row  walk {:.1}ns/row  masked {:.1}ns/row  full {:.1}ns/row",
+            enc * 1e9 / rows as f64,
+            trav * 1e9 / rows as f64,
+            masked * 1e9 / rows as f64,
+            full * 1e9 / rows as f64
+        );
+    }
+
+    fn two_blob_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = spe_data::SeededRng::new(seed);
+        let mut x = Matrix::with_capacity(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = u8::from(i % 7 == 0);
+            let c = f64::from(label) * 1.5;
+            x.push_row(&[
+                rng.normal(c, 1.0),
+                rng.normal(-c, 0.8),
+                // A low-cardinality column exercises repeated thresholds.
+                (i % 4) as f64,
+            ]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn tree_is_bit_exact() {
+        let (x, y) = two_blob_data(600, 3);
+        let tree = DecisionTreeConfig::with_depth(6).fit(&x, &y, 1);
+        let snap = tree.snapshot().unwrap();
+        let q = QuantizedModel::compile(&snap, x.cols()).unwrap();
+        assert_eq!(q.predict_proba(&x), tree.predict_proba(&x));
+    }
+
+    #[test]
+    fn gbdt_is_bit_exact() {
+        let (x, y) = two_blob_data(500, 5);
+        let g = GbdtConfig::new(8).fit(&x, &y, 2);
+        let snap = g.snapshot().unwrap();
+        let q = QuantizedModel::compile(&snap, x.cols()).unwrap();
+        assert_eq!(q.predict_proba(&x), g.predict_proba(&x));
+    }
+
+    #[test]
+    fn nan_rows_follow_the_f64_path() {
+        let (x, y) = two_blob_data(400, 7);
+        let tree = DecisionTreeConfig::with_depth(5).fit(&x, &y, 1);
+        let q = QuantizedModel::compile(&tree.snapshot().unwrap(), x.cols()).unwrap();
+        let mut probe = x.row_range(0..8);
+        let cols = probe.cols();
+        for i in 0..probe.rows() {
+            probe.row_mut(i)[i % cols] = f64::NAN;
+        }
+        assert_eq!(q.predict_proba(&probe), tree.predict_proba(&probe));
+    }
+
+    #[test]
+    fn constant_and_empty_batches_work() {
+        let snap = ModelSnapshot::Constant(0.25);
+        let q = QuantizedModel::compile(&snap, 4).unwrap();
+        assert_eq!(q.predict_proba(&Matrix::zeros(3, 4)), vec![0.25; 3]);
+        assert_eq!(q.predict_proba(&Matrix::zeros(0, 4)), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn unsupported_members_report_unquantizable() {
+        let snap = ModelSnapshot::SoftVote(vec![
+            ModelSnapshot::Constant(0.5),
+            ModelSnapshot::SoftVote(vec![ModelSnapshot::Constant(0.5)]),
+        ]);
+        assert!(matches!(
+            QuantizedModel::compile(&snap, 2),
+            Err(ServeError::Unquantizable(_))
+        ));
+    }
+
+    #[test]
+    fn too_many_thresholds_overflow_the_u8_budget() {
+        // 300 stumps, each splitting feature 0 at a distinct threshold.
+        let members: Vec<ModelSnapshot> = (0..300)
+            .map(|i| {
+                let x =
+                    Matrix::from_vec(2, 1, vec![f64::from(i) / 300.0, f64::from(i) / 300.0 + 2.0]);
+                let t = DecisionTreeConfig::stump().fit(&x, &[0, 1], 1);
+                t.snapshot().unwrap()
+            })
+            .collect();
+        let snap = ModelSnapshot::SoftVote(members);
+        let err = QuantizedModel::compile(&snap, 1).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ServeError::Unquantizable(_)), "{err}");
+        assert!(err.to_string().contains("distinct thresholds"), "{err}");
+    }
+
+    #[test]
+    fn block_boundaries_are_seamless() {
+        let (x, y) = two_blob_data(ROW_BLOCK + 37, 9);
+        let tree = DecisionTreeConfig::with_depth(4).fit(&x, &y, 3);
+        let q = QuantizedModel::compile(&tree.snapshot().unwrap(), x.cols()).unwrap();
+        assert_eq!(q.predict_proba(&x), tree.predict_proba(&x));
+    }
+}

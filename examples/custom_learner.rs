@@ -27,7 +27,7 @@ struct NbModel {
 }
 
 impl Model for NbModel {
-    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
         x.iter_rows()
             .map(|row| {
                 let ll: Vec<f64> = self

@@ -45,10 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A serving process would start here: load the typed ensemble back
-    // (alphas and all) and put it behind the batching engine.
+    // (alphas and all) and put it behind the batching engine. `Auto`
+    // compiles tree-shaped models down to the u8-quantized kernel.
     let loaded = load_spe(&path)?;
     assert_eq!(loaded.alphas(), model.alphas());
-    let engine = ScoringEngine::new(Box::new(loaded), day2.x().cols(), EngineConfig::default());
+    let serve_cfg = EngineConfig::builder()
+        .max_batch(256)
+        .backend(ScoreBackend::Auto)
+        .build()?;
+    let engine = ScoringEngine::start(Box::new(loaded), day2.x().cols(), serve_cfg)?;
+    println!("engine backend: {:?}", engine.backend());
 
     // Online traffic: single-row submissions coalesce into batches.
     let pending: Vec<_> = (0..256)
@@ -75,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Day-2 retrain rolls out with zero downtime: in-flight batches
     // finish on the old model, later batches see the new one.
     let retrained = cfg.try_fit_dataset(&day2, 43)?;
-    engine.swap_model(Box::new(retrained));
+    engine.swap_model(Box::new(retrained))?;
     let p = engine.submit(day2.x().row(0))?.wait()?;
     println!("after hot swap: first row scores {p:.3}");
 

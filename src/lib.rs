@@ -64,8 +64,9 @@ pub mod prelude {
         SelfPacedEnsembleBuilder, SelfPacedEnsembleConfig, SelfPacedSampler,
     };
     pub use spe_data::{
-        stratified_k_fold, train_val_test_split, BinIndex, Dataset, Matrix, SanitizePolicy,
-        SanitizeReport, Sanitizer, SeededRng, SpeError, Standardizer, StratifiedSplit,
+        stratified_k_fold, train_val_test_split, BinIndex, Dataset, Matrix, MatrixView,
+        SanitizePolicy, SanitizeReport, Sanitizer, SeededRng, SpeError, Standardizer,
+        StratifiedSplit,
     };
     pub use spe_datasets::{
         checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim, record_linkage_sim,
@@ -88,6 +89,7 @@ pub mod prelude {
     };
     pub use spe_serve::{
         load_envelope, load_model, load_model_expecting, load_spe, save_model, EngineConfig,
-        ModelEnvelope, PendingScore, ScoringEngine, ServeError, ServeStats,
+        EngineConfigBuilder, ModelEnvelope, PendingScore, QuantizedModel, ScoreBackend,
+        ScoringEngine, ServeError, ServeStats,
     };
 }
