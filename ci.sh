@@ -37,6 +37,13 @@ serve_dir="$(mktemp -d)"
 (cd "$serve_dir" && "$repo_root/target/release/bench_serve" --smoke)
 grep -q '"quantized"' "$serve_dir/BENCH_serve.json"
 grep -q '"speedup_quantized_batch64"' "$serve_dir/BENCH_serve.json"
+
+echo "==> bench_server --smoke (overload shedding + breaker isolation over TCP, server JSON section)"
+cargo build --release -p spe-bench --bin bench_server
+(cd "$serve_dir" && "$repo_root/target/release/bench_server" --smoke)
+grep -q '"server"' "$serve_dir/BENCH_serve.json"
+grep -q '"shed_rate"' "$serve_dir/BENCH_serve.json"
+grep -q '"p99_request_us"' "$serve_dir/BENCH_serve.json"
 rm -rf "$serve_dir"
 
 echo "==> spe_score round trip (fit-save vs load-score predictions must be bit-identical)"
@@ -50,6 +57,10 @@ spe_score="$repo_root/target/release/spe_score"
                         --out "$score_dir/p2.csv"
 "$spe_score" inspect    --model "$score_dir/model.spe"
 cmp "$score_dir/p1.csv" "$score_dir/p2.csv"
+
+echo "==> spe_server gate (network failure-mode contract: 429 shed, 504 deadline, breaker + self-heal, shadow promote)"
+cargo build --release -p spe-server --bin spe_server
+"$repo_root/target/release/spe_server" gate --model "$score_dir/model.spe" --data "$score_dir/data.csv"
 rm -rf "$score_dir"
 
 echo "==> cargo fmt --check"

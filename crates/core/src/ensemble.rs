@@ -9,7 +9,7 @@ use spe_data::{
 use spe_learners::ensemble::SoftVoteEnsemble;
 use spe_learners::persist::ModelSnapshot;
 use spe_learners::traits::{
-    validate_fit_inputs, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner,
+    validate_fit_inputs, BinnedLearner, BinnedProblem, FeatureBound, Learner, Model, SharedLearner,
 };
 use spe_learners::DecisionTreeConfig;
 use spe_runtime::{fork_seed, panic_message, Runtime, TrainingBudget};
@@ -523,6 +523,10 @@ impl Model for SelfPacedEnsemble {
             alphas: self.alphas.clone(),
             members,
         })
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        self.inner.feature_bound()
     }
 }
 

@@ -2,7 +2,7 @@
 //! imbalance ensemble (Easy, Cascade, SPE, ...) in the sibling crates.
 
 use crate::persist::ModelSnapshot;
-use crate::traits::{BinnedLearner, BinnedProblem, Learner, Model};
+use crate::traits::{BinnedLearner, BinnedProblem, FeatureBound, Learner, Model};
 use spe_data::{Matrix, MatrixView, SpeError};
 
 /// Soft-voting ensemble: averages member probabilities
@@ -124,6 +124,13 @@ impl Model for SoftVoteEnsemble {
             .map(|m| m.snapshot())
             .collect::<Option<Vec<_>>>()?;
         Some(ModelSnapshot::SoftVote(members))
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        self.models
+            .iter()
+            .map(|m| m.feature_bound())
+            .fold(FeatureBound::Any, FeatureBound::merge)
     }
 }
 

@@ -11,7 +11,8 @@ use crate::logistic::sigmoid;
 use crate::persist::ModelSnapshot;
 use crate::regtree::{RegTree, RegTreeConfig};
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, FeatureBound,
+    Learner, Model,
 };
 use crate::tree::SplitMethod;
 use spe_data::{BinIndex, Matrix, MatrixView, SeededRng};
@@ -125,6 +126,16 @@ impl Model for GbdtModel {
 
     fn snapshot(&self) -> Option<ModelSnapshot> {
         Some(ModelSnapshot::Gbdt(self.clone()))
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        FeatureBound::AtLeast(
+            self.trees
+                .iter()
+                .map(RegTree::required_features)
+                .max()
+                .unwrap_or(0),
+        )
     }
 }
 

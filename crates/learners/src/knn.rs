@@ -6,7 +6,7 @@
 
 use crate::neighbors::{knn_batch_view, Neighbor};
 use crate::persist::ModelSnapshot;
-use crate::traits::{check_fit_inputs, ConstantModel, Learner, Model};
+use crate::traits::{check_fit_inputs, ConstantModel, FeatureBound, Learner, Model};
 use spe_data::{Matrix, MatrixView};
 
 /// Configuration for the KNN classifier.
@@ -70,6 +70,12 @@ impl Model for KnnModel {
 
     fn snapshot(&self) -> Option<ModelSnapshot> {
         Some(ModelSnapshot::Knn(self.clone()))
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        // Distances are computed against the memorized training rows, so
+        // query rows must match their width exactly.
+        FeatureBound::Exact(self.x.cols())
     }
 }
 

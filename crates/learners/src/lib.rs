@@ -54,5 +54,7 @@ pub use naive_bayes::GaussianNbConfig;
 pub use persist::ModelSnapshot;
 pub use regtree::RegTree;
 pub use svm::{SvmConfig, SvmModel};
-pub use traits::{BinRequest, BinnedLearner, BinnedProblem, Learner, Model, SharedLearner};
+pub use traits::{
+    BinRequest, BinnedLearner, BinnedProblem, FeatureBound, Learner, Model, SharedLearner,
+};
 pub use tree::{DecisionTreeConfig, NodeView, SplitCriterion, SplitMethod, TreeModel};

@@ -6,7 +6,8 @@
 
 use crate::persist::ModelSnapshot;
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, FeatureBound,
+    Learner, Model,
 };
 use spe_data::{Matrix, MatrixView, SeededRng, Standardizer};
 
@@ -90,6 +91,10 @@ impl Model for LogisticModel {
 
     fn snapshot(&self) -> Option<ModelSnapshot> {
         Some(ModelSnapshot::Logistic(self.clone()))
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        FeatureBound::Exact(self.weights.len())
     }
 }
 

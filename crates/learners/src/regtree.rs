@@ -112,6 +112,17 @@ impl serde::Deserialize for RegTree {
 }
 
 impl RegTree {
+    /// Smallest row width this tree can score: one past the highest
+    /// feature index it splits on (0 for a single-leaf tree).
+    pub fn required_features(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.feature != LEAF)
+            .map(|n| n.feature as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Fits a tree to per-sample gradients and hessians (exact splits).
     ///
     /// # Panics

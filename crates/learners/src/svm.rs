@@ -11,7 +11,8 @@
 use crate::logistic::sigmoid;
 use crate::persist::ModelSnapshot;
 use crate::traits::{
-    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, Learner, Model,
+    check_fit_inputs, effective_weights, weighted_positive_fraction, ConstantModel, FeatureBound,
+    Learner, Model,
 };
 use spe_data::{Matrix, MatrixView, SeededRng, Standardizer};
 
@@ -163,6 +164,13 @@ impl Model for SvmModel {
 
     fn snapshot(&self) -> Option<ModelSnapshot> {
         Some(ModelSnapshot::Svm(self.clone()))
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        // The standardizer was fitted on the training matrix, so its
+        // per-column statistics pin the exact input width (the RFF map,
+        // when present, projects from that same width).
+        FeatureBound::Exact(self.scaler.means().len())
     }
 }
 

@@ -2,7 +2,66 @@
 
 use crate::persist::ModelSnapshot;
 use spe_data::{BinIndex, Matrix, MatrixView, SpeError};
+use std::fmt;
 use std::sync::Arc;
+
+/// How a trained model constrains the width (feature count) of the rows
+/// it scores.
+///
+/// Serving layers check this *before* installing a model behind a fixed
+/// row width, so a mismatched deploy surfaces as a typed error instead
+/// of silently producing garbage scores (a tree reading past the end of
+/// a row, a linear model dotted against the wrong number of weights).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureBound {
+    /// Scores rows of any width (e.g. a constant model).
+    Any,
+    /// Reads feature indices up to `n - 1`; any row at least that wide
+    /// scores correctly. Trees only record the features they actually
+    /// split on, so the training width is not recoverable — this is the
+    /// tightest sound bound.
+    AtLeast(usize),
+    /// Requires exactly `n` features (linear models, KNN).
+    Exact(usize),
+}
+
+impl FeatureBound {
+    /// Whether rows of `width` features satisfy this bound.
+    pub fn admits(self, width: usize) -> bool {
+        match self {
+            Self::Any => true,
+            Self::AtLeast(n) => width >= n,
+            Self::Exact(n) => width == n,
+        }
+    }
+
+    /// Combines member bounds into an ensemble bound: the tightest
+    /// single constraint implied by both. An `Exact` member pins the
+    /// ensemble; otherwise the larger `AtLeast` wins. Two conflicting
+    /// `Exact` widths (not constructible by the built-in learners, which
+    /// train every member on the same columns) resolve to the larger.
+    pub fn merge(self, other: Self) -> Self {
+        match (self, other) {
+            (Self::Any, b) => b,
+            (a, Self::Any) => a,
+            (Self::Exact(a), Self::Exact(b)) => Self::Exact(a.max(b)),
+            (Self::Exact(e), Self::AtLeast(m)) | (Self::AtLeast(m), Self::Exact(e)) => {
+                Self::Exact(e.max(m))
+            }
+            (Self::AtLeast(a), Self::AtLeast(b)) => Self::AtLeast(a.max(b)),
+        }
+    }
+}
+
+impl fmt::Display for FeatureBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Any => write!(f, "any number of features"),
+            Self::AtLeast(n) => write!(f, "at least {n} features"),
+            Self::Exact(n) => write!(f, "exactly {n} features"),
+        }
+    }
+}
 
 /// A trained classifier: immutable, thread-safe, probability-scoring.
 ///
@@ -57,6 +116,16 @@ pub trait Model: Send + Sync {
     /// a typed "unsupported model" error rather than panicking.
     fn snapshot(&self) -> Option<ModelSnapshot> {
         None
+    }
+
+    /// The input-width constraint this model scores under.
+    ///
+    /// Serving layers validate it against their configured row width
+    /// when a model is installed or hot-swapped. The default (`Any`)
+    /// keeps user-defined models installable everywhere; every built-in
+    /// model overrides it with what its structure actually requires.
+    fn feature_bound(&self) -> FeatureBound {
+        FeatureBound::Any
     }
 }
 
@@ -274,6 +343,34 @@ impl Model for ConstantModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn feature_bound_admission_and_merge() {
+        assert!(FeatureBound::Any.admits(0));
+        assert!(FeatureBound::AtLeast(3).admits(3));
+        assert!(FeatureBound::AtLeast(3).admits(7));
+        assert!(!FeatureBound::AtLeast(3).admits(2));
+        assert!(FeatureBound::Exact(4).admits(4));
+        assert!(!FeatureBound::Exact(4).admits(5));
+        assert_eq!(
+            FeatureBound::Any.merge(FeatureBound::AtLeast(2)),
+            FeatureBound::AtLeast(2)
+        );
+        assert_eq!(
+            FeatureBound::AtLeast(2).merge(FeatureBound::AtLeast(5)),
+            FeatureBound::AtLeast(5)
+        );
+        assert_eq!(
+            FeatureBound::AtLeast(2).merge(FeatureBound::Exact(4)),
+            FeatureBound::Exact(4)
+        );
+        assert_eq!(
+            FeatureBound::Exact(4).merge(FeatureBound::Any),
+            FeatureBound::Exact(4)
+        );
+        assert!(FeatureBound::Exact(9).to_string().contains("exactly 9"));
+        assert!(FeatureBound::AtLeast(2).to_string().contains("at least 2"));
+    }
 
     #[test]
     fn constant_model_outputs_constant() {

@@ -26,7 +26,7 @@ use crate::histogram::{self, BinStat, HistLayout};
 use crate::persist::ModelSnapshot;
 use crate::traits::{
     check_fit_inputs, effective_weights, BinRequest, BinnedLearner, BinnedProblem, ConstantModel,
-    Learner, Model,
+    FeatureBound, Learner, Model,
 };
 use crate::tree_util::{midpoint, partition};
 use spe_data::{BinIndex, Matrix, MatrixView, SeededRng};
@@ -342,6 +342,17 @@ impl Model for TreeModel {
 
     fn snapshot(&self) -> Option<ModelSnapshot> {
         Some(ModelSnapshot::Tree(self.clone()))
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        FeatureBound::AtLeast(
+            self.nodes
+                .iter()
+                .filter(|n| n.feature != LEAF)
+                .map(|n| n.feature as usize + 1)
+                .max()
+                .unwrap_or(0),
+        )
     }
 }
 

@@ -280,6 +280,32 @@ impl PendingScore {
     pub fn try_take(&self) -> Option<Result<f64, ServeError>> {
         self.slot.result.lock().take()
     }
+
+    /// Blocks at most `timeout`, returning
+    /// [`ServeError::DeadlineExceeded`] if the batch has not completed
+    /// by then.
+    ///
+    /// This is the deadline-propagation primitive for network serving:
+    /// a client-supplied timeout bounds the wait, so a wedged model can
+    /// never hang a connection. On timeout the row stays in its batch
+    /// and is still scored internally — the result is simply discarded
+    /// when the abandoned slot drops.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<f64, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.slot.result.lock();
+        loop {
+            if let Some(res) = guard.take() {
+                return res;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServeError::DeadlineExceeded);
+            }
+            // A spurious wake or a timeout that raced the fill both land
+            // back at the `take` above, so no result is ever lost.
+            let _ = self.slot.ready.wait_for(&mut guard, remaining);
+        }
+    }
 }
 
 /// The served model plus its (optional) quantized compilation; both
@@ -299,6 +325,17 @@ impl ServingSlot {
         n_features: usize,
         backend: ScoreBackend,
     ) -> Result<Self, ServeError> {
+        // Width gate first: a model that cannot score rows of the
+        // engine's width is rejected at install/swap time with a typed
+        // error, never discovered later as garbage scores. Covers both
+        // `start` and `swap_model` (both resolve through here).
+        let bound = model.feature_bound();
+        if !bound.admits(n_features) {
+            return Err(ServeError::ModelWidthMismatch {
+                expected: n_features,
+                model: bound,
+            });
+        }
         let compile = || -> Result<QuantizedModel, ServeError> {
             let snap = model.snapshot().ok_or_else(|| {
                 ServeError::Unquantizable("model does not support snapshots".into())
@@ -509,6 +546,22 @@ impl ScoringEngine {
         self.shared.queue.len()
     }
 
+    /// The configured queue capacity (admission controllers watermark
+    /// against this).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.config.queue_capacity
+    }
+
+    /// The configured flush batch size.
+    pub fn max_batch(&self) -> usize {
+        self.shared.config.max_batch
+    }
+
+    /// Row width this engine was started for.
+    pub fn n_features(&self) -> usize {
+        self.shared.n_features
+    }
+
     /// Snapshot of the serving counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.snapshot()
@@ -521,6 +574,13 @@ impl Drop for ScoringEngine {
         notify(&self.shared);
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
+        }
+        // The scheduler scored everything it saw, but a submit can race
+        // the stop flag and push after its final drain. Fail those
+        // stragglers with a typed error so no waiter is ever left
+        // blocked on a dead engine.
+        while let Some(req) = self.shared.queue.steal().success() {
+            req.slot.fill(Err(ServeError::Shutdown));
         }
     }
 }
@@ -881,6 +941,90 @@ mod tests {
         assert_eq!(e.stats().model_swaps, 0);
         let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
         assert_eq!(p.wait(), Ok(0.3));
+    }
+
+    #[test]
+    fn wait_timeout_returns_deadline_exceeded_then_result_is_discarded() {
+        let cfg = EngineConfig::builder()
+            .max_batch(1)
+            .max_delay(Duration::ZERO)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let e = ScoringEngine::start(Box::new(Slow), 1, cfg).unwrap_or_else(|e| panic!("{e}"));
+        // Slow sleeps 40ms per batch; a 2ms deadline must miss.
+        let p = e.submit(&[0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(
+            p.wait_timeout(Duration::from_millis(2)),
+            Err(ServeError::DeadlineExceeded)
+        );
+        // The engine is not poisoned: a generous deadline succeeds.
+        let p = e.submit(&[0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait_timeout(Duration::from_secs(10)), Ok(0.5));
+    }
+
+    #[test]
+    fn concurrent_submitters_racing_drop_never_hang() {
+        // Regression: a submit that wins the stopping-flag race but
+        // pushes after the scheduler's final drain must still resolve —
+        // with Ok (scheduler saw it) or the typed Shutdown error (drop
+        // drained it) — never block forever.
+        for _ in 0..20 {
+            let e = Arc::new(engine(Box::new(ConstantModel(0.5))));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let eng = Arc::clone(&e);
+                handles.push(std::thread::spawn(move || {
+                    let mut outcomes = Vec::new();
+                    for _ in 0..50 {
+                        match eng.submit(&[0.0, 0.0]) {
+                            Ok(p) => outcomes.push(p),
+                            Err(ServeError::EngineStopped) => break,
+                            Err(ServeError::QueueFull { .. }) => continue,
+                            Err(other) => panic!("{other}"),
+                        }
+                    }
+                    for p in outcomes {
+                        match p.wait() {
+                            Ok(v) => assert_eq!(v, 0.5),
+                            Err(ServeError::Shutdown) => {}
+                            Err(other) => panic!("{other}"),
+                        }
+                    }
+                }));
+            }
+            drop(e); // submitters hold their own Arcs; last one drops the engine
+            for h in handles {
+                h.join().unwrap_or_else(|_| panic!("submitter panicked"));
+            }
+        }
+    }
+
+    /// Model claiming an exact 5-feature width, for install-gate tests.
+    struct Wide;
+    impl Model for Wide {
+        fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+            vec![0.5; x.rows()]
+        }
+        fn feature_bound(&self) -> spe_learners::FeatureBound {
+            spe_learners::FeatureBound::Exact(5)
+        }
+    }
+
+    #[test]
+    fn width_mismatched_model_rejected_at_start_and_swap() {
+        assert!(matches!(
+            ScoringEngine::start(Box::new(Wide), 2, EngineConfig::default()).map(|_| ()),
+            Err(ServeError::ModelWidthMismatch { expected: 2, .. })
+        ));
+        let e = engine(Box::new(ConstantModel(0.5)));
+        assert!(matches!(
+            e.swap_model(Box::new(Wide)),
+            Err(ServeError::ModelWidthMismatch { expected: 2, .. })
+        ));
+        // The rejected swap left the old model serving.
+        assert_eq!(e.stats().model_swaps, 0);
+        let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait(), Ok(0.5));
     }
 
     /// Model that panics while scoring — the batch must resolve to

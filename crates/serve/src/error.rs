@@ -1,6 +1,7 @@
 //! Typed errors for the persistence and serving layers.
 
 use spe_data::SpeError;
+use spe_learners::FeatureBound;
 use std::fmt;
 
 /// Everything that can go wrong saving, loading or serving a model.
@@ -72,6 +73,30 @@ pub enum ServeError {
     /// snapshot, an unsupported member kind, or a feature tested
     /// against more distinct thresholds than a u8 code can carry).
     Unquantizable(String),
+    /// A scoring request's deadline elapsed before its batch completed.
+    /// The row may still be scored internally; the result is discarded.
+    DeadlineExceeded,
+    /// The engine shut down after accepting this request but before
+    /// scoring it (a submit racing the final drain). Waiters are woken
+    /// with this instead of blocking forever.
+    Shutdown,
+    /// The model installed via `start`/`swap_model` cannot score rows of
+    /// the engine's configured width — rejected up front instead of
+    /// producing garbage scores (or panics) on live traffic.
+    ModelWidthMismatch {
+        /// Row width the engine serves.
+        expected: usize,
+        /// What the offending model requires.
+        model: FeatureBound,
+    },
+    /// The model's circuit breaker is open after consecutive scoring
+    /// failures; requests are rejected until a half-open probe succeeds.
+    CircuitOpen {
+        /// Suggested client back-off until the next probe window.
+        retry_after_ms: u64,
+    },
+    /// No model registered under the requested name.
+    UnknownModel(String),
 }
 
 impl fmt::Display for ServeError {
@@ -112,6 +137,21 @@ impl fmt::Display for ServeError {
             ServeError::Unquantizable(msg) => {
                 write!(f, "model cannot use the quantized backend: {msg}")
             }
+            ServeError::DeadlineExceeded => write!(f, "scoring deadline exceeded"),
+            ServeError::Shutdown => write!(f, "engine shut down before scoring the request"),
+            ServeError::ModelWidthMismatch { expected, model } => {
+                write!(
+                    f,
+                    "model requires {model}, engine serves rows of {expected}"
+                )
+            }
+            ServeError::CircuitOpen { retry_after_ms } => {
+                write!(
+                    f,
+                    "circuit breaker is open; retry after {retry_after_ms} ms"
+                )
+            }
+            ServeError::UnknownModel(name) => write!(f, "no model registered as {name:?}"),
         }
     }
 }
@@ -162,5 +202,23 @@ mod tests {
         assert_eq!(io, ServeError::Io("gone".into()));
         let tr: ServeError = SpeError::EmptyDataset.into();
         assert!(tr.to_string().contains("training failed"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        assert!(ServeError::ModelWidthMismatch {
+            expected: 30,
+            model: FeatureBound::Exact(7)
+        }
+        .to_string()
+        .contains("exactly 7"));
+        assert!(ServeError::CircuitOpen {
+            retry_after_ms: 250
+        }
+        .to_string()
+        .contains("250 ms"));
+        assert!(ServeError::UnknownModel("fraud".into())
+            .to_string()
+            .contains("fraud"));
     }
 }

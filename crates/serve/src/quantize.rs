@@ -38,7 +38,7 @@
 
 use crate::error::ServeError;
 use spe_data::{binning, MatrixView};
-use spe_learners::{sigmoid, GbdtModel, Model, ModelSnapshot, NodeView, TreeModel};
+use spe_learners::{sigmoid, FeatureBound, GbdtModel, Model, ModelSnapshot, NodeView, TreeModel};
 use std::cell::Cell;
 
 /// Rows scored per encode-then-traverse block: codes for a block
@@ -437,6 +437,12 @@ impl Model for QuantizedModel {
             start = end;
         }
         SCRATCH.with(|c| c.set(scratch));
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        // The cut grids were laid out for exactly this width; encoding a
+        // different one would misalign every feature column.
+        FeatureBound::Exact(self.n_features)
     }
 
     /// The *source* snapshot: a quantized model persists as the model it

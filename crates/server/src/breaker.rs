@@ -1,0 +1,227 @@
+//! Per-model circuit breaker.
+//!
+//! A model that fails every request — wedged (all deadlines missed),
+//! panicking, or scoring garbage after a bad deploy — should stop
+//! receiving traffic instead of burning a queue slot and a full
+//! client timeout per request. The breaker is the classic three-state
+//! machine:
+//!
+//! - **Closed** — traffic flows; consecutive failures are counted and
+//!   any success resets the count.
+//! - **Open** — entered after `threshold` consecutive failures; every
+//!   request is rejected up front with [`ServeError::CircuitOpen`]
+//!   (mapped to HTTP 503 + `Retry-After`) until `cooldown` elapses.
+//! - **Half-open** — after the cooldown, exactly one request is
+//!   admitted as a probe; its success closes the circuit, its failure
+//!   re-opens it for another cooldown. Concurrent requests during the
+//!   probe are rejected so a still-broken model sees one request per
+//!   cooldown, not a thundering herd.
+//!
+//! The breaker only sees outcomes its owner chooses to [`record`]
+//! (`CircuitBreaker::record`): deadline misses and scoring failures
+//! count, client errors (bad row width, queue shedding) do not.
+
+use parking_lot::Mutex;
+use spe_serve::ServeError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning. `Default` trips after 5 consecutive failures and
+/// holds the circuit open for one second.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub threshold: u32,
+    /// How long the circuit stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 5,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Closed { consecutive: u32 },
+    Open { until: Instant },
+    HalfOpen { probing: bool },
+}
+
+/// Three-state breaker gating one model's traffic.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+    trips: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(State::Closed { consecutive: 0 }),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Gate one request. `Ok` admits it (and, in half-open, claims the
+    /// probe slot — the caller *must* follow up with [`record`]
+    /// (`CircuitBreaker::record`) or the breaker stays probing forever).
+    pub fn admit(&self) -> Result<(), ServeError> {
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { .. } => Ok(()),
+            State::HalfOpen { probing: false } => {
+                *state = State::HalfOpen { probing: true };
+                Ok(())
+            }
+            State::HalfOpen { probing: true } => Err(ServeError::CircuitOpen {
+                // The in-flight probe resolves within a request timeout;
+                // a fraction of the cooldown is an honest hint.
+                retry_after_ms: millis_at_least_one(self.config.cooldown / 4),
+            }),
+            State::Open { until } => {
+                let now = Instant::now();
+                if now >= until {
+                    // This caller becomes the probe.
+                    *state = State::HalfOpen { probing: true };
+                    Ok(())
+                } else {
+                    Err(ServeError::CircuitOpen {
+                        retry_after_ms: millis_at_least_one(until - now),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of an admitted request. Returns `true` when
+    /// this outcome tripped the circuit (closed→open or a failed
+    /// probe), so the owner can react once per trip (e.g. self-heal).
+    pub fn record(&self, success: bool) -> bool {
+        let mut state = self.state.lock();
+        match (*state, success) {
+            (State::Closed { .. }, true) => {
+                *state = State::Closed { consecutive: 0 };
+                false
+            }
+            (State::Closed { consecutive }, false) => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.config.threshold {
+                    *state = self.trip();
+                    true
+                } else {
+                    *state = State::Closed { consecutive };
+                    false
+                }
+            }
+            (State::HalfOpen { .. }, true) => {
+                *state = State::Closed { consecutive: 0 };
+                false
+            }
+            (State::HalfOpen { .. }, false) => {
+                *state = self.trip();
+                true
+            }
+            // A result from before the trip straggling in; the open
+            // timer already covers it.
+            (State::Open { .. }, _) => false,
+        }
+    }
+
+    fn trip(&self) -> State {
+        self.trips.fetch_add(1, Ordering::Relaxed);
+        State::Open {
+            until: Instant::now() + self.config.cooldown,
+        }
+    }
+
+    /// Times the circuit has opened since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Current state as a metrics label: `"closed"`, `"open"` or
+    /// `"half-open"`.
+    pub fn state_name(&self) -> &'static str {
+        match *self.state.lock() {
+            State::Closed { .. } => "closed",
+            State::Open { until } if Instant::now() < until => "open",
+            // Cooldown elapsed: the next admit becomes the probe.
+            State::Open { .. } | State::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+fn millis_at_least_one(d: Duration) -> u64 {
+    (d.as_millis() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = breaker(3, 10_000);
+        assert!(b.admit().is_ok());
+        b.record(false);
+        b.record(false);
+        b.record(true); // success resets the streak
+        b.record(false);
+        assert!(!b.record(false));
+        assert!(b.admit().is_ok());
+        assert!(b.record(false), "third consecutive failure must trip");
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.trips(), 1);
+        assert!(matches!(
+            b.admit(),
+            Err(ServeError::CircuitOpen { retry_after_ms }) if retry_after_ms >= 1
+        ));
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = breaker(1, 20);
+        assert!(b.record(false), "threshold 1 trips immediately");
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state_name(), "half-open");
+        assert!(b.admit().is_ok(), "first post-cooldown request probes");
+        // Concurrent request during the probe is still rejected.
+        assert!(matches!(b.admit(), Err(ServeError::CircuitOpen { .. })));
+        assert!(!b.record(true));
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = breaker(1, 20);
+        b.record(false);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.admit().is_ok());
+        assert!(b.record(false), "failed probe re-trips");
+        assert_eq!(b.trips(), 2);
+        assert!(matches!(b.admit(), Err(ServeError::CircuitOpen { .. })));
+    }
+
+    #[test]
+    fn late_results_during_open_are_ignored() {
+        let b = breaker(1, 10_000);
+        b.record(false);
+        assert!(!b.record(true), "straggler success must not close");
+        assert_eq!(b.state_name(), "open");
+    }
+}

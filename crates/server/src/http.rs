@@ -1,0 +1,487 @@
+//! HTTP surface: routes, error → status mapping, JSON rendering.
+//!
+//! The handler is a pure function of `(registry, shutdown flag,
+//! request)` so it can be unit-tested without a socket; `SpeServer`
+//! plugs it into the vendored [`httpd`] server. Routes:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /health` | process liveness (always 200) |
+//! | `GET /ready` | 200 once at least one model serves, else 503 |
+//! | `GET /metrics` | per-model counters + breaker state, JSON |
+//! | `POST /score/{model}` | CSV rows in, JSON scores out; `X-Timeout-Ms` header sets the request deadline |
+//! | `POST /models/{name}/load` | register/redeploy from the SPEM path in the body |
+//! | `POST /models/{name}/swap` | zero-downtime model update from the path in the body |
+//! | `POST /models/{name}/shadow` | attach a shadow candidate from the path in the body |
+//! | `GET /models/{name}/shadow` | divergence stats, JSON |
+//! | `POST /models/{name}/promote` | promote the shadow candidate |
+//! | `DELETE /models/{name}` | unregister |
+//! | `POST /admin/shutdown` | request a clean server shutdown |
+//!
+//! Failure-mode statuses: shed load answers `429` with `Retry-After`
+//! (seconds, per spec) and `X-Retry-After-Ms` (the engine's own
+//! estimate), a missed deadline answers `504`, an open circuit `503`
+//! with the probe window as `Retry-After`, an unknown model `404`, a
+//! client-supplied bad artifact (corrupt file, wrong width) `400`, and
+//! a scoring-side fault (model panic) `500`.
+
+use crate::registry::{EntrySnapshot, ModelEntry, ModelRegistry};
+use crate::shadow::DivergenceStats;
+use httpd::{Request, Response};
+use spe_serve::ServeError;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deadline applied when the client sends no `X-Timeout-Ms`.
+pub const DEFAULT_TIMEOUT_MS: u64 = 1_000;
+/// Upper bound on client-requested deadlines.
+pub const MAX_TIMEOUT_MS: u64 = 60_000;
+
+/// Routes one request against the registry. Setting `shutdown` is the
+/// only side effect outside the registry; the embedding server polls
+/// the flag for its exit.
+pub fn handle(registry: &ModelRegistry, shutdown: &AtomicBool, req: &Request) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => Response::text(200, "ok"),
+        ("GET", ["ready"]) => {
+            if registry.names().is_empty() {
+                Response::text(503, "no models registered")
+            } else {
+                Response::text(200, "ready")
+            }
+        }
+        ("GET", ["metrics"]) => Response::json(200, metrics_json(registry)),
+        ("POST", ["score", name]) => score(registry, name, req),
+        ("POST", ["models", name, "load"]) => {
+            with_body_path(req, |p| registry.register_file(name, p))
+        }
+        ("POST", ["models", name, "swap"]) => with_body_path(req, |p| registry.swap(name, p)),
+        ("POST", ["models", name, "shadow"]) => with_body_path(req, |p| {
+            registry
+                .get(name)?
+                .start_shadow(p, registry.shadow_capacity())
+        }),
+        ("GET", ["models", name, "shadow"]) => match registry.get(name) {
+            Ok(entry) => match entry.shadow_stats() {
+                Some(stats) => Response::json(200, divergence_json(&stats)),
+                None => error_json(404, &ServeError::UnknownModel(format!("{name}/shadow"))),
+            },
+            Err(e) => manage_error(&e),
+        },
+        ("POST", ["models", name, "promote"]) => {
+            match registry.get(name).and_then(|entry| entry.promote_shadow()) {
+                Ok(()) => Response::json(200, "{\"promoted\":true}".to_string()),
+                Err(e) => manage_error(&e),
+            }
+        }
+        ("DELETE", ["models", name]) => match registry.remove(name) {
+            Ok(()) => Response::json(200, "{\"removed\":true}".to_string()),
+            Err(e) => manage_error(&e),
+        },
+        ("POST", ["admin", "shutdown"]) => {
+            shutdown.store(true, Ordering::Release);
+            Response::text(200, "shutting down")
+        }
+        // Known prefixes with the wrong verb get 405, the rest 404.
+        (_, ["health" | "ready" | "metrics" | "score" | "models" | "admin", ..]) => {
+            Response::text(405, "method not allowed")
+        }
+        _ => Response::text(404, "no such route"),
+    }
+}
+
+/// `POST /score/{model}`: parse rows + deadline, run the entry's full
+/// admission/breaker/deadline gauntlet, render scores or the mapped
+/// failure.
+fn score(registry: &ModelRegistry, name: &str, req: &Request) -> Response {
+    let entry = match registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return manage_error(&e),
+    };
+    let timeout = match parse_timeout(req) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let rows = match parse_rows(&req.body_str()) {
+        Ok(r) => r,
+        Err(msg) => return Response::json(400, format!("{{\"error\":{}}}", json_string(&msg))),
+    };
+    match entry.score(&rows, timeout) {
+        Ok(scores) => {
+            let mut body = String::with_capacity(16 + scores.len() * 8);
+            body.push_str("{\"scores\":[");
+            for (i, s) in scores.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&json_f64(*s));
+            }
+            body.push_str("]}");
+            Response::json(200, body)
+        }
+        Err(e) => score_error(&entry, &e),
+    }
+}
+
+/// Runs a management action on the (trimmed) file path in the body.
+fn with_body_path(req: &Request, action: impl FnOnce(&Path) -> Result<(), ServeError>) -> Response {
+    let body = req.body_str();
+    let path = body.trim();
+    if path.is_empty() {
+        return error_json(
+            400,
+            &ServeError::Io("request body must hold a model file path".into()),
+        );
+    }
+    match action(Path::new(path)) {
+        Ok(()) => Response::json(200, "{\"ok\":true}".to_string()),
+        Err(e) => manage_error(&e),
+    }
+}
+
+fn parse_timeout(req: &Request) -> Result<Duration, Response> {
+    match req.header("x-timeout-ms") {
+        None => Ok(Duration::from_millis(DEFAULT_TIMEOUT_MS)),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Ok(Duration::from_millis(ms.min(MAX_TIMEOUT_MS))),
+            Err(_) => Err(error_json(
+                400,
+                &ServeError::InvalidConfig(format!("X-Timeout-Ms wants an integer, got {v:?}")),
+            )),
+        },
+    }
+}
+
+/// One CSV row of features per line; blank lines skipped.
+fn parse_rows(body: &str) -> Result<Vec<Vec<f64>>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse::<f64>()).collect();
+        match row {
+            Ok(r) => rows.push(r),
+            Err(_) => return Err(format!("line {}: not a CSV row of numbers", lineno + 1)),
+        }
+    }
+    if rows.is_empty() {
+        return Err("request body holds no rows".into());
+    }
+    Ok(rows)
+}
+
+/// Scoring-path failure mapping; `entry` supplies the shed retry hint.
+fn score_error(entry: &Arc<ModelEntry>, e: &ServeError) -> Response {
+    match e {
+        ServeError::QueueFull { .. } => {
+            let ms = entry.retry_hint_ms();
+            error_json(429, e)
+                .with_header("retry-after", &ms.div_ceil(1000).max(1).to_string())
+                .with_header("x-retry-after-ms", &ms.to_string())
+        }
+        ServeError::CircuitOpen { retry_after_ms } => error_json(503, e)
+            .with_header(
+                "retry-after",
+                &retry_after_ms.div_ceil(1000).max(1).to_string(),
+            )
+            .with_header("x-retry-after-ms", &retry_after_ms.to_string()),
+        ServeError::DeadlineExceeded => error_json(504, e),
+        ServeError::UnknownModel(_) => error_json(404, e),
+        ServeError::RowWidthMismatch { .. } | ServeError::OutputLengthMismatch { .. } => {
+            error_json(400, e)
+        }
+        ServeError::Shutdown | ServeError::EngineStopped => error_json(503, e),
+        // Corrupt (model panicked) and anything else unexpected is a
+        // server-side fault.
+        _ => error_json(500, e),
+    }
+}
+
+/// Management-path failure mapping: the artifact (or name) the client
+/// supplied is the usual culprit.
+fn manage_error(e: &ServeError) -> Response {
+    match e {
+        ServeError::UnknownModel(_) => error_json(404, e),
+        ServeError::Io(_)
+        | ServeError::Corrupt(_)
+        | ServeError::Truncated
+        | ServeError::ChecksumMismatch { .. }
+        | ServeError::UnsupportedVersion { .. }
+        | ServeError::KindMismatch { .. }
+        | ServeError::UnsupportedModel
+        | ServeError::ModelWidthMismatch { .. }
+        | ServeError::Unquantizable(_)
+        | ServeError::InvalidConfig(_) => error_json(400, e),
+        _ => error_json(500, e),
+    }
+}
+
+fn error_json(status: u16, e: &ServeError) -> Response {
+    Response::json(
+        status,
+        format!("{{\"error\":{}}}", json_string(&e.to_string())),
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// f64 → JSON number. Rust's shortest-round-trip `Display` is valid
+/// JSON for finite values; non-finite scores (which a well-formed model
+/// never emits) are rendered as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+fn divergence_json(s: &DivergenceStats) -> String {
+    format!(
+        "{{\"compared\":{},\"dropped\":{},\"candidate_failures\":{},\"mean_abs_diff\":{},\"max_abs_diff\":{},\"disagreements\":{}}}",
+        s.compared,
+        s.dropped,
+        s.candidate_failures,
+        json_f64(s.mean_abs_diff),
+        json_f64(s.max_abs_diff),
+        s.disagreements
+    )
+}
+
+fn entry_json(snap: &EntrySnapshot) -> String {
+    let shadow = match &snap.shadow {
+        Some(s) => divergence_json(s),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"breaker_state\":{},\"breaker_trips\":{},\"scored\":{},\"shed\":{},\"deadline_misses\":{},\"scoring_failures\":{},\"heals\":{},\"queue_depth\":{},\"requests\":{},\"batches\":{},\"p50_batch_latency_us\":{},\"p99_batch_latency_us\":{},\"model_swaps\":{},\"shadow\":{}}}",
+        json_string(snap.breaker_state),
+        snap.breaker_trips,
+        snap.scored,
+        snap.shed,
+        snap.deadline_misses,
+        snap.scoring_failures,
+        snap.heals,
+        snap.queue_depth,
+        snap.engine.requests,
+        snap.engine.batches,
+        snap.engine.p50_batch_latency_us,
+        snap.engine.p99_batch_latency_us,
+        snap.engine.model_swaps,
+        shadow
+    )
+}
+
+fn metrics_json(registry: &ModelRegistry) -> String {
+    let mut out = format!("{{\"n_features\":{},\"models\":{{", registry.n_features());
+    for (i, snap) in registry.snapshots().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(&snap.name));
+        out.push(':');
+        out.push_str(&entry_json(snap));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use spe_learners::traits::ConstantModel;
+    use spe_serve::EngineConfig;
+
+    fn request(method: &str, path: &str, headers: &[(&str, &str)], body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_lowercase(), v.to_string()))
+                .collect(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn registry() -> ModelRegistry {
+        let mut config = RegistryConfig::new(2);
+        config.engine = EngineConfig::builder()
+            .max_batch(4)
+            .queue_capacity(8)
+            .max_delay(Duration::from_millis(1))
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let reg = ModelRegistry::new(config);
+        reg.register_model("m", Box::new(ConstantModel(0.25)))
+            .unwrap_or_else(|e| panic!("{e}"));
+        reg
+    }
+
+    #[test]
+    fn health_ready_metrics() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/health", &[], "")).status,
+            200
+        );
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/ready", &[], "")).status,
+            200
+        );
+        let metrics = handle(&reg, &stop, &request("GET", "/metrics", &[], ""));
+        assert_eq!(metrics.status, 200);
+        let body = metrics.body_str();
+        assert!(
+            body.contains("\"m\":{\"breaker_state\":\"closed\""),
+            "{body}"
+        );
+        // An empty registry is alive but not ready.
+        let empty = ModelRegistry::new(RegistryConfig::new(2));
+        assert_eq!(
+            handle(&empty, &stop, &request("GET", "/ready", &[], "")).status,
+            503
+        );
+        assert_eq!(
+            handle(&empty, &stop, &request("GET", "/health", &[], "")).status,
+            200
+        );
+    }
+
+    #[test]
+    fn score_round_trip_and_client_errors() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        let ok = handle(
+            &reg,
+            &stop,
+            &request("POST", "/score/m", &[], "0.0,0.0\n1.0,1.0\n"),
+        );
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body_str(), "{\"scores\":[0.25,0.25]}");
+        // Unknown model.
+        let missing = handle(&reg, &stop, &request("POST", "/score/nope", &[], "0,0\n"));
+        assert_eq!(missing.status, 404);
+        // Wrong row width is the client's fault.
+        let narrow = handle(&reg, &stop, &request("POST", "/score/m", &[], "0.0\n"));
+        assert_eq!(narrow.status, 400);
+        // Garbage body.
+        let garbage = handle(&reg, &stop, &request("POST", "/score/m", &[], "a,b\n"));
+        assert_eq!(garbage.status, 400);
+        let empty = handle(&reg, &stop, &request("POST", "/score/m", &[], "\n\n"));
+        assert_eq!(empty.status, 400);
+        // Bad timeout header.
+        let bad_timeout = handle(
+            &reg,
+            &stop,
+            &request("POST", "/score/m", &[("x-timeout-ms", "soon")], "0,0\n"),
+        );
+        assert_eq!(bad_timeout.status, 400);
+    }
+
+    #[test]
+    fn oversized_request_sheds_with_retry_hints() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        // Watermark is 7 of 8 (0.9 default): eight rows shed.
+        let body = "0,0\n".repeat(8);
+        let shed = handle(&reg, &stop, &request("POST", "/score/m", &[], &body));
+        assert_eq!(shed.status, 429);
+        assert!(shed.header("retry-after").is_some());
+        assert!(shed.header("x-retry-after-ms").is_some());
+        // The server survives and keeps scoring.
+        let ok = handle(&reg, &stop, &request("POST", "/score/m", &[], "0,0\n"));
+        assert_eq!(ok.status, 200);
+    }
+
+    #[test]
+    fn zero_timeout_misses_its_deadline() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        let miss = handle(
+            &reg,
+            &stop,
+            &request("POST", "/score/m", &[("X-Timeout-Ms", "0")], "0,0\n"),
+        );
+        assert_eq!(miss.status, 504);
+    }
+
+    #[test]
+    fn shutdown_route_sets_the_flag() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        assert_eq!(
+            handle(&reg, &stop, &request("POST", "/admin/shutdown", &[], "")).status,
+            200
+        );
+        assert!(stop.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn unknown_routes_and_wrong_verbs() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/nope", &[], "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&reg, &stop, &request("DELETE", "/health", &[], "")).status,
+            405
+        );
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/score/m", &[], "")).status,
+            405
+        );
+        // Management routes on unknown models are typed 404s.
+        assert_eq!(
+            handle(&reg, &stop, &request("DELETE", "/models/nope", &[], "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/models/m/shadow", &[], "")).status,
+            404,
+            "no shadow attached yet"
+        );
+        // Load with an empty body is a 400.
+        assert_eq!(
+            handle(&reg, &stop, &request("POST", "/models/x/load", &[], "  ")).status,
+            400
+        );
+        // Load with a nonexistent file is a 400.
+        assert_eq!(
+            handle(
+                &reg,
+                &stop,
+                &request("POST", "/models/x/load", &[], "/nonexistent/model.spe")
+            )
+            .status,
+            400
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Fault-tolerant network serving for SPE models.
+//!
+//! `spe-serve` gets one model scoring fast in-process; this crate puts
+//! a hardened network layer around it, built for the failure modes a
+//! scoring service actually meets:
+//!
+//! - **Overload** — per-model [admission control](admission) sheds at a
+//!   queue watermark with `429` + `Retry-After` instead of queueing
+//!   into timeout collapse.
+//! - **Slow or wedged models** — client deadlines
+//!   (`X-Timeout-Ms`) propagate to bounded waits, and a per-model
+//!   [circuit breaker](breaker) turns repeated failures into fast
+//!   `503`s, half-opening with probes to detect recovery.
+//! - **Bad deploys** — the [registry](registry) validates every model
+//!   at install (checksummed SPEM envelope, format version, feature
+//!   bound) and keeps the source file for breaker-triggered self-heal
+//!   reloads; [shadow scoring](shadow) runs a candidate on mirrored
+//!   live traffic and reports divergence before promotion.
+//! - **Isolation** — every named model owns its queue, scheduler,
+//!   breaker and counters, so one misbehaving model cannot take the
+//!   others down.
+//!
+//! [`SpeServer`] wires the registry into the vendored thread-per-core
+//! [`httpd`] stand-in; the [`http`] module documents the routes.
+//!
+//! ```no_run
+//! use spe_server::{RegistryConfig, SpeServer};
+//! # fn demo() -> std::io::Result<()> {
+//! let server = SpeServer::start("127.0.0.1:8080", 4, RegistryConfig::new(30))?;
+//! server.registry().register_file("fraud", "fraud.spe".as_ref()).unwrap();
+//! println!("serving on {}", server.addr());
+//! while !server.shutdown_requested() {
+//!     std::thread::sleep(std::time::Duration::from_millis(50));
+//! }
+//! server.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod admission;
+pub mod breaker;
+pub mod http;
+pub mod registry;
+pub mod shadow;
+
+pub use admission::Admission;
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use registry::{EntrySnapshot, ModelEntry, ModelRegistry, RegistryConfig};
+pub use shadow::{DivergenceStats, ShadowScorer};
+
+use httpd::HttpServer;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running scoring server: model registry + HTTP front end.
+pub struct SpeServer {
+    registry: Arc<ModelRegistry>,
+    http: HttpServer,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl SpeServer {
+    /// Binds `addr` (port 0 for an OS-assigned port) and starts
+    /// `workers` connection threads serving `config`'s registry.
+    pub fn start(addr: &str, workers: usize, config: RegistryConfig) -> io::Result<Self> {
+        let registry = Arc::new(ModelRegistry::new(config));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handler_registry = Arc::clone(&registry);
+        let handler_shutdown = Arc::clone(&shutdown);
+        let http = HttpServer::start(addr, workers, move |req| {
+            http::handle(&handler_registry, &handler_shutdown, req)
+        })?;
+        Ok(Self {
+            registry,
+            http,
+            shutdown,
+        })
+    }
+
+    /// The model registry — register models before (or while) serving.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// Whether a client asked for shutdown via `POST /admin/shutdown`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Stops the HTTP front end (in-flight requests finish), then drops
+    /// the registry, draining every model's engine.
+    pub fn stop(self) {
+        self.http.stop();
+    }
+}

@@ -1,0 +1,256 @@
+//! Shadow scoring: run a candidate model on live traffic, off the
+//! request path.
+//!
+//! Before promoting a retrained model it should see real rows, not just
+//! a validation set. A [`ShadowScorer`] holds the candidate plus a
+//! bounded queue and a worker thread; the registry *offers* each
+//! `(row, live_score)` pair after the live model answers, and the
+//! worker re-scores the row on the candidate and accumulates
+//! [`DivergenceStats`]. Nothing here can hurt the live path:
+//!
+//! - `offer` is a non-blocking `try_send`; a slow candidate fills the
+//!   queue and further rows are *dropped* (counted, not queued), so
+//!   shadow lag never backpressures clients.
+//! - The candidate scores inside `catch_unwind`; a panicking candidate
+//!   shows up as `candidate_failures` in the stats instead of killing
+//!   the worker.
+//! - The candidate's feature bound is validated at start, the same gate
+//!   the live engine applies at install.
+
+use spe_data::MatrixView;
+use spe_learners::Model;
+use spe_serve::ServeError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Live-vs-candidate comparison counters, snapshotted by
+/// [`ShadowScorer::stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DivergenceStats {
+    /// Rows scored on both models.
+    pub compared: u64,
+    /// Rows dropped because the shadow queue was full.
+    pub dropped: u64,
+    /// Times the candidate panicked instead of scoring.
+    pub candidate_failures: u64,
+    /// Mean `|live - candidate|` over compared rows.
+    pub mean_abs_diff: f64,
+    /// Largest `|live - candidate|` seen.
+    pub max_abs_diff: f64,
+    /// Rows where the two models disagree at the 0.5 decision
+    /// threshold — the divergences that would have flipped a decision.
+    pub disagreements: u64,
+}
+
+/// Accumulator behind the worker thread.
+#[derive(Default)]
+struct Accum {
+    compared: u64,
+    candidate_failures: u64,
+    sum_abs_diff: f64,
+    max_abs_diff: f64,
+    disagreements: u64,
+}
+
+/// A candidate model consuming mirrored traffic.
+pub struct ShadowScorer {
+    tx: Option<SyncSender<(Vec<f64>, f64)>>,
+    worker: Option<JoinHandle<()>>,
+    accum: Arc<parking_lot::Mutex<Accum>>,
+    dropped: Arc<AtomicU64>,
+    source: PathBuf,
+}
+
+impl ShadowScorer {
+    /// Starts shadowing `model` (loaded from `source`, kept so a later
+    /// promote can reload the same file) for rows of `n_features`.
+    /// `capacity` bounds the mirror queue.
+    pub fn start(
+        model: Box<dyn Model>,
+        n_features: usize,
+        source: PathBuf,
+        capacity: usize,
+    ) -> Result<Self, ServeError> {
+        let bound = model.feature_bound();
+        if !bound.admits(n_features) {
+            return Err(ServeError::ModelWidthMismatch {
+                expected: n_features,
+                model: bound,
+            });
+        }
+        let (tx, rx) = sync_channel::<(Vec<f64>, f64)>(capacity.max(1));
+        let accum = Arc::new(parking_lot::Mutex::new(Accum::default()));
+        let worker_accum = Arc::clone(&accum);
+        let model: Arc<dyn Model> = Arc::from(model);
+        let worker = std::thread::Builder::new()
+            .name("spe-shadow".into())
+            .spawn(move || {
+                while let Ok((row, live)) = rx.recv() {
+                    let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        model.predict_proba_view(MatrixView::from_slice(&row, 1, n_features))[0]
+                    }));
+                    let mut acc = worker_accum.lock();
+                    match scored {
+                        Ok(candidate) => {
+                            let diff = (live - candidate).abs();
+                            acc.compared += 1;
+                            acc.sum_abs_diff += diff;
+                            acc.max_abs_diff = acc.max_abs_diff.max(diff);
+                            if (live >= 0.5) != (candidate >= 0.5) {
+                                acc.disagreements += 1;
+                            }
+                        }
+                        Err(_) => acc.candidate_failures += 1,
+                    }
+                }
+            })
+            .map_err(|e| ServeError::Io(format!("failed to spawn shadow thread: {e}")))?;
+        Ok(Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            accum,
+            dropped: Arc::new(AtomicU64::new(0)),
+            source,
+        })
+    }
+
+    /// Mirrors one already-scored row to the candidate. Never blocks;
+    /// a full queue drops the row and counts it.
+    pub fn offer(&self, row: &[f64], live_score: f64) {
+        let Some(tx) = &self.tx else { return };
+        match tx.try_send((row.to_vec(), live_score)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot of the comparison counters.
+    pub fn stats(&self) -> DivergenceStats {
+        let acc = self.accum.lock();
+        DivergenceStats {
+            compared: acc.compared,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            candidate_failures: acc.candidate_failures,
+            mean_abs_diff: if acc.compared == 0 {
+                0.0
+            } else {
+                acc.sum_abs_diff / acc.compared as f64
+            },
+            max_abs_diff: acc.max_abs_diff,
+            disagreements: acc.disagreements,
+        }
+    }
+
+    /// The SPEM file the candidate was loaded from — what a promote
+    /// installs on the live engine.
+    pub fn source(&self) -> &Path {
+        &self.source
+    }
+}
+
+impl Drop for ShadowScorer {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's recv loop; queued rows
+        // are still compared before it exits.
+        drop(self.tx.take());
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_learners::traits::ConstantModel;
+    use std::time::{Duration, Instant};
+
+    fn wait_until(shadow: &ShadowScorer, want_compared: u64) -> DivergenceStats {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = shadow.stats();
+            if s.compared + s.candidate_failures >= want_compared || Instant::now() > deadline {
+                return s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn accumulates_divergence_off_the_request_path() {
+        let shadow = ShadowScorer::start(Box::new(ConstantModel(0.8)), 2, PathBuf::new(), 64)
+            .unwrap_or_else(|e| panic!("{e}"));
+        shadow.offer(&[0.0, 0.0], 0.8); // agrees
+        shadow.offer(&[1.0, 1.0], 0.3); // diff 0.5, decision flip
+        let s = wait_until(&shadow, 2);
+        assert_eq!(s.compared, 2);
+        assert_eq!(s.disagreements, 1);
+        assert!((s.max_abs_diff - 0.5).abs() < 1e-12);
+        assert!((s.mean_abs_diff - 0.25).abs() < 1e-12);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn width_mismatched_candidate_is_rejected() {
+        struct Wide;
+        impl Model for Wide {
+            fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+                vec![0.5; x.rows()]
+            }
+            fn feature_bound(&self) -> spe_learners::FeatureBound {
+                spe_learners::FeatureBound::Exact(9)
+            }
+        }
+        assert!(matches!(
+            ShadowScorer::start(Box::new(Wide), 2, PathBuf::new(), 64).map(|_| ()),
+            Err(ServeError::ModelWidthMismatch { expected: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn panicking_candidate_is_counted_not_fatal() {
+        struct Panicky;
+        impl Model for Panicky {
+            fn predict_proba_view(&self, _x: MatrixView<'_>) -> Vec<f64> {
+                panic!("bad candidate");
+            }
+        }
+        let shadow = ShadowScorer::start(Box::new(Panicky), 2, PathBuf::new(), 64)
+            .unwrap_or_else(|e| panic!("{e}"));
+        shadow.offer(&[0.0, 0.0], 0.5);
+        shadow.offer(&[0.0, 0.0], 0.5);
+        let s = wait_until(&shadow, 2);
+        assert_eq!(s.candidate_failures, 2);
+        assert_eq!(s.compared, 0);
+    }
+
+    #[test]
+    fn full_queue_drops_instead_of_blocking() {
+        // No worker draining: fill the queue beyond capacity and check
+        // offer never blocks. A sleepy candidate keeps the queue full.
+        struct Sleepy;
+        impl Model for Sleepy {
+            fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+                std::thread::sleep(Duration::from_millis(50));
+                vec![0.5; x.rows()]
+            }
+        }
+        let shadow = ShadowScorer::start(Box::new(Sleepy), 2, PathBuf::new(), 2)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let t0 = Instant::now();
+        for _ in 0..32 {
+            shadow.offer(&[0.0, 0.0], 0.5);
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "offer must never block on a slow candidate"
+        );
+        // Capacity 2 plus at most one in flight: most offers dropped.
+        assert!(shadow.stats().dropped >= 16);
+    }
+}

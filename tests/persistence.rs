@@ -256,3 +256,71 @@ fn not_a_model_file_is_corrupt() {
         Err(ServeError::Io(_))
     ));
 }
+
+/// Every single-bit flip anywhere in a valid SPEM file must surface as
+/// a typed decode error — exhaustive over all (byte, bit) offsets. The
+/// FNV-1a checksum guards the body; flips in the tail corrupt the
+/// stored checksum itself, and flips in the magic or version fields are
+/// caught structurally. Nothing may panic and nothing may decode.
+#[test]
+fn single_bit_corruption_at_every_offset_is_a_typed_error() {
+    let (path, bytes) = saved_model_bytes();
+    std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 1u8 << bit;
+            match spe::serve::ModelEnvelope::decode(&flipped) {
+                Ok(_) => panic!("byte {i} bit {bit}: corrupted envelope decoded cleanly"),
+                Err(err) => assert!(
+                    matches!(
+                        err,
+                        ServeError::Truncated
+                            | ServeError::ChecksumMismatch { .. }
+                            | ServeError::Corrupt(_)
+                            | ServeError::UnsupportedVersion { .. }
+                    ),
+                    "byte {i} bit {bit}: unexpected error {err}"
+                ),
+            }
+        }
+    }
+}
+
+// Truncation and bit corruption composed: cut the file anywhere, then
+// flip any bit of what is left. Whatever survives on disk, the decoder
+// must answer with a typed error — never a panic, never a phantom
+// model.
+proptest! {
+    #[test]
+    fn truncated_and_flipped_envelope_never_panics(
+        cut_frac in 0.0f64..1.0,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (path, bytes) = saved_model_bytes();
+        std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let mut mangled = bytes[..cut].to_vec();
+        if !mangled.is_empty() {
+            let i = ((mangled.len() as f64) * byte_frac) as usize % mangled.len();
+            mangled[i] ^= 1u8 << bit;
+        }
+        match spe::serve::ModelEnvelope::decode(&mangled) {
+            // Every non-empty prefix here carries a bit flip, so the
+            // checksum (or framing) must reject it; the empty prefix is
+            // a truncation. Decoding cleanly would be a framing hole.
+            Ok(_) => prop_assert!(false, "mangled envelope decoded cleanly (cut {})", cut),
+            Err(err) => prop_assert!(
+                matches!(
+                    err,
+                    ServeError::Truncated
+                        | ServeError::ChecksumMismatch { .. }
+                        | ServeError::Corrupt(_)
+                        | ServeError::UnsupportedVersion { .. }
+                ),
+                "cut {} flip bit {}: unexpected error {}", cut, bit, err
+            ),
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! Offline stand-in for a minimal HTTP/1.1 server and client, in the
+//! spirit of `tiny_http` — the build environment has no crates.io
+//! access, so the subset this workspace needs is implemented here over
+//! `std::net` only.
+//!
+//! What it provides:
+//!
+//! - [`HttpServer`] — a thread-per-core server: `workers` threads share
+//!   one listening socket (via `TcpListener::try_clone`) and each runs
+//!   its own accept→read→handle→write loop, so request handling never
+//!   crosses a thread boundary and there is no central dispatcher to
+//!   contend on. Connections are keep-alive by default; each worker
+//!   serves one connection at a time (set `workers` to at least the
+//!   expected concurrent connection count).
+//! - [`ClientConn`] — a blocking keep-alive client connection with a
+//!   per-request timeout and one transparent reconnect on a dead
+//!   connection (a server-side keep-alive teardown between requests is
+//!   indistinguishable from a fresh connect, so retrying once is safe
+//!   for the idempotent request shapes this workspace uses).
+//!
+//! What it deliberately omits: TLS, chunked transfer encoding, HTTP/2,
+//! trailers, and percent-decoding. Bodies are length-delimited via
+//! `Content-Length` only — both sides always send it.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Largest request/response head (request line + headers) accepted, and
+/// the cap on `Content-Length`. Bounds memory per connection so a
+/// malicious or broken peer cannot balloon the process.
+const MAX_HEAD: usize = 16 * 1024;
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// How often a blocked read re-checks the server stop flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request path, verbatim (no percent-decoding).
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response under construction (server side) or as received
+/// (client side).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code (`200`, `429`, ...).
+    pub status: u16,
+    /// Header name/value pairs; names lower-cased on the client side.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self::new(status)
+            .with_header("content-type", "text/plain")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self::new(status)
+            .with_header("content-type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Adds a header (chainable).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Replaces the body (chainable).
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(&name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Status",
+        }
+    }
+}
+
+/// A running server: `workers` accept loops over one shared socket.
+///
+/// Dropping the server (or calling [`HttpServer::stop`]) stops
+/// accepting, wakes every worker and joins them; in-flight requests
+/// finish before their worker exits.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// `workers` accept threads running `handler` on every request.
+    ///
+    /// The handler runs on the worker thread that owns the connection;
+    /// a panicking handler answers 500 and keeps the worker alive.
+    pub fn start<H>(addr: &str, workers: usize, handler: H) -> io::Result<Self>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler: Arc<dyn Fn(&Request) -> Response + Send + Sync> = Arc::new(handler);
+        let workers = (1..=workers.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let stop = Arc::clone(&stop);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("httpd-worker-{i}"))
+                    .spawn(move || worker_loop(&listener, &stop, handler.as_ref()))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self {
+            addr: local,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes all workers and joins them.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // One wake-up connect per worker unblocks every accept; workers
+        // re-check the flag before serving what they accepted.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::Acquire) {
+                    return; // the accepted connection is the wake-up ping
+                }
+                serve_connection(stream, stop, handler);
+            }
+            // Transient accept failures (EMFILE, aborted handshakes)
+            // must not kill the worker.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, asks to
+/// close, errors, or the server stops.
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    handler: &(dyn Fn(&Request) -> Response + Send + Sync),
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        let req = match read_request(&mut stream, &mut buf, stop) {
+            Ok(Some(req)) => req,
+            Ok(None) | Err(_) => return, // peer closed / stop / malformed
+        };
+        let close = req
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        // A panicking handler answers 500 and keeps the worker alive —
+        // one bad request must not take down an accept loop.
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&req)))
+            .unwrap_or_else(|_| Response::text(500, "handler panicked"));
+        if write_response(&mut stream, &resp, close).is_err() {
+            return;
+        }
+        if close || stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Reads one request off the stream. `buf` carries bytes already read
+/// past the previous request (pipelining). Returns `Ok(None)` on a
+/// clean close before a request started, or on server stop.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> io::Result<Option<Request>> {
+    let head_end = loop {
+        if let Some(end) = find_head_end(buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(malformed("request head too large"));
+        }
+        match read_some(stream, buf)? {
+            ReadOutcome::Data => {}
+            ReadOutcome::Eof => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(malformed("connection closed mid-request"))
+                };
+            }
+            ReadOutcome::TimedOut => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+        }
+    };
+    // Parse the head into owned values before the body loop below
+    // grows (and may reallocate) the buffer.
+    let (method, path, headers) = {
+        let head = std::str::from_utf8(&buf[..head_end])
+            .map_err(|_| malformed("request head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+            _ => return Err(malformed("bad request line")),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(malformed("unsupported HTTP version"));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| malformed("bad header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        (method.to_string(), path.to_string(), headers)
+    };
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n <= MAX_BODY)
+            .ok_or_else(|| malformed("bad content-length"))?,
+        None => 0,
+    };
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        match read_some(stream, buf)? {
+            ReadOutcome::Data => {}
+            ReadOutcome::Eof => return Err(malformed("connection closed mid-body")),
+            ReadOutcome::TimedOut => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    let req = Request {
+        method,
+        path,
+        headers,
+        body,
+    };
+    buf.drain(..body_start + content_length);
+    Ok(Some(req))
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    let mut out = Vec::with_capacity(128 + resp.body.len());
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status,
+        resp.reason(),
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
+    )?;
+    for (k, v) in &resp.headers {
+        write!(out, "{k}: {v}\r\n")?;
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    stream.write_all(&out)
+}
+
+/// Position of the `\r\n\r\n` terminating the head, if fully buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+enum ReadOutcome {
+    Data,
+    Eof,
+    TimedOut,
+}
+
+/// One `read` into `buf`, folding the platform's two timeout flavours
+/// (`WouldBlock` on Unix, `TimedOut` on Windows) into [`ReadOutcome`].
+fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<ReadOutcome> {
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Ok(ReadOutcome::Eof),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(ReadOutcome::Data)
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(ReadOutcome::TimedOut)
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(ReadOutcome::TimedOut),
+        Err(e) => Err(e),
+    }
+}
+
+fn malformed(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// A blocking keep-alive client connection.
+///
+/// One request at a time: write, then read the full response. A dead
+/// connection (server restarted, keep-alive torn down between requests)
+/// is reconnected once per request before the error is surfaced.
+pub struct ClientConn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Resolves `addr` and connects.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let mut conn = Self {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+        };
+        conn.reconnect()?;
+        Ok(conn)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        self.stream = None; // drop the old connection first
+        self.buf.clear();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Sends one request and reads the response, failing with
+    /// `io::ErrorKind::TimedOut` if the full response has not arrived
+    /// within `timeout`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Response> {
+        match self.try_request(method, path, headers, body, timeout) {
+            Ok(resp) => Ok(resp),
+            // A stale keep-alive connection fails on write or with an
+            // immediate EOF; one reconnect distinguishes that from a
+            // genuinely down server.
+            Err(e) if e.kind() != io::ErrorKind::TimedOut => {
+                self.reconnect()?;
+                self.try_request(method, path, headers, body, timeout)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Response> {
+        let deadline = Instant::now() + timeout;
+        let stream = match self.stream.as_mut() {
+            Some(s) => s,
+            None => {
+                self.reconnect()?;
+                self.stream.as_mut().expect("just connected")
+            }
+        };
+        let mut out = Vec::with_capacity(256 + body.len());
+        write!(
+            out,
+            "{method} {path} HTTP/1.1\r\nhost: spe\r\ncontent-length: {}\r\n",
+            body.len()
+        )?;
+        for (k, v) in headers {
+            write!(out, "{k}: {v}\r\n")?;
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(body);
+        stream.write_all(&out)?;
+
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > MAX_HEAD {
+                return Err(malformed("response head too large"));
+            }
+            read_client_chunk(stream, &mut self.buf, deadline)?;
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| malformed("response head is not UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| malformed("bad status line"))?;
+        let mut resp_headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| malformed("bad header"))?;
+            resp_headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = resp_headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .filter(|&n| n <= MAX_BODY)
+            .ok_or_else(|| malformed("missing content-length"))?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            read_client_chunk(stream, &mut self.buf, deadline)?;
+        }
+        let resp = Response {
+            status,
+            headers: resp_headers,
+            body: self.buf[body_start..body_start + content_length].to_vec(),
+        };
+        self.buf.drain(..body_start + content_length);
+        Ok(resp)
+    }
+}
+
+/// One deadline-bounded read on the client side.
+fn read_client_chunk(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: Instant,
+) -> io::Result<()> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "response timed out",
+        ));
+    }
+    stream.set_read_timeout(Some(remaining.min(POLL_TICK)))?;
+    match read_some(stream, buf)? {
+        ReadOutcome::Eof => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )),
+        ReadOutcome::Data | ReadOutcome::TimedOut => Ok(()),
+    }
+}
+
+/// One-shot convenience: connect, request, drop the connection.
+pub fn one_shot(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<Response> {
+    ClientConn::connect(addr)?.request(method, path, headers, body, timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server(workers: usize) -> HttpServer {
+        HttpServer::start("127.0.0.1:0", workers, |req| match req.path.as_str() {
+            "/echo" => Response::text(200, req.body_str()).with_header("x-method", &req.method),
+            "/slow" => {
+                std::thread::sleep(Duration::from_millis(300));
+                Response::text(200, "late")
+            }
+            "/boom" => panic!("handler exploded"),
+            _ => Response::text(404, "not found"),
+        })
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn round_trip_and_keep_alive() {
+        let server = echo_server(2);
+        let addr = server.addr().to_string();
+        let mut conn = ClientConn::connect(&addr).unwrap_or_else(|e| panic!("{e}"));
+        for i in 0..5 {
+            let body = format!("ping {i}");
+            let resp = conn
+                .request(
+                    "POST",
+                    "/echo",
+                    &[("x-test", "1")],
+                    body.as_bytes(),
+                    Duration::from_secs(5),
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body_str(), body);
+            assert_eq!(resp.header("x-method"), Some("POST"));
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_panic_is_500() {
+        let server = echo_server(1);
+        let addr = server.addr().to_string();
+        let resp = one_shot(&addr, "GET", "/nope", &[], b"", Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(resp.status, 404);
+        // A panicking handler answers 500 and the worker keeps serving.
+        let mut conn = ClientConn::connect(&addr).unwrap_or_else(|e| panic!("{e}"));
+        let resp = conn
+            .request("GET", "/boom", &[], b"", Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(resp.status, 500);
+        let resp = conn
+            .request("POST", "/echo", &[], b"alive", Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(resp.body_str(), "alive");
+        server.stop();
+    }
+
+    #[test]
+    fn client_timeout_is_typed() {
+        let server = echo_server(1);
+        let addr = server.addr().to_string();
+        let mut conn = ClientConn::connect(&addr).unwrap_or_else(|e| panic!("{e}"));
+        let err = conn
+            .request("GET", "/slow", &[], b"", Duration::from_millis(50))
+            .expect_err("50ms deadline must beat a 300ms handler");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_connections_across_workers() {
+        let server = echo_server(4);
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut conn = ClientConn::connect(&addr).unwrap_or_else(|e| panic!("{e}"));
+                    for j in 0..10 {
+                        let body = format!("{i}:{j}");
+                        let resp = conn
+                            .request(
+                                "POST",
+                                "/echo",
+                                &[],
+                                body.as_bytes(),
+                                Duration::from_secs(5),
+                            )
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        assert_eq!(resp.body_str(), body);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .unwrap_or_else(|_| panic!("client thread panicked"));
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn stop_unblocks_idle_workers() {
+        let server = echo_server(3);
+        let t0 = Instant::now();
+        server.stop(); // must not hang on the blocked accepts
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}
