@@ -31,6 +31,29 @@ smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$repo_root/target/release/bench_train" --quick)
 rm -rf "$smoke_dir"
 
+echo "==> bench_oocore --smoke (out-of-core vs in-memory AUCPRC parity <= 0.005)"
+cargo build --release -p spe-bench --bin bench_oocore
+oocore_dir="$(mktemp -d)"
+(cd "$oocore_dir" && "$repo_root/target/release/bench_oocore" --smoke)
+rm -rf "$oocore_dir"
+grep -q '"oocore"' BENCH_train.json
+grep -q '"rss_budget_ratio"' BENCH_train.json
+
+echo "==> spe_score chunked round trip (CSV stream vs packed shards must fit identical models)"
+cargo build --release -p spe-serve --bin spe_score
+ooc_dir="$(mktemp -d)"
+spe_score_bin="$repo_root/target/release/spe_score"
+"$spe_score_bin" gen  --out "$ooc_dir/data.csv" --rows 4000 --seed 9
+"$spe_score_bin" pack --input "$ooc_dir/data.csv" --out "$ooc_dir/shards" --rows-per-shard 700
+"$spe_score_bin" fit-save --train "$ooc_dir/data.csv" --out "$ooc_dir/csv.spe" \
+                          --chunked --chunk-rows 700 --members 5
+"$spe_score_bin" fit-save --train "$ooc_dir/shards" --out "$ooc_dir/shard.spe" \
+                          --chunked --members 5
+"$spe_score_bin" load-score --model "$ooc_dir/csv.spe"   --input "$ooc_dir/data.csv" --out "$ooc_dir/p1.csv"
+"$spe_score_bin" load-score --model "$ooc_dir/shard.spe" --input "$ooc_dir/data.csv" --out "$ooc_dir/p2.csv"
+cmp "$ooc_dir/p1.csv" "$ooc_dir/p2.csv"
+rm -rf "$ooc_dir"
+
 echo "==> bench_serve --smoke (quantized backend selected + BENCH_serve.json schema)"
 cargo build --release -p spe-bench --bin bench_serve
 serve_dir="$(mktemp -d)"

@@ -180,23 +180,6 @@ fn csv_body(x: &spe_data::Matrix, rows: usize) -> String {
     out
 }
 
-/// Appends the `server` section to an existing `BENCH_serve.json`
-/// (written by `bench_serve`), or starts a fresh file.
-fn merge_into_bench_json(section: &str) -> std::io::Result<()> {
-    let path = std::path::Path::new("BENCH_serve.json");
-    let json = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            match trimmed.strip_suffix('}') {
-                Some(head) => format!("{},\n  \"server\": {section}\n}}\n", head.trim_end()),
-                None => format!("{{\n  \"server\": {section}\n}}\n"),
-            }
-        }
-        Err(_) => format!("{{\n  \"server\": {section}\n}}\n"),
-    };
-    std::fs::write(path, json)
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
@@ -343,7 +326,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         wedged.json(2, 1),
         healthy.json(2, 16)
     );
-    merge_into_bench_json(&section)?;
+    spe_bench::harness::merge_bench_section(
+        std::path::Path::new("BENCH_serve.json"),
+        "server",
+        &section,
+    )?;
     eprintln!(
         "overload shed rate {:.0}%, recovery p99 {}us (overload {}us) -> BENCH_serve.json (server section)",
         overload.shed_rate() * 100.0,

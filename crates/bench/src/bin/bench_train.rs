@@ -1,22 +1,28 @@
 //! Wall-clock training benchmark: exact vs histogram split engines on a
 //! 50-member SPE over a 100k-row synthetic imbalanced dataset, with
 //! AUCPRC measured on a held-out draw so the speedup is accompanied by a
-//! quality check. Results land in `BENCH_train.json`.
+//! quality check. A second histogram fit on an 8-thread runtime is
+//! recorded next to the single-thread entries, along with the process's
+//! peak RSS. Results merge into `BENCH_train.json` key by key, so an
+//! `oocore` section from `bench_oocore` survives a re-run.
 //!
 //! ```sh
 //! cargo run --release -p spe-bench --bin bench_train            # full
 //! cargo run --release -p spe-bench --bin bench_train -- --quick # smoke
 //! ```
 
-use spe_bench::harness::Args;
+use spe_bench::harness::{merge_bench_section, peak_rss_bytes, Args};
 use spe_core::SelfPacedEnsembleConfig;
 use spe_data::{Dataset, Matrix, SeededRng};
 use spe_datasets::{checkerboard, CheckerboardConfig};
 use spe_learners::traits::{Model, SharedLearner};
 use spe_learners::{DecisionTreeConfig, SplitMethod};
 use spe_metrics::aucprc;
+use spe_runtime::Runtime;
 use std::sync::Arc;
 use std::time::Instant;
+
+const MT_THREADS: usize = 8;
 
 /// Checkerboard with `extra` appended standard-normal noise features, so
 /// the split search has realistic width (10 features total).
@@ -48,7 +54,13 @@ struct RunResult {
     members: usize,
 }
 
-fn run(method: SplitMethod, n_estimators: usize, train: &Dataset, test: &Dataset) -> RunResult {
+fn run(
+    method: SplitMethod,
+    n_estimators: usize,
+    threads: usize,
+    train: &Dataset,
+    test: &Dataset,
+) -> RunResult {
     // `min_samples_leaf` keeps deep trees from shattering the noise
     // features sample-by-sample; without it the exact engine's
     // per-sample thresholds overfit this dataset and the two engines
@@ -59,7 +71,10 @@ fn run(method: SplitMethod, n_estimators: usize, train: &Dataset, test: &Dataset
         split_method: method,
         ..DecisionTreeConfig::default()
     });
-    let cfg = SelfPacedEnsembleConfig::with_base(n_estimators, base);
+    let cfg = SelfPacedEnsembleConfig {
+        runtime: Runtime::with_threads(threads),
+        ..SelfPacedEnsembleConfig::with_base(n_estimators, base)
+    };
     let t0 = Instant::now();
     let model = cfg.fit_dataset(train, 7);
     let fit_seconds = t0.elapsed().as_secs_f64();
@@ -71,9 +86,9 @@ fn run(method: SplitMethod, n_estimators: usize, train: &Dataset, test: &Dataset
     }
 }
 
-fn json_block(name: &str, r: &RunResult) -> String {
+fn json_block(r: &RunResult) -> String {
     format!(
-        "  \"{name}\": {{\n    \"fit_seconds\": {:.4},\n    \"aucprc\": {:.6},\n    \"members\": {}\n  }}",
+        "{{\n    \"fit_seconds\": {:.4},\n    \"aucprc\": {:.6},\n    \"members\": {}\n  }}",
         r.fit_seconds, r.aucprc, r.members
     )
 }
@@ -88,45 +103,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = noisy_board(n_min, n_maj, 8, 11);
     let test = noisy_board(n_min, n_maj, 8, 12);
     eprintln!(
-        "bench_train: {} rows x {} features, {} members, {} thread(s)",
+        "bench_train: {} rows x {} features, {} members",
         train.len(),
         train.x().cols(),
         n_estimators,
-        spe_runtime::current_threads()
     );
 
-    eprintln!("fitting exact ...");
-    let exact = run(SplitMethod::Exact, n_estimators, &train, &test);
+    eprintln!("fitting exact (1 thread) ...");
+    let exact = run(SplitMethod::Exact, n_estimators, 1, &train, &test);
     eprintln!(
         "  exact: {:.2}s, AUCPRC {:.4}",
         exact.fit_seconds, exact.aucprc
     );
-    eprintln!("fitting histogram ...");
-    let hist = run(SplitMethod::Histogram, n_estimators, &train, &test);
+    eprintln!("fitting histogram (1 thread) ...");
+    let hist = run(SplitMethod::Histogram, n_estimators, 1, &train, &test);
     eprintln!(
         "  histogram: {:.2}s, AUCPRC {:.4}",
         hist.fit_seconds, hist.aucprc
     );
+    eprintln!("fitting histogram ({MT_THREADS} threads) ...");
+    let hist_mt = run(
+        SplitMethod::Histogram,
+        n_estimators,
+        MT_THREADS,
+        &train,
+        &test,
+    );
+    eprintln!(
+        "  histogram x{MT_THREADS}: {:.2}s, AUCPRC {:.4}",
+        hist_mt.fit_seconds, hist_mt.aucprc
+    );
+    // Determinism contract: the thread count may only change the clock.
+    assert_eq!(
+        hist.aucprc.to_bits(),
+        hist_mt.aucprc.to_bits(),
+        "histogram fit must be bit-identical across thread counts"
+    );
 
     let speedup = exact.fit_seconds / hist.fit_seconds.max(1e-9);
+    let mt_speedup = hist.fit_seconds / hist_mt.fit_seconds.max(1e-9);
     let delta = (exact.aucprc - hist.aucprc).abs();
-    let json = format!(
-        "{{\n  \"dataset\": {{\n    \"rows\": {},\n    \"features\": {},\n    \"n_minority\": {},\n    \"n_majority\": {}\n  }},\n  \"n_estimators\": {},\n  \"threads\": {},\n{},\n{},\n  \"speedup\": {:.3},\n  \"aucprc_delta\": {:.6}\n}}\n",
+    let peak_rss = peak_rss_bytes();
+    let dataset = format!(
+        "{{\n    \"rows\": {},\n    \"features\": {},\n    \"n_minority\": {},\n    \"n_majority\": {}\n  }}",
         train.len(),
         train.x().cols(),
         n_min,
-        n_maj,
-        n_estimators,
-        spe_runtime::current_threads(),
-        json_block("exact", &exact),
-        json_block("histogram", &hist),
-        speedup,
-        delta
+        n_maj
     );
+    let hist_mt_json = format!(
+        "{{\n    \"threads\": {MT_THREADS},\n    \"fit_seconds\": {:.4},\n    \"aucprc\": {:.6},\n    \"members\": {},\n    \"speedup_vs_1thread\": {:.3}\n  }}",
+        hist_mt.fit_seconds, hist_mt.aucprc, hist_mt.members, mt_speedup
+    );
+    // Merge key by key instead of rewriting the file, so the `oocore`
+    // section written by `bench_oocore` survives.
     let out = std::path::Path::new("BENCH_train.json");
-    std::fs::write(out, &json)?;
+    for (key, section) in [
+        ("dataset", dataset),
+        ("n_estimators", n_estimators.to_string()),
+        ("threads", "1".to_string()),
+        ("exact", json_block(&exact)),
+        ("histogram", json_block(&hist)),
+        ("histogram_mt", hist_mt_json),
+        ("speedup", format!("{speedup:.3}")),
+        ("aucprc_delta", format!("{delta:.6}")),
+        ("peak_rss_bytes", peak_rss.to_string()),
+    ] {
+        merge_bench_section(out, key, &section)?;
+    }
     eprintln!(
-        "speedup {speedup:.2}x, AUCPRC delta {delta:.4} -> {}",
+        "speedup {speedup:.2}x (x{MT_THREADS} threads {mt_speedup:.2}x), AUCPRC delta {delta:.4}, peak RSS {:.1} MiB -> {}",
+        peak_rss as f64 / (1024.0 * 1024.0),
         out.display()
     );
     Ok(())

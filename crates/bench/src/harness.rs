@@ -123,6 +123,126 @@ pub fn try_cross_validate(
     .collect()
 }
 
+/// Peak resident set size of this process in bytes — the high-water
+/// mark over the whole process lifetime (`VmHWM` from
+/// `/proc/self/status`). Returns 0 on platforms without procfs, so
+/// callers should treat 0 as "unknown", not "tiny".
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kib * 1024;
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Merges `"key": section` into the top-level object of a benchmark
+/// JSON file, replacing any existing entry for `key` (so re-running a
+/// section-producing bench is idempotent) and creating the file if it
+/// does not exist. `section` must itself be a JSON value.
+///
+/// This is string surgery, not a JSON parser: it assumes the file is
+/// the object our benches write (brace-free strings, `key` unique in
+/// the document).
+pub fn merge_bench_section(
+    path: &std::path::Path,
+    key: &str,
+    section: &str,
+) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| String::from("{}"));
+    let base = remove_json_key(&existing, key);
+    let trimmed = base.trim_end();
+    let json = match trimmed.strip_suffix('}') {
+        Some(head) => {
+            let head = head.trim_end();
+            let sep = if head.ends_with('{') { "" } else { "," };
+            format!("{head}{sep}\n  \"{key}\": {section}\n}}\n")
+        }
+        None => format!("{{\n  \"{key}\": {section}\n}}\n"),
+    };
+    std::fs::write(path, json)
+}
+
+/// Removes `"key": <value>` (object or scalar) plus its separating
+/// comma from a JSON document. Returns the input unchanged when the
+/// key is absent.
+fn remove_json_key(json: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let Some(start) = json.find(&needle) else {
+        return json.to_string();
+    };
+    let bytes = json.as_bytes();
+    let mut i = start + needle.len();
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let mut end = i;
+    if end < bytes.len() && bytes[end] == b'{' {
+        let mut depth = 0usize;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+    } else {
+        while end < bytes.len() && !matches!(bytes[end], b',' | b'}' | b'\n') {
+            end += 1;
+        }
+    }
+    // Take the comma that separated this entry from its neighbour:
+    // the trailing one if the entry wasn't last, else the leading one.
+    let mut head_cut = start;
+    let mut j = end;
+    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b',' {
+        end = j + 1;
+        // Also take the entry's own indentation and leading newline so
+        // removal doesn't leave a blank line behind.
+        while head_cut > 0 && matches!(bytes[head_cut - 1], b' ' | b'\t') {
+            head_cut -= 1;
+        }
+        if head_cut > 0 && bytes[head_cut - 1] == b'\n' {
+            head_cut -= 1;
+        }
+    } else {
+        let mut k = start;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > 0 && bytes[k - 1] == b',' {
+            head_cut = k - 1;
+        }
+    }
+    format!("{}{}", &json[..head_cut], &json[end..])
+}
+
 /// Directory for experiment CSVs (`target/experiments`).
 pub fn experiments_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; workspace target is two up.
@@ -314,6 +434,60 @@ mod tests {
                 "{argv:?}"
             );
         }
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // Any live process has touched at least a megabyte.
+            assert!(rss > 1 << 20, "VmHWM parse broke: {rss}");
+        }
+    }
+
+    #[test]
+    fn merge_bench_section_creates_appends_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("spe-merge-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+
+        // Create from nothing.
+        merge_bench_section(&path, "alpha", "{\n    \"v\": 1\n  }").unwrap();
+        let t = std::fs::read_to_string(&path).unwrap();
+        assert!(t.contains("\"alpha\""), "{t}");
+
+        // Append a second key, keep the first.
+        merge_bench_section(&path, "beta", "{\n    \"v\": 2\n  }").unwrap();
+        let t = std::fs::read_to_string(&path).unwrap();
+        assert!(t.contains("\"alpha\"") && t.contains("\"beta\""), "{t}");
+
+        // Replace, not duplicate, on re-run.
+        merge_bench_section(&path, "alpha", "{\n    \"v\": 9\n  }").unwrap();
+        let t = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(t.matches("\"alpha\"").count(), 1, "{t}");
+        assert!(t.contains("\"v\": 9") && t.contains("\"v\": 2"), "{t}");
+        // Still a balanced object.
+        assert_eq!(
+            t.matches('{').count(),
+            t.matches('}').count(),
+            "unbalanced braces: {t}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_json_key_handles_first_middle_last() {
+        let doc = "{\n  \"a\": { \"x\": 1 },\n  \"b\": 2,\n  \"c\": { \"y\": { \"z\": 3 } }\n}\n";
+        for key in ["a", "b", "c"] {
+            let out = remove_json_key(doc, key);
+            assert!(!out.contains(&format!("\"{key}\"")), "{key}: {out}");
+            assert_eq!(out.matches('{').count(), out.matches('}').count(), "{out}");
+            assert!(
+                !out.contains("\n  \n") && !out.contains("\n\n"),
+                "removal left a blank line: {out:?}"
+            );
+        }
+        assert_eq!(remove_json_key(doc, "missing"), doc);
     }
 
     #[test]

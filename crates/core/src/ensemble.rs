@@ -438,6 +438,21 @@ pub struct SelfPacedEnsemble {
 }
 
 impl SelfPacedEnsemble {
+    /// Assembles an ensemble from already-trained members — the
+    /// out-of-core fit ([`crate::oocore`]) runs its own training loop
+    /// outside `fit_validated`.
+    pub(crate) fn from_members(
+        models: Vec<Box<dyn Model>>,
+        alphas: Vec<f64>,
+        report: FitReport,
+    ) -> Result<Self, SpeError> {
+        Ok(Self {
+            inner: SoftVoteEnsemble::try_new(models)?,
+            alphas,
+            report,
+        })
+    }
+
     /// Number of base models.
     pub fn len(&self) -> usize {
         self.inner.len()

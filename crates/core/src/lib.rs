@@ -27,6 +27,7 @@ pub mod bins;
 pub mod builder;
 pub mod ensemble;
 pub mod hardness;
+pub mod oocore;
 pub mod report;
 pub mod sampler;
 
@@ -34,5 +35,6 @@ pub use bins::{BinStats, HardnessBins};
 pub use builder::SelfPacedEnsembleBuilder;
 pub use ensemble::{FitTrace, SelfPacedEnsemble, SelfPacedEnsembleConfig};
 pub use hardness::HardnessFn;
+pub use oocore::{chunk_rows_for_budget, ChunkedFitOptions, OocReport};
 pub use report::{FitReport, MemberOutcome};
 pub use sampler::{self_paced_factor, AlphaSchedule, SelfPacedSampler};

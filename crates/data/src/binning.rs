@@ -76,6 +76,36 @@ impl BinIndex {
         }
     }
 
+    /// Assembles a `BinIndex` from an externally built cut grid plus a
+    /// column-major code buffer — the out-of-core path encodes streamed
+    /// chunks against sketch-derived cuts and stitches each member's
+    /// index from the stored codes without ever holding the `f64`
+    /// matrix.
+    ///
+    /// Callers are responsible for the codes actually being
+    /// [`encode_value`]-consistent with `cuts`; shape is validated
+    /// here.
+    ///
+    /// # Panics
+    /// Panics if any feature has `MAX_BINS` or more cuts, or if
+    /// `codes.len() != cuts.len() * n_rows`.
+    pub fn from_parts(cuts: Vec<Vec<f64>>, codes: Vec<u8>, n_rows: usize) -> Self {
+        assert!(
+            cuts.iter().all(|c| c.len() < MAX_BINS),
+            "per-feature cut count must fit u8 codes"
+        );
+        assert_eq!(
+            codes.len(),
+            cuts.len() * n_rows,
+            "column-major code buffer size"
+        );
+        Self {
+            n_rows,
+            cuts,
+            codes,
+        }
+    }
+
     /// Number of binned samples.
     #[inline]
     pub fn n_rows(&self) -> usize {

@@ -36,18 +36,8 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
         line: 0,
         reason: "empty CSV".into(),
     })??;
-    let cols: Vec<&str> = header.split(',').collect();
-    if cols.len() < 2 {
-        return Err(SpeError::CsvMalformed {
-            line: 1,
-            reason: "need at least one feature column and a label".into(),
-        });
-    }
-    let label_col = cols
-        .iter()
-        .position(|c| c.trim().eq_ignore_ascii_case("label"))
-        .unwrap_or(cols.len() - 1);
-    let n_features = cols.len() - 1;
+    let layout = CsvLayout::from_header(&header)?;
+    let n_features = layout.n_features();
 
     let mut x = Matrix::with_capacity(128, n_features);
     let mut y = Vec::new();
@@ -58,11 +48,64 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
         if line.trim().is_empty() {
             continue;
         }
+        let label = layout.parse_row(&line, line_no, &mut row)?;
+        x.push_row(&row);
+        y.push(label);
+    }
+    if y.is_empty() {
+        return Err(SpeError::CsvMalformed {
+            line: 1,
+            reason: "CSV has a header but no data rows".into(),
+        });
+    }
+    Ok(Dataset::new(x, y))
+}
+
+/// Column layout of a labelled CSV: which column holds the label and
+/// how many feature columns surround it. Shared by the whole-file
+/// reader above and the chunked reader in [`crate::chunked`].
+#[derive(Clone, Debug)]
+pub struct CsvLayout {
+    label_col: usize,
+    n_cols: usize,
+}
+
+impl CsvLayout {
+    /// Parses a header line: the label column is the one named `label`
+    /// (case-insensitive) or, failing that, the last column.
+    pub fn from_header(header: &str) -> Result<Self, SpeError> {
+        let cols: Vec<&str> = header.split(',').collect();
+        if cols.len() < 2 {
+            return Err(SpeError::CsvMalformed {
+                line: 1,
+                reason: "need at least one feature column and a label".into(),
+            });
+        }
+        let label_col = cols
+            .iter()
+            .position(|c| c.trim().eq_ignore_ascii_case("label"))
+            .unwrap_or(cols.len() - 1);
+        Ok(Self {
+            label_col,
+            n_cols: cols.len(),
+        })
+    }
+
+    /// Feature columns (everything except the label).
+    pub fn n_features(&self) -> usize {
+        self.n_cols - 1
+    }
+
+    /// Parses one data line into `row` (length [`Self::n_features`])
+    /// and returns its label. Errors carry the caller-supplied 1-based
+    /// `line_no`, so chunked readers report absolute file positions.
+    pub fn parse_row(&self, line: &str, line_no: usize, row: &mut [f64]) -> Result<u8, SpeError> {
+        debug_assert_eq!(row.len(), self.n_features());
         let n_cells = line.split(',').count();
-        if n_cells != cols.len() {
+        if n_cells != self.n_cols {
             return Err(SpeError::CsvRaggedRow {
                 line: line_no,
-                expected: n_features,
+                expected: self.n_features(),
                 got: n_cells.saturating_sub(1),
             });
         }
@@ -78,7 +121,7 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
                     cell: cell.to_string(),
                 })?
             };
-            if ci == label_col {
+            if ci == self.label_col {
                 label = Some(if value == 0.0 {
                     0
                 } else if value == 1.0 {
@@ -94,19 +137,11 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
                 fi += 1;
             }
         }
-        x.push_row(&row);
-        y.push(label.ok_or(SpeError::CsvMalformed {
+        label.ok_or(SpeError::CsvMalformed {
             line: line_no,
             reason: "missing label".into(),
-        })?);
+        })
     }
-    if y.is_empty() {
-        return Err(SpeError::CsvMalformed {
-            line: 1,
-            reason: "CSV has a header but no data rows".into(),
-        });
-    }
-    Ok(Dataset::new(x, y))
 }
 
 /// Writes a header row plus data rows of `f64` values.

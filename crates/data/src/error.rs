@@ -101,6 +101,14 @@ pub enum SpeError {
         /// What is malformed.
         reason: String,
     },
+    /// A binary shard file or manifest failed validation (bad magic,
+    /// checksum mismatch, truncated payload, version skew, ...).
+    ShardCorrupt {
+        /// Path of the offending file.
+        path: String,
+        /// What failed to validate.
+        reason: String,
+    },
     /// An underlying I/O failure (rendered, to keep `SpeError: Eq`).
     Io(String),
 }
@@ -161,6 +169,9 @@ impl fmt::Display for SpeError {
                 } else {
                     write!(f, "line {line}: {reason}")
                 }
+            }
+            SpeError::ShardCorrupt { path, reason } => {
+                write!(f, "shard {path}: {reason}")
             }
             SpeError::Io(msg) => write!(f, "I/O error: {msg}"),
         }

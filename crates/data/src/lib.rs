@@ -13,9 +13,13 @@
 //! - seeded sampling helpers and a Box–Muller Gaussian source ([`rng`]),
 //! - missing-value injection used by Table VII ([`missing`]),
 //! - input sanitization for dirty real-world data ([`sanitize`]),
-//! - a minimal CSV writer for experiment artifacts ([`csv`]).
+//! - a minimal CSV writer for experiment artifacts ([`csv`]),
+//! - chunk-at-a-time sources for out-of-core training ([`chunked`]),
+//! - a checksummed binary shard codec for fast re-streaming ([`shards`]),
+//! - mergeable quantile sketches for streaming bin grids ([`sketch`]).
 
 pub mod binning;
+pub mod chunked;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -23,15 +27,20 @@ pub mod matrix;
 pub mod missing;
 pub mod rng;
 pub mod sanitize;
+pub mod shards;
+pub mod sketch;
 pub mod split;
 pub mod stats;
 
 pub use binning::{encode_batch_into, encode_value, BinIndex};
+pub use chunked::{Chunk, ChunkedCsv, ChunkedSource, DatasetChunks};
 pub use dataset::{ClassIndex, Dataset};
 pub use error::SpeError;
 pub use matrix::{Matrix, MatrixView};
 pub use rng::SeededRng;
 pub use sanitize::{SanitizePolicy, SanitizeReport, Sanitizer};
+pub use shards::{pack_source, ShardManifest, ShardReader, ShardWriter};
+pub use sketch::QuantileSketch;
 pub use split::{stratified_k_fold, train_val_test_split, StratifiedSplit};
 pub use stats::Standardizer;
 

@@ -59,6 +59,13 @@ impl Matrix {
         }
     }
 
+    /// Removes every row, keeping the allocation and column count —
+    /// chunked sources recycle one matrix across a whole stream.
+    pub fn clear_rows(&mut self) {
+        self.rows = 0;
+        self.data.clear();
+    }
+
     /// Builds a matrix from row slices. All rows must share a length.
     pub fn from_rows(rows: &[&[f64]]) -> Self {
         if rows.is_empty() {

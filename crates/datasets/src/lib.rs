@@ -21,6 +21,7 @@
 pub mod checkerboard;
 pub mod overlap;
 pub mod simulators;
+pub mod stream;
 
 pub use checkerboard::{checkerboard, CheckerboardConfig};
 pub use overlap::{overlap_study, OverlapConfig};
@@ -28,3 +29,4 @@ pub use simulators::{
     credit_fraud_sim, kddcup_sim, payment_sim, record_linkage_sim, KddVariant, RealWorldSpec,
     REAL_WORLD_SPECS,
 };
+pub use stream::{StreamConfig, SyntheticStream};

@@ -1,0 +1,246 @@
+//! A beyond-RAM synthetic stream for out-of-core experiments.
+//!
+//! [`SyntheticStream`] generates a checkerboard-style imbalanced
+//! classification stream chunk by chunk — the nominal dataset (the
+//! paper-scale target is 50M × 30, ≈ 12 GB dense) never exists in
+//! memory. Two informative dimensions carry the alternating-cell class
+//! structure of [`checkerboard`](crate::checkerboard); the remaining
+//! features are standard-normal noise.
+//!
+//! Every chunk is generated from a seed derived from `(seed, chunk
+//! index)`, so the stream is deterministic, cheap to
+//! [`reset`](spe_data::ChunkedSource::reset), and identical on every
+//! pass — exactly what the two-pass out-of-core fit needs.
+
+use spe_data::{Chunk, ChunkedSource, Dataset, Matrix, SeededRng, SpeError};
+
+/// Parameters of a [`SyntheticStream`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Total rows in the stream.
+    pub rows: u64,
+    /// Feature columns (at least 2; the first two are informative).
+    pub features: usize,
+    /// Probability that a row is minority/positive.
+    pub minority_fraction: f64,
+    /// Rows per chunk.
+    pub chunk_rows: usize,
+    /// Checkerboard side length.
+    pub grid: usize,
+    /// Isotropic covariance of the informative dimensions.
+    pub cov: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            rows: 50_000_000,
+            features: 30,
+            minority_fraction: 0.01,
+            chunk_rows: 65_536,
+            grid: 4,
+            cov: 0.1,
+        }
+    }
+}
+
+/// Deterministic chunked checkerboard stream (see module docs).
+pub struct SyntheticStream {
+    cfg: StreamConfig,
+    seed: u64,
+    next_row: u64,
+    minority_cells: Vec<(f64, f64)>,
+    majority_cells: Vec<(f64, f64)>,
+}
+
+impl SyntheticStream {
+    /// Creates a stream positioned at its first chunk.
+    ///
+    /// # Panics
+    /// Panics on degenerate configs (fewer than 2 features, zero rows
+    /// or chunk budget, a minority fraction outside `(0, 1)`).
+    pub fn new(cfg: StreamConfig, seed: u64) -> Self {
+        assert!(cfg.features >= 2, "need at least 2 features");
+        assert!(
+            cfg.rows > 0 && cfg.chunk_rows > 0,
+            "need rows and a chunk budget"
+        );
+        assert!(
+            cfg.minority_fraction > 0.0 && cfg.minority_fraction < 1.0,
+            "minority fraction must be in (0, 1)"
+        );
+        assert!(cfg.grid >= 2, "grid must be at least 2");
+        assert!(cfg.cov > 0.0, "covariance must be positive");
+        let mut minority_cells = Vec::new();
+        let mut majority_cells = Vec::new();
+        for i in 0..cfg.grid {
+            for j in 0..cfg.grid {
+                let center = (i as f64 + 0.5, j as f64 + 0.5);
+                if (i + j) % 2 == 1 {
+                    minority_cells.push(center);
+                } else {
+                    majority_cells.push(center);
+                }
+            }
+        }
+        Self {
+            cfg,
+            seed,
+            next_row: 0,
+            minority_cells,
+            majority_cells,
+        }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Drains the whole stream into one in-memory [`Dataset`] — only
+    /// sensible for test-sized configs (control runs, parity checks).
+    pub fn materialize(cfg: StreamConfig, seed: u64) -> Dataset {
+        let mut stream = Self::new(cfg, seed);
+        let mut x = Matrix::with_capacity(cfg.rows as usize, cfg.features);
+        let mut y = Vec::with_capacity(cfg.rows as usize);
+        let mut chunk = Chunk::new(cfg.features);
+        while stream
+            .next_chunk(&mut chunk)
+            .expect("synthetic stream cannot fail")
+        {
+            for r in 0..chunk.rows() {
+                x.push_row(chunk.x().row(r));
+            }
+            y.extend_from_slice(chunk.y());
+        }
+        Dataset::new(x, y)
+    }
+}
+
+impl ChunkedSource for SyntheticStream {
+    fn n_features(&self) -> usize {
+        self.cfg.features
+    }
+
+    fn chunk_rows(&self) -> usize {
+        self.cfg.chunk_rows
+    }
+
+    fn total_rows_hint(&self) -> Option<u64> {
+        Some(self.cfg.rows)
+    }
+
+    fn reset(&mut self) -> Result<(), SpeError> {
+        self.next_row = 0;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self, out: &mut Chunk) -> Result<bool, SpeError> {
+        out.clear();
+        if self.next_row >= self.cfg.rows {
+            return Ok(false);
+        }
+        let chunk_index = self.next_row / self.cfg.chunk_rows as u64;
+        let rows = (self.cfg.rows - self.next_row).min(self.cfg.chunk_rows as u64) as usize;
+        // Per-chunk RNG: pass 2 regenerates chunk k bit-identically to
+        // pass 1 without replaying the chunks before it.
+        let mut rng = SeededRng::new(self.seed ^ chunk_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let std = self.cfg.cov.sqrt();
+        let mut row = vec![0.0f64; self.cfg.features];
+        for _ in 0..rows {
+            let minority = rng.uniform() < self.cfg.minority_fraction;
+            let cells = if minority {
+                &self.minority_cells
+            } else {
+                &self.majority_cells
+            };
+            let (cx, cy) = cells[rng.below(cells.len())];
+            row[0] = rng.normal(cx, std);
+            row[1] = rng.normal(cy, std);
+            for v in row.iter_mut().skip(2) {
+                *v = rng.normal(0.0, 1.0);
+            }
+            out.push_row(&row, u8::from(minority));
+        }
+        self.next_row += rows as u64;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> StreamConfig {
+        StreamConfig {
+            rows: 5_000,
+            features: 6,
+            minority_fraction: 0.1,
+            chunk_rows: 512,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn chunks_cover_exactly_the_configured_rows() {
+        let mut s = SyntheticStream::new(small_cfg(), 1);
+        let mut chunk = Chunk::new(6);
+        let mut total = 0u64;
+        let mut chunks = 0usize;
+        while s.next_chunk(&mut chunk).unwrap() {
+            total += chunk.rows() as u64;
+            chunks += 1;
+            assert!(chunk.rows() <= 512);
+        }
+        assert_eq!(total, 5_000);
+        assert_eq!(chunks, 10, "5000 rows in 512-row chunks");
+    }
+
+    #[test]
+    fn reset_replays_bit_identically() {
+        let mut s = SyntheticStream::new(small_cfg(), 2);
+        let mut a = Chunk::new(6);
+        let mut b = Chunk::new(6);
+        s.next_chunk(&mut a).unwrap();
+        s.next_chunk(&mut a).unwrap(); // second chunk
+        s.reset().unwrap();
+        s.next_chunk(&mut b).unwrap();
+        s.next_chunk(&mut b).unwrap();
+        assert_eq!(a.x().as_slice(), b.x().as_slice());
+        assert_eq!(a.y(), b.y());
+    }
+
+    #[test]
+    fn minority_fraction_is_respected() {
+        let data = SyntheticStream::materialize(small_cfg(), 3);
+        let frac = data.n_positive() as f64 / data.len() as f64;
+        assert!((frac - 0.1).abs() < 0.02, "minority fraction {frac}");
+    }
+
+    #[test]
+    fn informative_dims_separate_classes() {
+        // With tiny covariance the first two features identify the cell
+        // color almost perfectly.
+        let cfg = StreamConfig {
+            cov: 0.01,
+            ..small_cfg()
+        };
+        let data = SyntheticStream::materialize(cfg, 4);
+        let mut misplaced = 0usize;
+        for (row, &l) in data.x().iter_rows().zip(data.y()) {
+            let i = (row[0] - 0.5).round().clamp(0.0, 3.0) as usize;
+            let j = (row[1] - 0.5).round().clamp(0.0, 3.0) as usize;
+            if ((i + j) % 2 == 1) != (l == 1) {
+                misplaced += 1;
+            }
+        }
+        assert!(misplaced < 25, "{misplaced} rows off-cell");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticStream::materialize(small_cfg(), 5);
+        let b = SyntheticStream::materialize(small_cfg(), 6);
+        assert_ne!(a.x().as_slice(), b.x().as_slice());
+    }
+}

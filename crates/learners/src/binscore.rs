@@ -1,0 +1,292 @@
+//! Scoring models directly on u8 bin codes.
+//!
+//! The out-of-core SPE fit stores every majority row as column-major
+//! bin codes (one byte per cell) and needs each new member's
+//! probabilities over *all* of them every round — but the `f64`
+//! features are gone by then. [`CodeScorer`] recompiles a trained
+//! model's [`ModelSnapshot`] into bin-space: every tree split
+//! `x[f] <= t` becomes `code[f] <= b` where `b` is the index of `t` in
+//! the shared cut grid.
+//!
+//! This is exact, not approximate: histogram-trained trees only ever
+//! split *at* cut values, and the grid invariant
+//! `encode(v) <= b ⟺ v <= cut(b)` holds for every input including
+//! `NaN` (which encodes past every cut and correctly walks right). A
+//! threshold that is not on the grid — an exact-split tree, or a tree
+//! from some other grid — is a typed error, never a silent
+//! misprediction.
+
+use crate::persist::ModelSnapshot;
+use crate::traits::Model;
+use crate::tree::{NodeView, TreeModel};
+use spe_data::SpeError;
+
+/// One compiled ensemble member (see [`CodeScorer`]).
+enum CodeMember {
+    /// Constant probability.
+    Constant(f64),
+    /// Flat tree over bin codes; `feature == u32::MAX` marks a leaf.
+    Tree(Vec<CodeNode>),
+    /// Soft-vote average of nested members.
+    Vote(Vec<CodeMember>),
+}
+
+/// A tree node in bin space: `code[feature] <= bin` goes left.
+#[derive(Clone, Copy)]
+struct CodeNode {
+    feature: u32,
+    bin: u8,
+    left: u32,
+    right: u32,
+    /// Leaf probability (unused on splits).
+    value: f64,
+}
+
+const LEAF: u32 = u32::MAX;
+
+/// A model compiled to traverse column-major u8 bin codes.
+pub struct CodeScorer {
+    member: CodeMember,
+    n_features: usize,
+}
+
+impl CodeScorer {
+    /// Compiles `model` against the cut grid its codes were encoded
+    /// with. Supports constants, histogram-trained trees and soft-vote
+    /// compositions thereof (SPE members included); anything else — or
+    /// a split threshold absent from `cuts` — is
+    /// [`SpeError::InvalidConfig`].
+    pub fn compile(model: &dyn Model, cuts: &[Vec<f64>]) -> Result<Self, SpeError> {
+        let snapshot = model.snapshot().ok_or_else(|| {
+            SpeError::InvalidConfig("model does not support snapshots, cannot bin-compile".into())
+        })?;
+        Ok(Self {
+            member: compile_member(&snapshot, cuts)?,
+            n_features: cuts.len(),
+        })
+    }
+
+    /// Scores `n_rows` rows stored as column-major codes
+    /// (`codes[f * n_rows + row]`) into `out`.
+    ///
+    /// # Panics
+    /// Panics if the buffers disagree with `n_rows` and the compiled
+    /// feature count.
+    pub fn score_block(&self, codes: &[u8], n_rows: usize, out: &mut [f64]) {
+        assert_eq!(codes.len(), self.n_features * n_rows, "code block size");
+        assert_eq!(out.len(), n_rows, "output buffer size");
+        score_member(&self.member, codes, n_rows, out);
+    }
+}
+
+fn compile_member(snapshot: &ModelSnapshot, cuts: &[Vec<f64>]) -> Result<CodeMember, SpeError> {
+    match snapshot {
+        ModelSnapshot::Constant(p) => Ok(CodeMember::Constant(*p)),
+        ModelSnapshot::Tree(tree) => Ok(CodeMember::Tree(compile_tree(tree, cuts)?)),
+        ModelSnapshot::SoftVote(members) => Ok(CodeMember::Vote(
+            members
+                .iter()
+                .map(|m| compile_member(m, cuts))
+                .collect::<Result<_, _>>()?,
+        )),
+        ModelSnapshot::SelfPaced { members, .. } => Ok(CodeMember::Vote(
+            members
+                .iter()
+                .map(|m| compile_member(m, cuts))
+                .collect::<Result<_, _>>()?,
+        )),
+        other => Err(SpeError::InvalidConfig(format!(
+            "cannot bin-compile a {:?} model (only constants and histogram trees)",
+            other.kind()
+        ))),
+    }
+}
+
+fn compile_tree(tree: &TreeModel, cuts: &[Vec<f64>]) -> Result<Vec<CodeNode>, SpeError> {
+    let mut nodes = Vec::with_capacity(tree.n_nodes());
+    for i in 0..tree.n_nodes() {
+        nodes.push(match tree.node(i) {
+            NodeView::Leaf { value } => CodeNode {
+                feature: LEAF,
+                bin: 0,
+                left: 0,
+                right: 0,
+                value,
+            },
+            NodeView::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let grid = cuts.get(feature).ok_or_else(|| {
+                    SpeError::InvalidConfig(format!(
+                        "tree splits on feature {feature} but the grid has {} features",
+                        cuts.len()
+                    ))
+                })?;
+                // Histogram trees split exactly at cut values; locate
+                // the threshold and demand an exact hit so a foreign
+                // tree can never silently mis-route rows.
+                let b = grid.partition_point(|c| *c < threshold);
+                if grid.get(b).copied() != Some(threshold) {
+                    return Err(SpeError::InvalidConfig(format!(
+                        "split threshold {threshold} on feature {feature} is not a cut of the \
+                         shared grid (model was not histogram-trained on it)"
+                    )));
+                }
+                CodeNode {
+                    feature: feature as u32,
+                    bin: b as u8,
+                    left: left as u32,
+                    right: right as u32,
+                    value: 0.0,
+                }
+            }
+        });
+    }
+    Ok(nodes)
+}
+
+fn score_member(member: &CodeMember, codes: &[u8], n_rows: usize, out: &mut [f64]) {
+    match member {
+        CodeMember::Constant(p) => out.fill(*p),
+        CodeMember::Tree(nodes) => {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let mut i = 0usize;
+                loop {
+                    let node = nodes[i];
+                    if node.feature == LEAF {
+                        *slot = node.value;
+                        break;
+                    }
+                    let code = codes[node.feature as usize * n_rows + r];
+                    i = if code <= node.bin {
+                        node.left as usize
+                    } else {
+                        node.right as usize
+                    };
+                }
+            }
+        }
+        CodeMember::Vote(members) => {
+            out.fill(0.0);
+            let mut buf = vec![0.0f64; n_rows];
+            for m in members {
+                score_member(m, codes, n_rows, &mut buf);
+                for (o, b) in out.iter_mut().zip(&buf) {
+                    *o += b;
+                }
+            }
+            let inv = 1.0 / members.len().max(1) as f64;
+            for o in out.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{BinnedLearner, BinnedProblem, Learner};
+    use crate::tree::{DecisionTreeConfig, SplitMethod};
+    use spe_data::{encode_batch_into, BinIndex, Matrix, SeededRng};
+
+    fn hist_tree() -> DecisionTreeConfig {
+        DecisionTreeConfig {
+            split_method: SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        }
+    }
+
+    fn random_data(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = SeededRng::new(seed);
+        let mut x = Matrix::with_capacity(rows, cols);
+        let mut y = Vec::new();
+        let mut row = vec![0.0; cols];
+        for _ in 0..rows {
+            for v in row.iter_mut() {
+                *v = rng.normal(0.0, 1.0);
+            }
+            x.push_row(&row);
+            y.push(u8::from(row[0] + row[1] > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn code_traversal_matches_f64_traversal() {
+        let (x, y) = random_data(500, 4, 1);
+        let bins = BinIndex::build(&x, 64);
+        let rows: Vec<u32> = (0..500).collect();
+        let problem = BinnedProblem {
+            bins: &bins,
+            y: &y,
+            weights: None,
+        };
+        let model = hist_tree().fit_on_bins(&problem, &rows, 7);
+        let cuts: Vec<Vec<f64>> = (0..4).map(|f| bins.cuts(f).to_vec()).collect();
+        let scorer = CodeScorer::compile(model.as_ref(), &cuts).unwrap();
+        // Encode a *different* batch and compare against f64 prediction.
+        let (test_x, _) = random_data(300, 4, 2);
+        let mut codes = vec![0u8; 300 * 4];
+        encode_batch_into(&cuts, test_x.view(), &mut codes);
+        let mut got = vec![0.0; 300];
+        scorer.score_block(&codes, 300, &mut got);
+        let expect = model.predict_proba(&test_x);
+        assert_eq!(got, expect, "bin-space traversal must be bit-exact");
+    }
+
+    #[test]
+    fn nan_rows_route_like_f64() {
+        let (x, y) = random_data(200, 3, 3);
+        let bins = BinIndex::build(&x, 32);
+        let rows: Vec<u32> = (0..200).collect();
+        let problem = BinnedProblem {
+            bins: &bins,
+            y: &y,
+            weights: None,
+        };
+        let model = hist_tree().fit_on_bins(&problem, &rows, 9);
+        let cuts: Vec<Vec<f64>> = (0..3).map(|f| bins.cuts(f).to_vec()).collect();
+        let scorer = CodeScorer::compile(model.as_ref(), &cuts).unwrap();
+        let mut test_x = Matrix::zeros(4, 3);
+        test_x.set(0, 0, f64::NAN);
+        test_x.set(1, 1, f64::NAN);
+        test_x.set(2, 2, f64::NAN);
+        test_x.set(3, 0, 0.5);
+        let mut codes = vec![0u8; 4 * 3];
+        encode_batch_into(&cuts, test_x.view(), &mut codes);
+        let mut got = vec![0.0; 4];
+        scorer.score_block(&codes, 4, &mut got);
+        assert_eq!(got, model.predict_proba(&test_x));
+    }
+
+    #[test]
+    fn exact_split_tree_is_rejected() {
+        let (x, y) = random_data(200, 2, 4);
+        let model = DecisionTreeConfig {
+            split_method: SplitMethod::Exact,
+            ..DecisionTreeConfig::default()
+        }
+        .fit(&x, &y, 5);
+        let bins = BinIndex::build(&x, 8);
+        let cuts: Vec<Vec<f64>> = (0..2).map(|f| bins.cuts(f).to_vec()).collect();
+        // Exact midpoint thresholds almost never coincide with an
+        // 8-bin grid; compile must refuse rather than mis-route.
+        assert!(matches!(
+            CodeScorer::compile(model.as_ref(), &cuts),
+            Err(SpeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn constant_model_compiles() {
+        let model = crate::traits::ConstantModel(0.25);
+        let scorer = CodeScorer::compile(&model, &[vec![0.5]]).unwrap();
+        let mut out = vec![0.0; 3];
+        scorer.score_block(&[0, 1, 1], 3, &mut out);
+        assert_eq!(out, vec![0.25; 3]);
+    }
+}

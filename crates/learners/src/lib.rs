@@ -20,6 +20,7 @@
 
 pub mod adaboost;
 pub mod bagging;
+pub mod binscore;
 pub mod ensemble;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
@@ -41,6 +42,7 @@ mod tree_util;
 
 pub use adaboost::AdaBoostConfig;
 pub use bagging::BaggingConfig;
+pub use binscore::CodeScorer;
 pub use ensemble::{fit_parallel, SoftVoteEnsemble};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultPlan, FaultyLearner, NanModel};

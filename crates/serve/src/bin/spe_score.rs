@@ -5,6 +5,9 @@
 //! spe_score gen        --out data.csv [--rows 4000] [--seed 7]
 //! spe_score fit-save   --train data.csv --out model.spe
 //!                      [--members 10] [--seed 42] [--preds preds.csv]
+//! spe_score fit-save   --train data.csv --out model.spe --chunked
+//!                      [--chunk-rows 65536] [--members 10] [--seed 42]
+//! spe_score pack       --input data.csv --out shards/ [--rows-per-shard 65536]
 //! spe_score load-score --model model.spe --input data.csv --out preds.csv
 //! spe_score inspect    --model model.spe
 //! ```
@@ -12,21 +15,30 @@
 //! `fit-save --preds` and `load-score` write the same prediction format
 //! (one `probability` column), so `cmp` between the two files is the
 //! canonical save→load bit-identity check used by `ci.sh`.
+//!
+//! `--chunked` fits out-of-core: the training file is streamed twice
+//! (quantile-sketch pass, then u8-encode pass) and never loaded whole.
+//! `--train` may then also name a shard directory written by `pack`.
 
-use spe_core::SelfPacedEnsembleConfig;
+use spe_core::{ChunkedFitOptions, SelfPacedEnsembleConfig};
 use spe_data::csv::{read_dataset, write_csv};
-use spe_learners::Model;
+use spe_data::{pack_source, ChunkedCsv, ChunkedSource, ShardReader};
+use spe_learners::{DecisionTreeConfig, Model, SplitMethod};
 use spe_serve::{load_envelope, load_model, save_model, ServeError};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage:
   spe_score gen        --out <data.csv> [--rows N] [--seed S]
   spe_score fit-save   --train <data.csv> --out <model.spe> [--members N] [--seed S] [--preds <preds.csv>]
+  spe_score fit-save   --train <data.csv|shard-dir> --out <model.spe> --chunked [--chunk-rows N] [--members N] [--seed S]
+  spe_score pack       --input <data.csv> --out <shard-dir> [--rows-per-shard N]
   spe_score load-score --model <model.spe> --input <data.csv> --out <preds.csv>
   spe_score inspect    --model <model.spe>";
 
 /// Minimal `--flag value` parser over the args after the subcommand.
+/// A flag followed by another flag (or nothing) is boolean `true`.
 struct Flags {
     pairs: Vec<(String, String)>,
 }
@@ -34,13 +46,21 @@ struct Flags {
 impl Flags {
     fn parse(argv: &[String]) -> Result<Self, String> {
         let mut pairs = Vec::new();
-        let mut it = argv.iter();
-        while let Some(flag) = it.next() {
-            let name = flag
+        let mut i = 0;
+        while i < argv.len() {
+            let name = argv[i]
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
-            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-            pairs.push((name.to_string(), value.clone()));
+                .ok_or_else(|| format!("expected a --flag, got {:?}", argv[i]))?;
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    pairs.push((name.to_string(), v.clone()));
+                    i += 2;
+                }
+                _ => {
+                    pairs.push((name.to_string(), "true".to_string()));
+                    i += 1;
+                }
+            }
         }
         Ok(Self { pairs })
     }
@@ -101,7 +121,70 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Opens `--train` as a chunk stream: a directory is a shard dir from
+/// `pack`, anything else is streamed CSV.
+fn open_chunked(train: &Path, chunk_rows: usize) -> Result<Box<dyn ChunkedSource>, String> {
+    if train.is_dir() {
+        Ok(Box::new(
+            ShardReader::open(train).map_err(|e| e.to_string())?,
+        ))
+    } else {
+        Ok(Box::new(
+            ChunkedCsv::open(train, chunk_rows).map_err(|e| e.to_string())?,
+        ))
+    }
+}
+
+fn cmd_fit_save_chunked(flags: &Flags) -> Result<(), String> {
+    if flags.get("preds").is_some() {
+        return Err("--preds is incompatible with --chunked (the training \
+                    data is never materialized); use load-score instead"
+            .into());
+    }
+    let train = flags.path("train")?;
+    let out = flags.path("out")?;
+    let members = flags.usize_or("members", 10)?;
+    let seed = flags.u64_or("seed", 42)?;
+    let chunk_rows = flags.usize_or("chunk-rows", 65_536)?;
+    let mut source = open_chunked(&train, chunk_rows)?;
+    // The out-of-core path trains against shared bin codes, so the base
+    // must be histogram-capable; pin it explicitly.
+    let cfg = SelfPacedEnsembleConfig::builder()
+        .n_estimators(members)
+        .base(Arc::new(DecisionTreeConfig {
+            split_method: SplitMethod::Histogram,
+            ..DecisionTreeConfig::default()
+        }))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let (model, ooc) = cfg
+        .try_fit_chunked(source.as_mut(), &ChunkedFitOptions::default(), seed)
+        .map_err(|e| ServeError::from(e).to_string())?;
+    let metadata = vec![
+        ("trained_rows".into(), ooc.rows.to_string()),
+        ("features".into(), source.n_features().to_string()),
+        ("members".into(), model.len().to_string()),
+        ("seed".into(), seed.to_string()),
+        ("mode".into(), "chunked".into()),
+        ("chunks".into(), ooc.chunks.to_string()),
+        ("spill_bytes".into(), ooc.spill_bytes.to_string()),
+    ];
+    save_model(&out, &model, metadata).map_err(|e| e.to_string())?;
+    eprintln!(
+        "fit {} members out-of-core on {} rows ({} chunks, {} spill bytes), saved to {}",
+        model.len(),
+        ooc.rows,
+        ooc.chunks,
+        ooc.spill_bytes,
+        out.display()
+    );
+    Ok(())
+}
+
 fn cmd_fit_save(flags: &Flags) -> Result<(), String> {
+    if flags.get("chunked").is_some() {
+        return cmd_fit_save_chunked(flags);
+    }
     let train = flags.path("train")?;
     let out = flags.path("out")?;
     let members = flags.usize_or("members", 10)?;
@@ -132,6 +215,23 @@ fn cmd_fit_save(flags: &Flags) -> Result<(), String> {
         write_predictions(Path::new(preds), &probs).map_err(|e| e.to_string())?;
         eprintln!("wrote {} training-set predictions to {preds}", probs.len());
     }
+    Ok(())
+}
+
+fn cmd_pack(flags: &Flags) -> Result<(), String> {
+    let input = flags.path("input")?;
+    let out = flags.path("out")?;
+    let rows_per_shard = flags.usize_or("rows-per-shard", 65_536)?;
+    let mut source = ChunkedCsv::open(&input, rows_per_shard).map_err(|e| e.to_string())?;
+    let manifest = pack_source(&mut source, &out, rows_per_shard).map_err(|e| e.to_string())?;
+    eprintln!(
+        "packed {} rows x {} features into {} shards ({} rows each) at {}",
+        manifest.total_rows,
+        manifest.n_features,
+        manifest.n_shards,
+        manifest.rows_per_shard,
+        out.display()
+    );
     Ok(())
 }
 
@@ -182,6 +282,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&flags),
+        "pack" => cmd_pack(&flags),
         "fit-save" => cmd_fit_save(&flags),
         "load-score" => cmd_load_score(&flags),
         "inspect" => cmd_inspect(&flags),

@@ -43,7 +43,7 @@
 //! | [`learners`] | KNN, CART, LR, SVM, MLP, AdaBoost, Bagging, RF, GBDT |
 //! | [`sampling`] | RandUnder/Over, NearMiss, ENN, Tomek, AllKNN, OSS, NCR, SMOTE, ADASYN, hybrids |
 //! | [`ensembles`] | Easy, Cascade, UnderBagging, SMOTEBagging, RUSBoost, SMOTEBoost |
-//! | [`core`] | **SPE itself**: hardness, bins, self-paced sampler, ensemble |
+//! | [`core`] | **SPE itself**: hardness, bins, self-paced sampler, ensemble, out-of-core fitting |
 //! | [`datasets`] | checkerboard, overlap study, real-world simulators |
 //! | [`serve`] | model persistence (save/load envelopes), batched scoring engine |
 
@@ -60,13 +60,14 @@ pub use spe_serve as serve;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use spe_core::{
-        AlphaSchedule, FitReport, HardnessFn, MemberOutcome, SelfPacedEnsemble,
-        SelfPacedEnsembleBuilder, SelfPacedEnsembleConfig, SelfPacedSampler,
+        chunk_rows_for_budget, AlphaSchedule, ChunkedFitOptions, FitReport, HardnessFn,
+        MemberOutcome, OocReport, SelfPacedEnsemble, SelfPacedEnsembleBuilder,
+        SelfPacedEnsembleConfig, SelfPacedSampler,
     };
     pub use spe_data::{
-        stratified_k_fold, train_val_test_split, BinIndex, Dataset, Matrix, MatrixView,
-        SanitizePolicy, SanitizeReport, Sanitizer, SeededRng, SpeError, Standardizer,
-        StratifiedSplit,
+        pack_source, stratified_k_fold, train_val_test_split, BinIndex, Chunk, ChunkedCsv,
+        ChunkedSource, Dataset, Matrix, MatrixView, QuantileSketch, SanitizePolicy, SanitizeReport,
+        Sanitizer, SeededRng, ShardManifest, ShardReader, SpeError, Standardizer, StratifiedSplit,
     };
     pub use spe_datasets::{
         checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim, record_linkage_sim,
