@@ -86,6 +86,56 @@ cargo build --release -p spe-server --bin spe_server
 "$repo_root/target/release/spe_server" gate --model "$score_dir/model.spe" --data "$score_dir/data.csv"
 rm -rf "$score_dir"
 
+echo "==> multi-class smoke gate (4-class fit -> save -> serve one request -> per-class recall floor)"
+mc_dir="$(mktemp -d)"
+"$spe_score" gen        --out "$mc_dir/mc.csv" --rows 3000 --seed 13 --classes 4
+"$spe_score" fit-save   --train "$mc_dir/mc.csv" --out "$mc_dir/mc.spe" \
+                        --members 5 --preds "$mc_dir/p1.csv"
+"$spe_score" load-score --model "$mc_dir/mc.spe" --input "$mc_dir/mc.csv" --out "$mc_dir/p2.csv"
+cmp "$mc_dir/p1.csv" "$mc_dir/p2.csv"
+"$spe_score" inspect    --model "$mc_dir/mc.spe" | grep -q "classes:  4"
+# Per-class recall floor: argmax over the four class_<c> probability
+# columns must recover each true label on >= 50% of its rows.
+awk -F, '
+  NR == FNR { if (FNR > 1) label[FNR-1] = $NF + 0; next }
+  FNR > 1 {
+    best = 0; bp = $1
+    for (i = 2; i <= NF; i++) if ($i > bp) { bp = $i; best = i - 1 }
+    t = label[FNR-1]; total[t]++; if (best == t) hit[t]++
+  }
+  END {
+    bad = 0
+    for (c = 0; c < 4; c++) {
+      r = (total[c] ? hit[c] / total[c] : 0)
+      printf "  class %d recall %.3f (%d/%d)\n", c, r, hit[c], total[c]
+      if (r < 0.5) bad = 1
+    }
+    if (bad) { print "  per-class recall floor (0.5) violated"; exit 1 }
+  }
+' "$mc_dir/mc.csv" "$mc_dir/p2.csv"
+# Serve the 4-class model and push one request through the real server:
+# the response must be a k-wide distribution, not a scalar score.
+"$repo_root/target/release/spe_server" serve --features 2 --model mc="$mc_dir/mc.spe" \
+    --addr 127.0.0.1:0 --port-file "$mc_dir/addr.txt" &
+mc_server_pid=$!
+for _ in $(seq 1 100); do [ -s "$mc_dir/addr.txt" ] && break; sleep 0.05; done
+[ -s "$mc_dir/addr.txt" ] || { kill "$mc_server_pid"; echo "spe_server never wrote its port file"; exit 1; }
+mc_addr="$(cat "$mc_dir/addr.txt")"
+mc_host="${mc_addr%:*}"; mc_port="${mc_addr##*:}"
+mc_body="0.5,0.5"
+exec 3<>"/dev/tcp/$mc_host/$mc_port"
+printf 'POST /score/mc HTTP/1.1\r\ncontent-length: %s\r\nconnection: close\r\n\r\n%s' \
+    "${#mc_body}" "$mc_body" >&3
+mc_resp="$(cat <&3)"
+exec 3<&- 3>&-
+echo "$mc_resp" | grep -q '"n_classes":4' || { kill "$mc_server_pid"; echo "k-wide score response missing: $mc_resp"; exit 1; }
+exec 3<>"/dev/tcp/$mc_host/$mc_port"
+printf 'POST /admin/shutdown HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3<&- 3>&-
+wait "$mc_server_pid"
+rm -rf "$mc_dir"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -12,17 +12,24 @@
 //! ```
 
 use spe_bench::harness::{merge_bench_section, peak_rss_bytes, Args};
-use spe_core::SelfPacedEnsembleConfig;
+use spe_core::{MultiClassSpeConfig, SelfPacedEnsembleConfig};
 use spe_data::{Dataset, Matrix, SeededRng};
-use spe_datasets::{checkerboard, CheckerboardConfig};
+use spe_datasets::{
+    checkerboard, multiclass_checkerboard, CheckerboardConfig, MultiClassCheckerboardConfig,
+};
 use spe_learners::traits::{Model, SharedLearner};
 use spe_learners::{DecisionTreeConfig, SplitMethod};
-use spe_metrics::aucprc;
+use spe_metrics::{aucprc, MultiConfusion};
 use spe_runtime::Runtime;
 use std::sync::Arc;
 use std::time::Instant;
 
 const MT_THREADS: usize = 8;
+/// Classes in the multi-class benchmark dataset.
+const MC_CLASSES: usize = 4;
+/// Geometric imbalance ratio between adjacent classes (class `c` has
+/// `ratio` times fewer rows than class `c - 1`).
+const MC_RATIO: f64 = 10.0;
 
 /// Checkerboard with `extra` appended standard-normal noise features, so
 /// the split search has realistic width (10 features total).
@@ -86,6 +93,57 @@ fn run(
     }
 }
 
+struct MultiResult {
+    rows: usize,
+    class_counts: Vec<usize>,
+    fit_seconds: f64,
+    macro_f1: f64,
+    per_class_recall: Vec<f64>,
+}
+
+/// One-vs-rest SPE on a geometrically imbalanced 4-class checkerboard,
+/// scored with class-aware metrics on a held-out draw.
+fn run_multiclass(n_estimators: usize, n_largest: usize) -> MultiResult {
+    let gen_cfg = MultiClassCheckerboardConfig::geometric(MC_CLASSES, n_largest, MC_RATIO);
+    let class_counts = gen_cfg.class_counts.clone();
+    let train = multiclass_checkerboard(&gen_cfg, 21);
+    let test = multiclass_checkerboard(&gen_cfg, 22);
+    let base: SharedLearner = Arc::new(DecisionTreeConfig {
+        max_depth: 8,
+        min_samples_leaf: 8,
+        split_method: SplitMethod::Histogram,
+        ..DecisionTreeConfig::default()
+    });
+    let cfg = MultiClassSpeConfig {
+        binary: SelfPacedEnsembleConfig::with_base(n_estimators, base),
+        ..MultiClassSpeConfig::default()
+    };
+    let t0 = Instant::now();
+    let model = cfg
+        .try_fit_dataset(&train, 7)
+        .unwrap_or_else(|e| panic!("multi-class fit failed: {e}"));
+    let fit_seconds = t0.elapsed().as_secs_f64();
+    let pred = model.predict_class(test.x());
+    let cm = MultiConfusion::from_labels(test.y(), &pred, MC_CLASSES);
+    MultiResult {
+        rows: train.len(),
+        class_counts,
+        fit_seconds,
+        macro_f1: cm.macro_f1(),
+        per_class_recall: cm.per_class_recall(),
+    }
+}
+
+fn json_usize_array(v: &[usize]) -> String {
+    let items: Vec<String> = v.iter().map(|n| n.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_f64_array(v: &[f64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
 fn json_block(r: &RunResult) -> String {
     format!(
         "{{\n    \"fit_seconds\": {:.4},\n    \"aucprc\": {:.6},\n    \"members\": {}\n  }}",
@@ -140,6 +198,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "histogram fit must be bit-identical across thread counts"
     );
 
+    eprintln!("fitting {MC_CLASSES}-class one-vs-rest SPE ...");
+    let mc_largest = if args.quick { 800 } else { args.sized(20_000) };
+    let mc = run_multiclass(n_estimators, mc_largest);
+    eprintln!(
+        "  multiclass: {:.2}s, macro-F1 {:.4}, per-class recall {:?}",
+        mc.fit_seconds, mc.macro_f1, mc.per_class_recall
+    );
+
     let speedup = exact.fit_seconds / hist.fit_seconds.max(1e-9);
     let mt_speedup = hist.fit_seconds / hist_mt.fit_seconds.max(1e-9);
     let delta = (exact.aucprc - hist.aucprc).abs();
@@ -168,6 +234,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("speedup", format!("{speedup:.3}")),
         ("aucprc_delta", format!("{delta:.6}")),
         ("peak_rss_bytes", peak_rss.to_string()),
+        (
+            "multiclass",
+            format!(
+                "{{\n    \"classes\": {MC_CLASSES},\n    \"rows\": {},\n    \"class_counts\": {},\n    \"members_per_class\": {n_estimators},\n    \"fit_seconds\": {:.4},\n    \"macro_f1\": {:.6},\n    \"per_class_recall\": {}\n  }}",
+                mc.rows,
+                json_usize_array(&mc.class_counts),
+                mc.fit_seconds,
+                mc.macro_f1,
+                json_f64_array(&mc.per_class_recall)
+            ),
+        ),
     ] {
         merge_bench_section(out, key, &section)?;
     }

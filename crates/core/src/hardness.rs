@@ -31,6 +31,18 @@ impl HardnessFn {
         }
     }
 
+    /// K-way hardness of one sample given the ensemble probability
+    /// `p_true` assigned to the sample's *own* class: the sample is
+    /// treated as the "positive" of its class and every other class as
+    /// the rest, i.e. `eval(1 − p_true, 0)`. For `k = 2` a majority
+    /// sample with positive-class probability `p` has
+    /// `p_true = 1 − p`, so this reduces bit-exactly to `eval(p, 0)` —
+    /// the binary loop's hardness.
+    #[inline]
+    pub fn eval_class(self, p_true: f64) -> f64 {
+        self.eval(1.0 - p_true, 0)
+    }
+
     /// Hardness of a batch.
     pub fn eval_batch(self, probas: &[f64], labels: &[u8]) -> Vec<f64> {
         assert_eq!(probas.len(), labels.len(), "length mismatch");
@@ -102,6 +114,27 @@ mod tests {
         let batch = HardnessFn::SquaredError.eval_batch(&p, &y);
         for (i, &b) in batch.iter().enumerate() {
             assert_eq!(b, HardnessFn::SquaredError.eval(p[i], y[i]));
+        }
+    }
+
+    #[test]
+    fn class_hardness_reduces_to_binary_majority_hardness() {
+        for h in [
+            HardnessFn::AbsoluteError,
+            HardnessFn::SquaredError,
+            HardnessFn::CrossEntropy,
+        ] {
+            for p in [0.0, 0.1, 0.5, 0.93, 1.0] {
+                // Majority sample (label 0) scored p for the positive
+                // class holds p_true = 1 - p of its own class. Equal up
+                // to the 1 - (1 - p) rounding of the complement.
+                assert!(
+                    (h.eval_class(1.0 - p) - h.eval(p, 0)).abs() < 1e-12,
+                    "{h:?} p={p}"
+                );
+            }
+            // Confident-and-right is easy, confident-and-wrong is hard.
+            assert!(h.eval_class(0.99) < h.eval_class(0.01), "{h:?}");
         }
     }
 

@@ -27,6 +27,7 @@ pub mod bins;
 pub mod builder;
 pub mod ensemble;
 pub mod hardness;
+pub mod multiclass;
 pub mod oocore;
 pub mod report;
 pub mod sampler;
@@ -35,6 +36,7 @@ pub use bins::{BinStats, HardnessBins};
 pub use builder::SelfPacedEnsembleBuilder;
 pub use ensemble::{FitTrace, SelfPacedEnsemble, SelfPacedEnsembleConfig};
 pub use hardness::HardnessFn;
+pub use multiclass::{MultiClassSpe, MultiClassSpeConfig, MultiClassStrategy};
 pub use oocore::{chunk_rows_for_budget, ChunkedFitOptions, OocReport};
 pub use report::{FitReport, MemberOutcome};
-pub use sampler::{self_paced_factor, AlphaSchedule, SelfPacedSampler};
+pub use sampler::{self_paced_factor, AlphaSchedule, BalancingSchedule, SelfPacedSampler};

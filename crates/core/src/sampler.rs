@@ -53,6 +53,78 @@ impl AlphaSchedule {
     }
 }
 
+/// How many samples of each class a multi-class self-paced iteration
+/// trains on — the k-way generalization of the paper's "|P| majority
+/// samples" rule (which is exactly [`BalancingSchedule::Uniform`] at
+/// `k = 2`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BalancingSchedule {
+    /// Every class is under-sampled to the smallest class's count at
+    /// every iteration — fully balanced subsets throughout.
+    Uniform,
+    /// Linear interpolation from the original class distribution toward
+    /// the uniform target as iterations progress: iteration `i` of `n`
+    /// uses fraction `(i + 1) / n` of the way to balanced. Early members
+    /// see (near-)original skew, late members see balanced data —
+    /// self-pacing applied to the class distribution itself.
+    Progressive,
+    /// Explicit per-class target counts (length `k`), each clamped to
+    /// the class's available count at draw time.
+    Custom(Vec<usize>),
+}
+
+impl BalancingSchedule {
+    /// Per-class target counts for iteration `i` of `n`, given the
+    /// observed per-class `counts`.
+    ///
+    /// Targets never exceed the observed counts and never drop below 1
+    /// for a non-empty class (a class must not vanish from a subset).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`, `i >= n`, or a `Custom` schedule's length
+    /// disagrees with `counts.len()`.
+    pub fn targets(&self, counts: &[usize], iteration: usize, n_estimators: usize) -> Vec<usize> {
+        assert!(n_estimators > 0, "need at least one estimator");
+        assert!(
+            iteration < n_estimators,
+            "iteration {iteration} out of range for {n_estimators} estimators"
+        );
+        let min_count = counts.iter().copied().filter(|&c| c > 0).min().unwrap_or(0);
+        match self {
+            BalancingSchedule::Uniform => counts
+                .iter()
+                .map(|&c| if c == 0 { 0 } else { min_count })
+                .collect(),
+            BalancingSchedule::Progressive => {
+                let t = (iteration + 1) as f64 / n_estimators as f64;
+                counts
+                    .iter()
+                    .map(|&c| {
+                        if c == 0 {
+                            0
+                        } else {
+                            let interp = c as f64 + t * (min_count as f64 - c as f64);
+                            (interp.round() as usize).clamp(1, c)
+                        }
+                    })
+                    .collect()
+            }
+            BalancingSchedule::Custom(targets) => {
+                assert_eq!(
+                    targets.len(),
+                    counts.len(),
+                    "custom schedule must name a target per class"
+                );
+                targets
+                    .iter()
+                    .zip(counts)
+                    .map(|(&t, &c)| if c == 0 { 0 } else { t.clamp(1, c) })
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Self-paced under-sampler over a hardness distribution.
 #[derive(Clone, Copy, Debug)]
 pub struct SelfPacedSampler {
@@ -300,6 +372,52 @@ mod tests {
         assert!(quota[0] <= 2);
         assert!(quota[2] <= 1);
         assert_eq!(quota.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn uniform_schedule_targets_min_class() {
+        let counts = [500usize, 40, 2000, 40];
+        let t = BalancingSchedule::Uniform.targets(&counts, 0, 10);
+        assert_eq!(t, vec![40, 40, 40, 40]);
+        // Binary case reproduces the paper's |P| rule.
+        assert_eq!(
+            BalancingSchedule::Uniform.targets(&[900, 100], 5, 10),
+            vec![100, 100]
+        );
+    }
+
+    #[test]
+    fn progressive_schedule_interpolates_toward_uniform() {
+        let counts = [1000usize, 100];
+        let first = BalancingSchedule::Progressive.targets(&counts, 0, 10);
+        let mid = BalancingSchedule::Progressive.targets(&counts, 4, 10);
+        let last = BalancingSchedule::Progressive.targets(&counts, 9, 10);
+        assert_eq!(first, vec![910, 100]);
+        assert_eq!(mid, vec![550, 100]);
+        assert_eq!(last, vec![100, 100]);
+        // Monotone non-increasing for the large class.
+        let mut prev = usize::MAX;
+        for i in 0..10 {
+            let t = BalancingSchedule::Progressive.targets(&counts, i, 10)[0];
+            assert!(t <= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn custom_schedule_clamps_to_population() {
+        let counts = [50usize, 10, 0];
+        let t = BalancingSchedule::Custom(vec![80, 5, 7]).targets(&counts, 0, 3);
+        assert_eq!(t, vec![50, 5, 0]);
+        // Zero targets are floored at 1 for non-empty classes.
+        let t = BalancingSchedule::Custom(vec![0, 0, 0]).targets(&counts, 0, 3);
+        assert_eq!(t, vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target per class")]
+    fn custom_schedule_rejects_wrong_length() {
+        let _ = BalancingSchedule::Custom(vec![1, 2]).targets(&[5, 5, 5], 0, 1);
     }
 
     #[test]

@@ -194,6 +194,14 @@ impl ChunkedSource for ChunkedCsv {
                 continue;
             }
             let label = self.layout.parse_row(&line, line_no, &mut self.row_buf)?;
+            // Out-of-core training is binary-only: k-class labels are
+            // a typed error here, not silently accepted.
+            if label > 1 {
+                return Err(SpeError::CsvBadLabel {
+                    line: line_no,
+                    value: label.to_string(),
+                });
+            }
             out.push_row(&self.row_buf, label);
         }
         Ok(!out.is_empty())

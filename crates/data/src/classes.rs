@@ -1,0 +1,191 @@
+//! K-class label indexing: a stable label → class-id mapping.
+//!
+//! The paper fixes two classes (minority = 1, majority = 0), but the
+//! multi-class extension needs datasets whose raw labels are arbitrary
+//! small integers (`0..=255`, possibly sparse: `{1, 3, 7}`). A
+//! [`ClassIndex`] assigns each distinct raw label a dense class id
+//! `0..k` in ascending label order, remembers the per-class sample
+//! counts, and renders the mapping for model metadata and `inspect`
+//! output. Class ids — not raw labels — are what every downstream layer
+//! (hardness bins, balancing schedules, k-wide probability outputs)
+//! operates on.
+
+use crate::error::SpeError;
+
+/// A stable mapping from raw labels to dense class ids, with per-class
+/// counts. Built from observed labels by [`ClassIndex::from_labels`];
+/// ids are assigned in ascending raw-label order, so the mapping is a
+/// pure function of the label *set* (row order never matters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassIndex {
+    /// Distinct raw labels in ascending order; position = class id.
+    labels: Vec<u8>,
+    /// Samples observed per class id.
+    counts: Vec<usize>,
+}
+
+impl ClassIndex {
+    /// Builds the index from raw labels and returns it together with the
+    /// labels re-mapped to dense class ids.
+    ///
+    /// # Errors
+    /// [`SpeError::EmptyDataset`] when `y` is empty, and
+    /// [`SpeError::SingleClass`] (carrying the observed label histogram)
+    /// when fewer than two distinct labels are present — no classifier
+    /// can be trained either way.
+    pub fn from_labels(y: &[u8]) -> Result<(Self, Vec<u8>), SpeError> {
+        if y.is_empty() {
+            return Err(SpeError::EmptyDataset);
+        }
+        let mut full = [0usize; 256];
+        for &l in y {
+            full[l as usize] += 1;
+        }
+        let labels: Vec<u8> = (0..=255u8).filter(|&l| full[l as usize] > 0).collect();
+        if labels.len() < 2 {
+            return Err(SpeError::SingleClass {
+                histogram: labels.iter().map(|&l| (l, full[l as usize])).collect(),
+            });
+        }
+        let counts: Vec<usize> = labels.iter().map(|&l| full[l as usize]).collect();
+        let mut id_of = [0u8; 256];
+        for (id, &l) in labels.iter().enumerate() {
+            id_of[l as usize] = id as u8;
+        }
+        let ids: Vec<u8> = y.iter().map(|&l| id_of[l as usize]).collect();
+        Ok((Self { labels, counts }, ids))
+    }
+
+    /// The identity two-class index (`0 → 0`, `1 → 1`) with the given
+    /// per-class counts — what every binary dataset maps through.
+    pub fn binary(n_negative: usize, n_positive: usize) -> Self {
+        Self {
+            labels: vec![0, 1],
+            counts: vec![n_negative, n_positive],
+        }
+    }
+
+    /// Number of classes `k`.
+    pub fn n_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Raw label of class id `id`.
+    ///
+    /// # Panics
+    /// Panics when `id >= k`.
+    pub fn label_of(&self, id: usize) -> u8 {
+        self.labels[id]
+    }
+
+    /// Class id of a raw label, or `None` for a label never observed.
+    pub fn id_of(&self, label: u8) -> Option<usize> {
+        self.labels.binary_search(&label).ok()
+    }
+
+    /// Samples per class id.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// `(raw label, count)` pairs in class-id order.
+    pub fn histogram(&self) -> Vec<(u8, usize)> {
+        self.labels
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+
+    /// True when raw labels already are dense class ids (`0..k`) and no
+    /// re-mapping happened.
+    pub fn is_identity(&self) -> bool {
+        self.labels
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l as usize == i)
+    }
+
+    /// Renders the mapping as `"raw→id"` pairs (e.g. `"0→0, 3→1, 7→2"`)
+    /// for envelope metadata and `spe_score inspect`.
+    pub fn mapping_string(&self) -> String {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(id, &l)| format!("{l}\u{2192}{id}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Parses a [`Self::mapping_string`] rendering back into an index
+    /// (counts are not part of the rendering and come back as zeros).
+    /// Used by `inspect` consumers that only need the label mapping.
+    pub fn from_mapping_string(s: &str) -> Option<Self> {
+        let mut labels = Vec::new();
+        for (id, part) in s.split(',').enumerate() {
+            let (raw, mapped) = part.trim().split_once('\u{2192}')?;
+            if mapped.trim().parse::<usize>().ok()? != id {
+                return None;
+            }
+            labels.push(raw.trim().parse::<u8>().ok()?);
+        }
+        if labels.len() < 2 || labels.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let counts = vec![0; labels.len()];
+        Some(Self { labels, counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_sparse_labels_to_dense_ids() {
+        let y = [7u8, 3, 7, 1, 3, 7];
+        let (idx, ids) = ClassIndex::from_labels(&y).unwrap();
+        assert_eq!(idx.n_classes(), 3);
+        assert_eq!(idx.label_of(0), 1);
+        assert_eq!(idx.label_of(2), 7);
+        assert_eq!(idx.id_of(3), Some(1));
+        assert_eq!(idx.id_of(9), None);
+        assert_eq!(ids, vec![2, 1, 2, 0, 1, 2]);
+        assert_eq!(idx.counts(), &[1, 2, 3]);
+        assert_eq!(idx.histogram(), vec![(1, 1), (3, 2), (7, 3)]);
+        assert!(!idx.is_identity());
+    }
+
+    #[test]
+    fn binary_labels_are_the_identity() {
+        let (idx, ids) = ClassIndex::from_labels(&[0, 1, 0]).unwrap();
+        assert!(idx.is_identity());
+        assert_eq!(ids, vec![0, 1, 0]);
+        assert_eq!(idx, ClassIndex::binary(2, 1));
+    }
+
+    #[test]
+    fn single_class_reports_histogram() {
+        let err = ClassIndex::from_labels(&[4, 4, 4]).unwrap_err();
+        assert_eq!(
+            err,
+            SpeError::SingleClass {
+                histogram: vec![(4, 3)]
+            }
+        );
+        assert_eq!(
+            ClassIndex::from_labels(&[]).unwrap_err(),
+            SpeError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn mapping_string_round_trips() {
+        let (idx, _) = ClassIndex::from_labels(&[0, 3, 7, 3]).unwrap();
+        let s = idx.mapping_string();
+        assert_eq!(s, "0\u{2192}0, 3\u{2192}1, 7\u{2192}2");
+        let back = ClassIndex::from_mapping_string(&s).unwrap();
+        assert_eq!(back.label_of(2), 7);
+        assert!(ClassIndex::from_mapping_string("garbage").is_none());
+    }
+}

@@ -9,27 +9,41 @@ use std::fs::{self, File};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use crate::classes::ClassIndex;
 use crate::dataset::Dataset;
 use crate::error::SpeError;
 use crate::matrix::Matrix;
 
-/// Reads a labelled dataset from CSV.
+/// Reads a labelled dataset from CSV. See [`read_dataset_indexed`] for
+/// the variant that also returns the raw-label → class-id mapping.
 ///
 /// Expects a header row; the label column is the one named `label`
 /// (case-insensitive) or, failing that, the last column. Label values
-/// must parse as `0`/`1` (floats accepted, e.g. `1.0`); every other
-/// cell must parse as `f64`, with empty cells read as `0.0` (the
-/// paper's missing-value convention).
+/// must parse as integers in `0..=255` (floats accepted, e.g. `1.0`);
+/// every other cell must parse as `f64`, with empty cells read as `0.0`
+/// (the paper's missing-value convention). Files whose labels all lie
+/// in `{0, 1}` load as binary datasets exactly as before; anything else
+/// becomes a k-class dataset with labels re-mapped to dense class ids.
 ///
 /// # Errors
 /// Every failure is a typed [`SpeError`] carrying the 1-based line
 /// number: [`SpeError::CsvBadFloat`] for an unparseable cell,
-/// [`SpeError::CsvBadLabel`] for a label outside `{0, 1}`,
-/// [`SpeError::CsvRaggedRow`] for a row whose width disagrees with the
-/// header, [`SpeError::CsvMalformed`] for structural problems (empty
-/// file, missing label, header-only file), and [`SpeError::Io`] for
-/// underlying I/O failures.
+/// [`SpeError::CsvBadLabel`] for a non-integer label or one outside
+/// `0..=255`, [`SpeError::CsvRaggedRow`] for a row whose width
+/// disagrees with the header, [`SpeError::CsvMalformed`] for structural
+/// problems (empty file, missing label, header-only file),
+/// [`SpeError::SingleClass`] for a k-class file that collapses to one
+/// label, and [`SpeError::Io`] for underlying I/O failures.
 pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
+    Ok(read_dataset_indexed(path)?.0)
+}
+
+/// [`read_dataset`] plus the [`ClassIndex`] describing how raw file
+/// labels map to the dense class ids stored in the dataset. Binary
+/// files (labels ⊆ `{0, 1}`) return the identity mapping, even when one
+/// of the two classes is absent — single-class detection for binary
+/// inputs stays where it always was, at fit time.
+pub fn read_dataset_indexed(path: &Path) -> Result<(Dataset, ClassIndex), SpeError> {
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
     let header = lines.next().ok_or(SpeError::CsvMalformed {
@@ -58,7 +72,15 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, SpeError> {
             reason: "CSV has a header but no data rows".into(),
         });
     }
-    Ok(Dataset::new(x, y))
+    if y.iter().all(|&l| l <= 1) {
+        let idx = ClassIndex::binary(
+            y.iter().filter(|&&l| l == 0).count(),
+            y.iter().filter(|&&l| l == 1).count(),
+        );
+        return Ok((Dataset::new(x, y), idx));
+    }
+    let (idx, ids) = ClassIndex::from_labels(&y)?;
+    Ok((Dataset::multiclass(x, ids, idx.n_classes()), idx))
 }
 
 /// Column layout of a labelled CSV: which column holds the label and
@@ -122,16 +144,15 @@ impl CsvLayout {
                 })?
             };
             if ci == self.label_col {
-                label = Some(if value == 0.0 {
-                    0
-                } else if value == 1.0 {
-                    1
-                } else {
+                // Any integer class label in the u8 range; non-integers
+                // and out-of-range values are typed errors.
+                if !(0.0..=255.0).contains(&value) || value.fract() != 0.0 {
                     return Err(SpeError::CsvBadLabel {
                         line: line_no,
                         value: cell.to_string(),
                     });
-                });
+                }
+                label = Some(value as u8);
             } else {
                 row[fi] = value;
                 fi += 1;
@@ -264,12 +285,29 @@ mod tests {
         let dir = std::env::temp_dir().join("spe-csv-bad");
         std::fs::create_dir_all(&dir).unwrap();
         let p1 = dir.join("badlabel.csv");
-        std::fs::write(&p1, "a,label\n1.0,2\n").unwrap();
+        std::fs::write(&p1, "a,label\n1.0,2.5\n").unwrap();
         assert_eq!(
             read_dataset(&p1).unwrap_err(),
             SpeError::CsvBadLabel {
                 line: 2,
-                value: "2".into()
+                value: "2.5".into()
+            }
+        );
+        let p1b = dir.join("neglabel.csv");
+        std::fs::write(&p1b, "a,label\n1.0,-1\n").unwrap();
+        assert_eq!(
+            read_dataset(&p1b).unwrap_err(),
+            SpeError::CsvBadLabel {
+                line: 2,
+                value: "-1".into()
+            }
+        );
+        let p1c = dir.join("oneclass.csv");
+        std::fs::write(&p1c, "a,label\n1.0,2\n2.0,2\n").unwrap();
+        assert_eq!(
+            read_dataset(&p1c).unwrap_err(),
+            SpeError::SingleClass {
+                histogram: vec![(2, 2)]
             }
         );
         let p2 = dir.join("ragged.csv");
@@ -315,6 +353,51 @@ mod tests {
             read_dataset(&missing).unwrap_err(),
             SpeError::Io(_)
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiclass_csv_maps_sparse_labels_to_ids() {
+        let dir = std::env::temp_dir().join("spe-csv-multiclass");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mc.csv");
+        std::fs::write(&path, "a,label\n1.0,7\n2.0,3\n3.0,7\n4.0,0\n").unwrap();
+        let (d, idx) = read_dataset_indexed(&path).unwrap();
+        assert_eq!(d.n_classes(), 3);
+        assert_eq!(d.y(), &[2, 1, 2, 0]);
+        assert_eq!(idx.label_of(2), 7);
+        assert_eq!(idx.histogram(), vec![(0, 1), (3, 1), (7, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiclass_dataset_round_trips_through_csv() {
+        let dir = std::env::temp_dir().join("spe-csv-mc-roundtrip");
+        let path = dir.join("d.csv");
+        let d = Dataset::multiclass(
+            Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]),
+            vec![0, 2, 1, 2],
+            3,
+        );
+        write_dataset(&path, &d).unwrap();
+        let (back, idx) = read_dataset_indexed(&path).unwrap();
+        assert_eq!(back.y(), d.y());
+        assert_eq!(back.n_classes(), 3);
+        assert!(idx.is_identity());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_csv_stays_binary_even_single_class() {
+        // Historic behavior: a {0,1}-labelled file missing one class
+        // still loads; fit-time validation reports it later.
+        let dir = std::env::temp_dir().join("spe-csv-binary-single");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.csv");
+        std::fs::write(&path, "a,label\n1.0,0\n2.0,0\n").unwrap();
+        let (d, idx) = read_dataset_indexed(&path).unwrap();
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(idx.counts(), &[2, 0]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,10 +13,19 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SpeError {
     /// A required class has no samples. `label` is the missing class
-    /// (1 = minority/positive, 0 = majority/negative).
+    /// (binary convention: 1 = minority/positive, 0 = majority/negative;
+    /// multi-class datasets report the dense class id).
     EmptyClass {
         /// The class label with zero samples.
         label: u8,
+    },
+    /// The training labels collapse to a single class — no classifier
+    /// can be trained. Carries the observed `(label, count)` histogram
+    /// so the error names exactly what arrived instead of assuming a
+    /// binary label space.
+    SingleClass {
+        /// Observed `(label, count)` pairs, ascending by label.
+        histogram: Vec<(u8, usize)>,
     },
     /// Two aligned inputs disagree in length (features vs labels,
     /// weights vs labels, reference vs query dimensionality, ...).
@@ -78,7 +87,8 @@ pub enum SpeError {
         /// The offending cell text.
         cell: String,
     },
-    /// CSV: a label cell is not 0/1.
+    /// CSV: a label cell is not an integer class label in `0..=255` (or,
+    /// on binary-only paths like the chunked reader, not 0/1).
     CsvBadLabel {
         /// 1-based line number in the file.
         line: usize,
@@ -117,14 +127,33 @@ impl fmt::Display for SpeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpeError::EmptyClass { label } => {
-                let class = if *label == crate::POSITIVE {
-                    "minority"
-                } else {
-                    "majority"
+                let class = match *label {
+                    l if l == crate::POSITIVE => "minority",
+                    l if l == crate::NEGATIVE => "majority",
+                    _ => "class",
                 };
+                if *label > crate::POSITIVE {
+                    write!(
+                        f,
+                        "SPE requires at least one sample of class {label} (class has no rows)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "SPE requires at least one {class} sample (no rows with label {label})"
+                    )
+                }
+            }
+            SpeError::SingleClass { histogram } => {
+                let hist = histogram
+                    .iter()
+                    .map(|(l, c)| format!("{l}\u{00d7}{c}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 write!(
                     f,
-                    "SPE requires at least one {class} sample (no rows with label {label})"
+                    "training labels hold a single class (need at least two); \
+                     observed label histogram: {{{hist}}}"
                 )
             }
             SpeError::DimensionMismatch {
@@ -156,7 +185,7 @@ impl fmt::Display for SpeError {
                 write!(f, "line {line}: cannot parse {cell:?} as a number")
             }
             SpeError::CsvBadLabel { line, value } => {
-                write!(f, "line {line}: label {value} is not 0/1")
+                write!(f, "line {line}: label {value} is not a valid class label")
             }
             SpeError::CsvRaggedRow {
                 line,
@@ -223,6 +252,21 @@ mod tests {
     }
 
     #[test]
+    fn k_aware_class_errors_render_histograms() {
+        let e = SpeError::SingleClass {
+            histogram: vec![(3, 42)],
+        };
+        assert_eq!(
+            e.to_string(),
+            "training labels hold a single class (need at least two); \
+             observed label histogram: {3\u{00d7}42}"
+        );
+        assert!(SpeError::EmptyClass { label: 4 }
+            .to_string()
+            .contains("class 4"));
+    }
+
+    #[test]
     fn robustness_variants_render_their_coordinates() {
         assert_eq!(
             SpeError::NonFiniteFeature { row: 3, col: 7 }.to_string(),
@@ -263,10 +307,10 @@ mod tests {
         assert_eq!(
             SpeError::CsvBadLabel {
                 line: 2,
-                value: "7".into()
+                value: "7.5".into()
             }
             .to_string(),
-            "line 2: label 7 is not 0/1"
+            "line 2: label 7.5 is not a valid class label"
         );
         assert_eq!(
             SpeError::CsvRaggedRow {

@@ -2,7 +2,9 @@
 //!
 //! This crate deliberately avoids any external linear-algebra dependency:
 //! everything in the workspace operates on a dense, row-major [`Matrix`] of
-//! `f64` plus a binary label vector, wrapped together as a [`Dataset`].
+//! `f64` plus a `u8` class-label vector, wrapped together as a [`Dataset`]
+//! (binary by default, k-class via [`Dataset::multiclass`] and
+//! [`ClassIndex`]).
 //!
 //! The crate also hosts the supporting utilities the paper's experimental
 //! protocol needs:
@@ -20,6 +22,7 @@
 
 pub mod binning;
 pub mod chunked;
+pub mod classes;
 pub mod csv;
 pub mod dataset;
 pub mod error;
@@ -34,7 +37,9 @@ pub mod stats;
 
 pub use binning::{encode_batch_into, encode_value, BinIndex};
 pub use chunked::{Chunk, ChunkedCsv, ChunkedSource, DatasetChunks};
-pub use dataset::{ClassIndex, Dataset};
+pub use classes::ClassIndex;
+pub use csv::read_dataset_indexed;
+pub use dataset::{BinaryIndex, Dataset};
 pub use error::SpeError;
 pub use matrix::{Matrix, MatrixView};
 pub use rng::SeededRng;

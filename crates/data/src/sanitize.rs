@@ -160,11 +160,19 @@ impl Sanitizer {
 
         // No policy can conjure up a missing class; surface it here so
         // every training path behind the sanitizer sees a typed error.
-        if !out.y().contains(&POSITIVE) {
-            return Err(SpeError::EmptyClass { label: POSITIVE });
-        }
-        if !out.y().contains(&NEGATIVE) {
-            return Err(SpeError::EmptyClass { label: NEGATIVE });
+        // Binary keeps the historic minority-first check order; k-class
+        // reports the lowest missing class id.
+        if out.n_classes() == 2 {
+            if !out.y().contains(&POSITIVE) {
+                return Err(SpeError::EmptyClass { label: POSITIVE });
+            }
+            if !out.y().contains(&NEGATIVE) {
+                return Err(SpeError::EmptyClass { label: NEGATIVE });
+            }
+        } else if let Some(missing) = out.class_counts().iter().position(|&c| c == 0) {
+            return Err(SpeError::EmptyClass {
+                label: missing as u8,
+            });
         }
         Ok((out, report))
     }
@@ -209,7 +217,7 @@ fn impute_mean(data: &Dataset) -> Dataset {
             }
         }
     }
-    Dataset::new(fixed, data.y().to_vec())
+    data.with_x(fixed)
 }
 
 #[cfg(test)]
@@ -306,6 +314,25 @@ mod tests {
             let err = Sanitizer::new(policy).sanitize(&d).unwrap_err();
             assert_eq!(err, SpeError::EmptyClass { label: POSITIVE }, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn multiclass_missing_class_and_repairs_keep_k() {
+        // DropRows that removes the only class-2 row is a typed error
+        // naming the class id.
+        let x = Matrix::from_rows(&[&[f64::NAN], &[1.0], &[2.0], &[3.0]]);
+        let d = Dataset::multiclass(x, vec![2, 0, 1, 0], 3);
+        let err = Sanitizer::new(SanitizePolicy::DropRows)
+            .sanitize(&d)
+            .unwrap_err();
+        assert_eq!(err, SpeError::EmptyClass { label: 2 });
+        // ImputeMean keeps labels and the declared class count.
+        let (out, _) = Sanitizer::new(SanitizePolicy::ImputeMean)
+            .sanitize(&d)
+            .unwrap();
+        assert_eq!(out.n_classes(), 3);
+        assert_eq!(out.y(), &[2, 0, 1, 0]);
+        assert!(out.x().as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

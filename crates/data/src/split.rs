@@ -38,12 +38,12 @@ pub fn train_val_test_split(
     );
 
     let mut rng = SeededRng::new(seed);
-    let idx = data.class_index();
+    let groups = stratification_groups(data);
     let mut train_idx = Vec::new();
     let mut val_idx = Vec::new();
     let mut test_idx = Vec::new();
 
-    for class in [&idx.minority, &idx.majority] {
+    for class in &groups {
         let mut order = class.clone();
         rng.shuffle(&mut order);
         let n = order.len();
@@ -95,9 +95,9 @@ pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, D
         data.len()
     );
     let mut rng = SeededRng::new(seed);
-    let idx = data.class_index();
+    let groups = stratification_groups(data);
     let mut fold_of = vec![0usize; data.len()];
-    for class in [&idx.minority, &idx.majority] {
+    for class in &groups {
         let mut order = class.clone();
         rng.shuffle(&mut order);
         for (pos, &row) in order.iter().enumerate() {
@@ -121,6 +121,19 @@ pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, D
             (data.select(&train_idx), data.select(&test_idx))
         })
         .collect()
+}
+
+/// Per-class index groups in the order splitting consumes them. Binary
+/// datasets keep the historic minority-then-majority order so existing
+/// seeded splits stay bit-identical; k-class datasets stratify every
+/// class id in ascending order.
+fn stratification_groups(data: &Dataset) -> Vec<Vec<usize>> {
+    if data.n_classes() == 2 {
+        let idx = data.class_index();
+        vec![idx.minority, idx.majority]
+    } else {
+        data.per_class_indices()
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +240,30 @@ mod tests {
     fn k_fold_rejects_k_one() {
         let d = imbalanced(5, 50);
         let _ = stratified_k_fold(&d, 1, 0);
+    }
+
+    #[test]
+    fn multiclass_split_stratifies_every_class() {
+        let mut x = Matrix::with_capacity(120, 1);
+        let mut y = Vec::new();
+        for i in 0..120usize {
+            x.push_row(&[i as f64]);
+            y.push(match i {
+                0..=9 => 0u8,
+                10..=39 => 1,
+                40..=79 => 2,
+                _ => 3,
+            });
+        }
+        let d = Dataset::multiclass(x, y, 4);
+        let s = train_val_test_split(&d, 0.6, 0.2, 11);
+        assert_eq!(s.train.class_counts(), vec![6, 18, 24, 24]);
+        assert_eq!(s.validation.class_counts(), vec![2, 6, 8, 8]);
+        assert_eq!(s.test.class_counts(), vec![2, 6, 8, 8]);
+        for (_, test) in stratified_k_fold(&d, 5, 3) {
+            assert!(test.class_counts().iter().all(|&c| c >= 2));
+            assert_eq!(test.n_classes(), 4);
+        }
     }
 
     #[test]

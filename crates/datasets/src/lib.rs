@@ -19,11 +19,16 @@
 //!    See `DESIGN.md` for the substitution rationale.
 
 pub mod checkerboard;
+pub mod multiclass;
 pub mod overlap;
 pub mod simulators;
 pub mod stream;
 
 pub use checkerboard::{checkerboard, CheckerboardConfig};
+pub use multiclass::{
+    geometric_counts, multiclass_checkerboard, multiclass_overlap, MultiClassCheckerboardConfig,
+    MultiClassOverlapConfig,
+};
 pub use overlap::{overlap_study, OverlapConfig};
 pub use simulators::{
     credit_fraud_sim, kddcup_sim, payment_sim, record_linkage_sim, KddVariant, RealWorldSpec,

@@ -31,6 +31,7 @@ pub mod kdtree;
 pub mod knn;
 pub mod logistic;
 pub mod mlp;
+pub mod multiclass;
 pub mod naive_bayes;
 pub mod neighbors;
 pub mod persist;
@@ -52,6 +53,7 @@ pub use knn::{KnnConfig, KnnModel};
 pub use logistic::sigmoid;
 pub use logistic::{LogisticModel, LogisticRegressionConfig};
 pub use mlp::MlpConfig;
+pub use multiclass::OneVsRestModel;
 pub use naive_bayes::GaussianNbConfig;
 pub use persist::ModelSnapshot;
 pub use regtree::RegTree;

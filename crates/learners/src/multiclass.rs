@@ -1,0 +1,172 @@
+//! One-vs-rest composition of binary scorers into a k-class model.
+//!
+//! [`OneVsRestModel`] holds one binary scorer per class; class `c`'s
+//! scorer outputs the probability that a row belongs to class `c`
+//! (versus everything else). The k-way distribution is the per-row
+//! normalization of those scores. This is the restore target of
+//! [`ModelSnapshot::MultiClass`] and the serving-side shape of both
+//! multi-class SPE strategies — the one-vs-rest *trainer* lives in
+//! `spe-core`, next to the self-paced loop it reuses.
+
+use crate::persist::ModelSnapshot;
+use crate::traits::{FeatureBound, Model};
+use spe_data::MatrixView;
+
+/// A k-class model assembled from one binary scorer per class.
+pub struct OneVsRestModel {
+    per_class: Vec<Box<dyn Model>>,
+}
+
+impl OneVsRestModel {
+    /// Wraps per-class scorers; element `c` scores class `c`.
+    ///
+    /// # Panics
+    /// Panics with fewer than two scorers.
+    pub fn new(per_class: Vec<Box<dyn Model>>) -> Self {
+        assert!(
+            per_class.len() >= 2,
+            "one-vs-rest needs at least two class scorers"
+        );
+        Self { per_class }
+    }
+
+    /// The per-class scorers, in class-id order.
+    pub fn members(&self) -> &[Box<dyn Model>] {
+        &self.per_class
+    }
+
+    /// Writes each class's *raw* (unnormalized) one-vs-rest score into
+    /// the row-major `[n_rows × k]` buffer.
+    fn raw_scores_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        let k = self.per_class.len();
+        let rows = x.rows();
+        let mut scratch = vec![0.0; rows];
+        for (c, member) in self.per_class.iter().enumerate() {
+            member.predict_proba_into(x, &mut scratch);
+            for (i, &p) in scratch.iter().enumerate() {
+                out[i * k + c] = p;
+            }
+        }
+    }
+}
+
+impl Model for OneVsRestModel {
+    /// Scalar view of a k-class model: the probability of *not* being
+    /// class 0. For `k = 2` this is exactly the positive-class
+    /// probability; for `k > 2` it collapses the distribution to
+    /// "anything but the first class".
+    fn predict_proba_view(&self, x: MatrixView<'_>) -> Vec<f64> {
+        let k = self.per_class.len();
+        let mut full = vec![0.0; x.rows() * k];
+        self.predict_proba_k_into(x, &mut full);
+        full.chunks_exact(k).map(|row| 1.0 - row[0]).collect()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    fn predict_proba_k_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        let k = self.per_class.len();
+        assert_eq!(
+            out.len(),
+            x.rows() * k,
+            "output buffer must hold rows * n_classes values"
+        );
+        self.raw_scores_into(x, out);
+        for row in out.chunks_exact_mut(k) {
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                for p in row.iter_mut() {
+                    *p /= sum;
+                }
+            } else {
+                // Every scorer said 0: no evidence either way.
+                row.fill(1.0 / k as f64);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        let per_class = self
+            .per_class
+            .iter()
+            .map(|m| m.snapshot())
+            .collect::<Option<Vec<_>>>()?;
+        Some(ModelSnapshot::MultiClass { per_class })
+    }
+
+    fn feature_bound(&self) -> FeatureBound {
+        self.per_class
+            .iter()
+            .map(|m| m.feature_bound())
+            .fold(FeatureBound::Any, FeatureBound::merge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::ConstantModel;
+    use serde::{Deserialize, Serialize};
+    use spe_data::Matrix;
+
+    fn ovr(scores: &[f64]) -> OneVsRestModel {
+        OneVsRestModel::new(
+            scores
+                .iter()
+                .map(|&p| Box::new(ConstantModel(p)) as Box<dyn Model>)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn normalizes_scores_per_row() {
+        let m = ovr(&[0.1, 0.3, 0.6]);
+        let x = Matrix::zeros(2, 1);
+        assert_eq!(m.n_classes(), 3);
+        let proba = m.predict_proba_k(&x);
+        for row in proba.chunks_exact(3) {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(row, &[0.1, 0.3, 0.6]);
+        }
+        assert_eq!(m.predict_class(&x), vec![2, 2]);
+        // Scalar view: 1 - P(class 0).
+        assert_eq!(m.predict_proba(&x), vec![0.9, 0.9]);
+    }
+
+    #[test]
+    fn all_zero_scores_fall_back_to_uniform() {
+        let m = ovr(&[0.0, 0.0, 0.0, 0.0]);
+        let proba = m.predict_proba_k(&Matrix::zeros(1, 1));
+        assert_eq!(proba, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn k2_matches_binary_semantics() {
+        let m = ovr(&[0.25, 0.75]);
+        let x = Matrix::zeros(1, 1);
+        assert_eq!(m.predict_proba(&x), vec![0.75]);
+        assert_eq!(m.predict_proba_k(&x), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let m = ovr(&[0.2, 0.3, 0.5]);
+        let snap = m.snapshot().unwrap_or_else(|| panic!("no snapshot"));
+        assert_eq!(snap.kind(), "MultiClass");
+        assert_eq!(snap.n_classes(), 3);
+        let restored = ModelSnapshot::from_bytes(&snap.to_bytes())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .restore();
+        let x = Matrix::zeros(2, 1);
+        assert_eq!(restored.n_classes(), 3);
+        assert_eq!(restored.predict_proba_k(&x), m.predict_proba_k(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two class scorers")]
+    fn rejects_single_scorer() {
+        let _ = ovr(&[0.5]);
+    }
+}

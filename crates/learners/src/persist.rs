@@ -70,6 +70,15 @@ pub enum ModelSnapshot {
         /// Member snapshots, in fit order.
         members: Vec<ModelSnapshot>,
     },
+    /// K-class model in one-vs-rest form: one binary scorer per class,
+    /// in class-id order (element `c` scores class `c`). Both
+    /// multi-class SPE strategies snapshot to this shape — the native
+    /// strategy regroups its joint members per class first — so one
+    /// variant covers the whole k-way model zoo.
+    MultiClass {
+        /// Per-class scorer snapshots; length is the class count `k`.
+        per_class: Vec<ModelSnapshot>,
+    },
 }
 
 const TAG_CONSTANT: u8 = 0;
@@ -80,6 +89,7 @@ const TAG_SVM: u8 = 4;
 const TAG_GBDT: u8 = 5;
 const TAG_SOFT_VOTE: u8 = 6;
 const TAG_SELF_PACED: u8 = 7;
+const TAG_MULTI_CLASS: u8 = 8;
 
 impl ModelSnapshot {
     /// Short kind string stored in the envelope header and checked on
@@ -95,14 +105,26 @@ impl ModelSnapshot {
             Self::Gbdt(_) => "GBDT",
             Self::SoftVote(_) => "SoftVote",
             Self::SelfPaced { .. } => "SPE",
+            Self::MultiClass { .. } => "MultiClass",
         }
     }
 
-    /// Number of ensemble members, or 1 for base models.
+    /// Number of ensemble members, or 1 for base models. A multi-class
+    /// snapshot reports its per-class scorer count.
     pub fn n_members(&self) -> usize {
         match self {
             Self::SoftVote(members) | Self::SelfPaced { members, .. } => members.len(),
+            Self::MultiClass { per_class } => per_class.len(),
             _ => 1,
+        }
+    }
+
+    /// Number of classes this model scores over: the per-class scorer
+    /// count for a multi-class snapshot, 2 for everything else.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Self::MultiClass { per_class } => per_class.len(),
+            _ => 2,
         }
     }
 
@@ -126,6 +148,12 @@ impl ModelSnapshot {
                 // captures live (non-empty) ensembles, so this cannot
                 // panic.
                 Box::new(SoftVoteEnsemble::new(models))
+            }
+            Self::MultiClass { per_class } => {
+                let scorers = per_class.into_iter().map(Self::restore).collect();
+                // Decode rejects multi-class snapshots with fewer than
+                // two scorers, so this cannot panic either.
+                Box::new(crate::multiclass::OneVsRestModel::new(scorers))
             }
         }
     }
@@ -175,6 +203,16 @@ impl ModelSnapshot {
                 }
                 Ok(Self::SelfPaced { alphas, members })
             }
+            TAG_MULTI_CLASS => {
+                let per_class = decode_members(r)?;
+                if per_class.len() < 2 {
+                    return Err(DecodeError::Invalid(format!(
+                        "multi-class model with {} class scorer(s)",
+                        per_class.len()
+                    )));
+                }
+                Ok(Self::MultiClass { per_class })
+            }
             tag => Err(DecodeError::Invalid(format!("unknown model tag {tag}"))),
         }
     }
@@ -215,6 +253,10 @@ impl Serialize for ModelSnapshot {
                 w.put_u8(TAG_SELF_PACED);
                 alphas.serialize(w);
                 members.serialize(w);
+            }
+            Self::MultiClass { per_class } => {
+                w.put_u8(TAG_MULTI_CLASS);
+                per_class.serialize(w);
             }
         }
     }

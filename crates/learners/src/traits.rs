@@ -106,6 +106,76 @@ pub trait Model: Send + Sync {
             .collect()
     }
 
+    /// Number of classes `k` this model scores over. Every binary model
+    /// keeps the default of 2; k-class models (one-vs-rest, native
+    /// multi-class SPE) override it.
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    /// Writes the full class-probability distribution for `x` into
+    /// `out`, row-major `[n_rows × k]`: `out[i * k + c]` is row `i`'s
+    /// probability of class `c`. Rows sum to 1.
+    ///
+    /// The default covers every binary model by expanding the scalar
+    /// positive-class probability `p` into `[1 − p, p]` — bit-exact with
+    /// the historic scalar path. Models with `k > 2` must override.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != x.rows() * k`.
+    fn predict_proba_k_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        let k = self.n_classes();
+        assert_eq!(
+            k, 2,
+            "models with more than two classes must override predict_proba_k_into"
+        );
+        assert_eq!(
+            out.len(),
+            x.rows() * k,
+            "output buffer must hold rows * n_classes values"
+        );
+        let rows = x.rows();
+        // Score the positive class into the front of the buffer, then
+        // expand backwards: row i's pair lands at 2i/2i+1, both past
+        // every slot i' <= i still waiting to be read.
+        self.predict_proba_into(x, &mut out[..rows]);
+        for i in (0..rows).rev() {
+            let p = out[i];
+            out[2 * i + 1] = p;
+            out[2 * i] = 1.0 - p;
+        }
+    }
+
+    /// [`Model::predict_proba_k_into`] into a fresh row-major buffer.
+    fn predict_proba_k(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = vec![0.0; x.rows() * self.n_classes()];
+        self.predict_proba_k_into(x.view(), &mut out);
+        out
+    }
+
+    /// Hard class ids by argmax over the k-way distribution. Binary
+    /// models keep the historic `p >= 0.5` threshold (so ties at exactly
+    /// 0.5 stay class 1); `k > 2` breaks ties toward the lowest id.
+    fn predict_class(&self, x: &Matrix) -> Vec<u8> {
+        let k = self.n_classes();
+        if k == 2 {
+            return self.predict(x);
+        }
+        let proba = self.predict_proba_k(x);
+        proba
+            .chunks_exact(k)
+            .map(|row| {
+                let mut best = 0usize;
+                for (c, &p) in row.iter().enumerate() {
+                    if p > row[best] {
+                        best = c;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
     /// Serializable snapshot of this model, or `None` when the model
     /// does not support persistence.
     ///
@@ -270,10 +340,12 @@ pub fn validate_basic_fit_inputs(
 /// [basic checks](validate_basic_fit_inputs) plus rejection of
 /// non-finite feature values ([`SpeError::NonFiniteFeature`], naming
 /// the first offending cell) and single-class labels
-/// ([`SpeError::EmptyClass`]). The panicking `fit` path deliberately
-/// stays lenient on both — trees tolerate NaN ordering and a
-/// single-class fit degrades to a [`ConstantModel`] — but callers who
-/// opted into typed errors get them *before* training starts.
+/// ([`SpeError::SingleClass`], carrying the observed label histogram so
+/// the error names what actually arrived instead of assuming a binary
+/// label space). The panicking `fit` path deliberately stays lenient on
+/// both — trees tolerate NaN ordering and a single-class fit degrades
+/// to a [`ConstantModel`] — but callers who opted into typed errors get
+/// them *before* training starts.
 pub fn validate_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) -> Result<(), SpeError> {
     validate_basic_fit_inputs(x, y, weights)?;
     for i in 0..x.rows() {
@@ -281,11 +353,16 @@ pub fn validate_fit_inputs(x: &Matrix, y: &[u8], weights: Option<&[f64]>) -> Res
             return Err(SpeError::NonFiniteFeature { row: i, col: j });
         }
     }
-    if !y.iter().any(|&l| l != 0) {
-        return Err(SpeError::EmptyClass { label: 1 });
+    let mut counts = [0usize; 256];
+    for &l in y {
+        counts[l as usize] += 1;
     }
-    if !y.contains(&0) {
-        return Err(SpeError::EmptyClass { label: 0 });
+    let histogram: Vec<(u8, usize)> = (0..=255u8)
+        .filter(|&l| counts[l as usize] > 0)
+        .map(|l| (l, counts[l as usize]))
+        .collect();
+    if histogram.len() < 2 {
+        return Err(SpeError::SingleClass { histogram });
     }
     Ok(())
 }
@@ -449,13 +526,30 @@ mod tests {
         assert!(validate_basic_fit_inputs(&x, &[0, 1, 0], None).is_ok());
         assert_eq!(
             validate_fit_inputs(&Matrix::zeros(2, 1), &[0, 0], None),
-            Err(SpeError::EmptyClass { label: 1 })
+            Err(SpeError::SingleClass {
+                histogram: vec![(0, 2)]
+            })
         );
         assert_eq!(
-            validate_fit_inputs(&Matrix::zeros(2, 1), &[1, 1], None),
-            Err(SpeError::EmptyClass { label: 0 })
+            validate_fit_inputs(&Matrix::zeros(3, 1), &[7, 7, 7], None),
+            Err(SpeError::SingleClass {
+                histogram: vec![(7, 3)]
+            })
         );
+        // Two distinct k-class labels pass — the k-way trainers decide
+        // whether the label space is dense enough.
+        assert!(validate_fit_inputs(&Matrix::zeros(2, 1), &[3, 5], None).is_ok());
         assert!(validate_basic_fit_inputs(&Matrix::zeros(2, 1), &[0, 0], None).is_ok());
+    }
+
+    #[test]
+    fn default_k_wide_path_expands_binary_probas() {
+        let m = ConstantModel(0.25);
+        let x = Matrix::zeros(3, 2);
+        assert_eq!(m.n_classes(), 2);
+        let k = m.predict_proba_k(&x);
+        assert_eq!(k, vec![0.75, 0.25, 0.75, 0.25, 0.75, 0.25]);
+        assert_eq!(m.predict_class(&x), m.predict(&x));
     }
 
     #[test]

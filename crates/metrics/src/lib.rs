@@ -10,11 +10,13 @@
 pub mod aggregate;
 pub mod confusion;
 pub mod curves;
+pub mod multiclass;
 pub mod scores;
 pub mod threshold;
 
 pub use aggregate::{MeanStd, RunAggregator};
 pub use confusion::ConfusionMatrix;
 pub use curves::{aucprc, average_precision, pr_curve, roc_auc, roc_curve};
+pub use multiclass::MultiConfusion;
 pub use scores::{f1_score, g_mean, mcc, MetricSet};
 pub use threshold::{tune_threshold, ThresholdObjective, TunedThreshold};

@@ -1,0 +1,239 @@
+//! K-class evaluation: the k×k confusion matrix and the class-aware
+//! aggregate scores the multi-class imbalance literature reports
+//! (macro/weighted F1, per-class recall, multi-class G-mean).
+//!
+//! Per-class precision/recall/F1 treat class `c` one-vs-rest; the
+//! aggregates differ in how classes are weighted:
+//!
+//! - **macro** averages per-class scores unweighted — every class
+//!   counts equally, so minority classes dominate the penalty, which is
+//!   the point of imbalance-aware evaluation;
+//! - **weighted** averages by class support — closer to accuracy,
+//!   reported for contrast;
+//! - **multi-class G-mean** is the geometric mean of per-class recalls
+//!   (the k-way generalization of the binary √(TPR·TNR) sensitivity
+//!   form): a single missed class drives it to 0.
+
+/// A k×k confusion matrix: `counts[true][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiConfusion {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl MultiConfusion {
+    /// Builds the matrix from aligned true/predicted dense class ids.
+    ///
+    /// # Panics
+    /// Panics when lengths disagree, `k < 2`, or a label is `>= k`.
+    pub fn from_labels(y_true: &[u8], y_pred: &[u8], k: usize) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "label length mismatch");
+        assert!(k >= 2, "need at least two classes");
+        let mut counts = vec![0usize; k * k];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            assert!((t as usize) < k && (p as usize) < k, "label out of range");
+            counts[t as usize * k + p as usize] += 1;
+        }
+        Self { k, counts }
+    }
+
+    /// Number of classes `k`.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of samples with true class `t` predicted as class `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.k + p]
+    }
+
+    /// Samples whose true class is `c` (row sum).
+    pub fn support(&self, c: usize) -> usize {
+        (0..self.k).map(|p| self.count(c, p)).sum()
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction predicted correctly (trace / total); 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = (0..self.k).map(|c| self.count(c, c)).sum();
+        hits as f64 / total as f64
+    }
+
+    /// One-vs-rest recall of class `c` (0 for an absent class).
+    pub fn recall(&self, c: usize) -> f64 {
+        let support = self.support(c);
+        if support == 0 {
+            return 0.0;
+        }
+        self.count(c, c) as f64 / support as f64
+    }
+
+    /// One-vs-rest precision of class `c` (0 when never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: usize = (0..self.k).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            return 0.0;
+        }
+        self.count(c, c) as f64 / predicted as f64
+    }
+
+    /// One-vs-rest F1 of class `c` (0 when precision + recall = 0).
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Per-class recalls in class-id order — the "recall matrix" row
+    /// reported per model in the multi-class benches.
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        (0..self.k).map(|c| self.recall(c)).collect()
+    }
+
+    /// Unweighted mean of per-class F1.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.k).map(|c| self.f1(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Support-weighted mean of per-class F1; 0 when empty.
+    pub fn weighted_f1(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (0..self.k)
+            .map(|c| self.f1(c) * self.support(c) as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Geometric mean of per-class recalls. Only classes with support
+    /// participate; any missed class (recall 0) zeroes the score.
+    pub fn g_mean_multiclass(&self) -> f64 {
+        let recalls: Vec<f64> = (0..self.k)
+            .filter(|&c| self.support(c) > 0)
+            .map(|c| self.recall(c))
+            .collect();
+        if recalls.is_empty() {
+            return 0.0;
+        }
+        if recalls.contains(&0.0) {
+            return 0.0;
+        }
+        let log_sum: f64 = recalls.iter().map(|r| r.ln()).sum();
+        (log_sum / recalls.len() as f64).exp()
+    }
+
+    /// Renders the matrix row-per-true-class for logs and reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in 0..self.k {
+            let row: Vec<String> = (0..self.k).map(|p| self.count(t, p).to_string()).collect();
+            out.push_str(&format!("true {t}: [{}]\n", row.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3-class fixture:
+    ///   class 0: 4 right, 1 → class 1
+    ///   class 1: 2 right, 1 → class 2
+    ///   class 2: 3 right
+    fn toy() -> MultiConfusion {
+        let y_true = [0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let y_pred = [0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 2];
+        MultiConfusion::from_labels(&y_true, &y_pred, 3)
+    }
+
+    #[test]
+    fn counts_supports_and_accuracy() {
+        let m = toy();
+        assert_eq!(m.n_classes(), 3);
+        assert_eq!(m.count(0, 0), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 2), 1);
+        assert_eq!(m.support(0), 5);
+        assert_eq!(m.support(2), 3);
+        assert_eq!(m.total(), 11);
+        assert!((m.accuracy() - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_scores() {
+        let m = toy();
+        assert!((m.recall(0) - 0.8).abs() < 1e-12);
+        assert!((m.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(2) - 1.0).abs() < 1e-12);
+        // Class 1 predicted 3 times (1 from class 0, 2 right).
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        // Class 2 predicted 4 times, 3 right.
+        assert!((m.precision(2) - 0.75).abs() < 1e-12);
+        assert_eq!(m.per_class_recall().len(), 3);
+        let f1_1 = m.f1(1);
+        assert!((f1_1 - 2.0 / 3.0).abs() < 1e-12); // p = r = 2/3
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = toy();
+        let macro_f1 = (m.f1(0) + m.f1(1) + m.f1(2)) / 3.0;
+        assert!((m.macro_f1() - macro_f1).abs() < 1e-12);
+        let weighted = (m.f1(0) * 5.0 + m.f1(1) * 3.0 + m.f1(2) * 3.0) / 11.0;
+        assert!((m.weighted_f1() - weighted).abs() < 1e-12);
+        let g = (m.recall(0) * m.recall(1) * m.recall(2)).powf(1.0 / 3.0);
+        assert!((m.g_mean_multiclass() - g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_class_zeroes_g_mean() {
+        let m = MultiConfusion::from_labels(&[0, 1, 2], &[0, 1, 0], 3);
+        assert_eq!(m.g_mean_multiclass(), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f1(2), 0.0);
+    }
+
+    #[test]
+    fn binary_case_matches_binary_confusion() {
+        let y_true = [1u8, 0, 1, 1, 0, 0, 0, 1];
+        let y_pred = [1u8, 0, 0, 1, 0, 1, 0, 1];
+        let m = MultiConfusion::from_labels(&y_true, &y_pred, 2);
+        let b = crate::ConfusionMatrix::from_predictions(&y_true, &y_pred);
+        assert!((m.recall(1) - b.recall()).abs() < 1e-12);
+        assert!((m.precision(1) - b.precision()).abs() < 1e-12);
+        assert!((m.f1(1) - crate::f1_score(&b)).abs() < 1e-12);
+        assert!((m.accuracy() - b.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_maxes_everything() {
+        let y = [0u8, 1, 2, 3, 0, 1, 2, 3];
+        let m = MultiConfusion::from_labels(&y, &y, 4);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.weighted_f1(), 1.0);
+        assert!((m.g_mean_multiclass() - 1.0).abs() < 1e-12);
+        assert!(m.render().contains("true 0: [2, 0, 0, 0]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = MultiConfusion::from_labels(&[0, 3], &[0, 0], 3);
+    }
+}

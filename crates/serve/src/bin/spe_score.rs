@@ -2,7 +2,7 @@
 //! the command line.
 //!
 //! ```sh
-//! spe_score gen        --out data.csv [--rows 4000] [--seed 7]
+//! spe_score gen        --out data.csv [--rows 4000] [--seed 7] [--classes K]
 //! spe_score fit-save   --train data.csv --out model.spe
 //!                      [--members 10] [--seed 42] [--preds preds.csv]
 //! spe_score fit-save   --train data.csv --out model.spe --chunked
@@ -13,15 +13,22 @@
 //! ```
 //!
 //! `fit-save --preds` and `load-score` write the same prediction format
-//! (one `probability` column), so `cmp` between the two files is the
-//! canonical save→load bit-identity check used by `ci.sh`.
+//! (one `probability` column for binary models, one `class_<c>` column
+//! per class for multi-class ones), so `cmp` between the two files is
+//! the canonical save→load bit-identity check used by `ci.sh`.
+//!
+//! Training files with labels beyond `{0, 1}` take the multi-class
+//! path: labels are mapped to dense class ids (recorded in the model's
+//! metadata as `class_labels`), a k-way SPE is fit, and predictions are
+//! full per-class distributions. Binary files flow through the exact
+//! same code they always did.
 //!
 //! `--chunked` fits out-of-core: the training file is streamed twice
 //! (quantile-sketch pass, then u8-encode pass) and never loaded whole.
 //! `--train` may then also name a shard directory written by `pack`.
 
-use spe_core::{ChunkedFitOptions, SelfPacedEnsembleConfig};
-use spe_data::csv::{read_dataset, write_csv};
+use spe_core::{ChunkedFitOptions, MultiClassSpeConfig, SelfPacedEnsembleConfig};
+use spe_data::csv::{read_dataset_indexed, write_csv};
 use spe_data::{pack_source, ChunkedCsv, ChunkedSource, ShardReader};
 use spe_learners::{DecisionTreeConfig, Model, SplitMethod};
 use spe_serve::{load_envelope, load_model, save_model, ServeError};
@@ -30,7 +37,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage:
-  spe_score gen        --out <data.csv> [--rows N] [--seed S]
+  spe_score gen        --out <data.csv> [--rows N] [--seed S] [--classes K]
   spe_score fit-save   --train <data.csv> --out <model.spe> [--members N] [--seed S] [--preds <preds.csv>]
   spe_score fit-save   --train <data.csv|shard-dir> --out <model.spe> --chunked [--chunk-rows N] [--members N] [--seed S]
   spe_score pack       --input <data.csv> --out <shard-dir> [--rows-per-shard N]
@@ -105,19 +112,51 @@ fn write_predictions(path: &Path, probs: &[f64]) -> std::io::Result<()> {
     write_csv(path, &["probability"], &rows)
 }
 
+/// Writes row-major `[rows × k]` class distributions, one `class_<c>`
+/// column per class.
+fn write_class_predictions(path: &Path, proba: &[f64], k: usize) -> std::io::Result<()> {
+    let headers: Vec<String> = (0..k).map(|c| format!("class_{c}")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<f64>> = proba.chunks_exact(k).map(<[f64]>::to_vec).collect();
+    write_csv(path, &header_refs, &rows)
+}
+
 fn cmd_gen(flags: &Flags) -> Result<(), String> {
     let out = flags.path("out")?;
     let rows = flags.usize_or("rows", 4000)?;
     let seed = flags.u64_or("seed", 7)?;
-    let data = spe_datasets::credit_fraud_sim(rows, seed);
+    let classes = flags.usize_or("classes", 2)?;
+    let data = if classes == 2 {
+        spe_datasets::credit_fraud_sim(rows, seed)
+    } else {
+        if !(3..=256).contains(&classes) {
+            return Err(format!("--classes wants 2..=256, got {classes}"));
+        }
+        // Geometric 4:1 imbalance; the largest class sized so the total
+        // lands near --rows (the series sums to ~4/3 of the base).
+        let cfg =
+            spe_datasets::MultiClassCheckerboardConfig::geometric(classes, (rows * 3) / 4, 4.0);
+        spe_datasets::multiclass_checkerboard(&cfg, seed)
+    };
     spe_data::csv::write_dataset(&out, &data).map_err(|e| e.to_string())?;
-    let pos = data.y().iter().filter(|&&l| l != 0).count();
-    eprintln!(
-        "wrote {} rows x {} features ({pos} positive) to {}",
-        data.len(),
-        data.x().cols(),
-        out.display()
-    );
+    if data.n_classes() == 2 {
+        let pos = data.y().iter().filter(|&&l| l != 0).count();
+        eprintln!(
+            "wrote {} rows x {} features ({pos} positive) to {}",
+            data.len(),
+            data.x().cols(),
+            out.display()
+        );
+    } else {
+        eprintln!(
+            "wrote {} rows x {} features ({} classes, counts {:?}) to {}",
+            data.len(),
+            data.x().cols(),
+            data.n_classes(),
+            data.class_counts(),
+            out.display()
+        );
+    }
     Ok(())
 }
 
@@ -189,7 +228,36 @@ fn cmd_fit_save(flags: &Flags) -> Result<(), String> {
     let out = flags.path("out")?;
     let members = flags.usize_or("members", 10)?;
     let seed = flags.u64_or("seed", 42)?;
-    let data = read_dataset(&train).map_err(|e| e.to_string())?;
+    let (data, classes) = read_dataset_indexed(&train).map_err(|e| e.to_string())?;
+    if data.n_classes() > 2 {
+        let cfg = MultiClassSpeConfig::new(members);
+        let model = cfg
+            .try_fit_dataset(&data, seed)
+            .map_err(|e| ServeError::from(e).to_string())?;
+        let metadata = vec![
+            ("trained_rows".into(), data.len().to_string()),
+            ("features".into(), data.x().cols().to_string()),
+            ("members".into(), members.to_string()),
+            ("seed".into(), seed.to_string()),
+            ("classes".into(), data.n_classes().to_string()),
+            ("class_labels".into(), classes.mapping_string()),
+        ];
+        save_model(&out, &model, metadata).map_err(|e| e.to_string())?;
+        eprintln!(
+            "fit a {}-class SPE ({} members per class) on {} rows, saved to {}",
+            data.n_classes(),
+            members,
+            data.len(),
+            out.display()
+        );
+        if let Some(preds) = flags.get("preds") {
+            let proba = model.predict_proba_k(data.x());
+            write_class_predictions(Path::new(preds), &proba, data.n_classes())
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {} training-set predictions to {preds}", data.len());
+        }
+        return Ok(());
+    }
     let cfg = SelfPacedEnsembleConfig::builder()
         .n_estimators(members)
         .build()
@@ -240,12 +308,21 @@ fn cmd_load_score(flags: &Flags) -> Result<(), String> {
     let input = flags.path("input")?;
     let out = flags.path("out")?;
     let model = load_model(&model_path).map_err(|e| e.to_string())?;
-    let data = read_dataset(&input).map_err(|e| e.to_string())?;
-    let probs = model.predict_proba(data.x());
-    write_predictions(&out, &probs).map_err(|e| e.to_string())?;
+    let (data, _) = read_dataset_indexed(&input).map_err(|e| e.to_string())?;
+    // The *model's* class count picks the prediction format, so a file
+    // that happens to only exercise two labels still scores k-wide
+    // under a multi-class model (and cmp-matches fit-save --preds).
+    let k = model.n_classes();
+    if k > 2 {
+        let proba = model.predict_proba_k(data.x());
+        write_class_predictions(&out, &proba, k).map_err(|e| e.to_string())?;
+    } else {
+        let probs = model.predict_proba(data.x());
+        write_predictions(&out, &probs).map_err(|e| e.to_string())?;
+    }
     eprintln!(
         "scored {} rows with {} -> {}",
-        probs.len(),
+        data.len(),
         model_path.display(),
         out.display()
     );
@@ -261,6 +338,12 @@ fn cmd_inspect(flags: &Flags) -> Result<(), String> {
     println!("format:   v{}", spe_serve::FORMAT_VERSION);
     println!("kind:     {}", env.model_kind);
     println!("members:  {}", env.snapshot.n_members());
+    println!("classes:  {}", env.n_classes);
+    // The raw-label → class-id mapping, when fit-save recorded one
+    // (binary models map identically and skip it).
+    if let Some((_, labels)) = env.metadata.iter().find(|(k, _)| k == "class_labels") {
+        println!("labels:   {labels}");
+    }
     for (k, v) in &env.metadata {
         println!("meta:     {k} = {v}");
     }

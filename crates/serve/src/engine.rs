@@ -370,6 +370,9 @@ struct Shared {
     stats: StatsInner,
     config: EngineConfig,
     n_features: usize,
+    /// Class count the engine serves, fixed by the initial model; swaps
+    /// must match it so response rows never change width mid-stream.
+    n_classes: usize,
 }
 
 /// Batched scoring engine over a hot-swappable model.
@@ -398,6 +401,7 @@ impl ScoringEngine {
     ) -> Result<Self, ServeError> {
         let config = EngineConfigBuilder { config }.build()?;
         let slot = ServingSlot::resolve(Arc::from(model), n_features, config.backend)?;
+        let n_classes = slot.model.n_classes();
         let shared = Arc::new(Shared {
             queue: Injector::new(),
             model: RwLock::new(slot),
@@ -407,6 +411,7 @@ impl ScoringEngine {
             stats: StatsInner::new(),
             config,
             n_features,
+            n_classes,
         });
         let worker = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
@@ -528,6 +533,15 @@ impl ScoringEngine {
     /// `Quantized` engine a model that cannot compile is rejected and
     /// the old model keeps serving.
     pub fn swap_model(&self, model: Box<dyn Model>) -> Result<(), ServeError> {
+        // Class gate, symmetric to the feature-width gate in `resolve`:
+        // a swap target scoring a different number of classes would
+        // change every k-wide response row's width under live clients.
+        if model.n_classes() != self.shared.n_classes {
+            return Err(ServeError::ModelClassMismatch {
+                expected: self.shared.n_classes,
+                got: model.n_classes(),
+            });
+        }
         let slot = ServingSlot::resolve(
             Arc::from(model),
             self.shared.n_features,
@@ -560,6 +574,60 @@ impl ScoringEngine {
     /// Row width this engine was started for.
     pub fn n_features(&self) -> usize {
         self.shared.n_features
+    }
+
+    /// Classes per response row, fixed by the model the engine started
+    /// with (2 for every binary model).
+    pub fn n_classes(&self) -> usize {
+        self.shared.n_classes
+    }
+
+    /// Scores a whole matrix into row-major `[rows × n_classes]`
+    /// probability distributions, bypassing the queue.
+    pub fn score_classes_matrix(&self, x: &Matrix) -> Result<Vec<f64>, ServeError> {
+        let mut out = vec![0.0; x.rows() * self.shared.n_classes];
+        self.score_classes_into(x.view(), &mut out)?;
+        Ok(out)
+    }
+
+    /// K-wide twin of [`ScoringEngine::score_into`]: writes each row's
+    /// full class distribution into the caller's row-major
+    /// `[rows × n_classes]` buffer. Chunk geometry (and therefore the
+    /// bit pattern of every probability) matches the scalar path.
+    pub fn score_classes_into(&self, x: MatrixView<'_>, out: &mut [f64]) -> Result<(), ServeError> {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::EngineStopped);
+        }
+        if x.cols() != self.shared.n_features && x.rows() > 0 {
+            return Err(ServeError::RowWidthMismatch {
+                expected: self.shared.n_features,
+                got: x.cols(),
+            });
+        }
+        let k = self.shared.n_classes;
+        if out.len() != x.rows() * k {
+            return Err(ServeError::OutputLengthMismatch {
+                expected: x.rows() * k,
+                got: out.len(),
+            });
+        }
+        let model = self.shared.model.read().active();
+        let threads = spe_runtime::current_threads().max(1);
+        let chunk_len = x.rows().div_ceil(threads * 4).max(64);
+        if threads <= 1 || x.rows() <= chunk_len {
+            model.predict_proba_k_into(x, out);
+        } else {
+            let mut chunks: Vec<&mut [f64]> = out.chunks_mut(chunk_len * k).collect();
+            spe_runtime::par_for_each_mut(&mut chunks, |i, chunk| {
+                let start = i * chunk_len;
+                model.predict_proba_k_into(x.rows_range(start..start + chunk.len() / k), chunk);
+            });
+        }
+        self.shared
+            .stats
+            .direct_rows
+            .fetch_add(x.rows() as u64, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Snapshot of the serving counters.
@@ -1025,6 +1093,62 @@ mod tests {
         assert_eq!(e.stats().model_swaps, 0);
         let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
         assert_eq!(p.wait(), Ok(0.5));
+    }
+
+    fn tri_class() -> Box<dyn Model> {
+        Box::new(spe_learners::OneVsRestModel::new(vec![
+            Box::new(ConstantModel(0.2)),
+            Box::new(ConstantModel(0.3)),
+            Box::new(ConstantModel(0.5)),
+        ]))
+    }
+
+    #[test]
+    fn class_mismatched_swap_rejected() {
+        let e = engine(Box::new(ConstantModel(0.5)));
+        assert_eq!(e.n_classes(), 2);
+        assert!(matches!(
+            e.swap_model(tri_class()),
+            Err(ServeError::ModelClassMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+        assert_eq!(e.stats().model_swaps, 0);
+        let p = e.submit(&[0.0, 0.0]).unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(p.wait(), Ok(0.5));
+    }
+
+    #[test]
+    fn score_classes_emits_full_distributions() {
+        let e = ScoringEngine::start(tri_class(), 2, EngineConfig::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(e.n_classes(), 3);
+        let x = Matrix::zeros(2, 2);
+        let dist = e
+            .score_classes_matrix(&x)
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(dist, vec![0.2, 0.3, 0.5, 0.2, 0.3, 0.5]);
+        // A same-k swap is accepted.
+        e.swap_model(tri_class())
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert_eq!(e.stats().model_swaps, 1);
+        // Binary engines expand the scalar probability to [1-p, p].
+        let b = engine(Box::new(ConstantModel(0.25)));
+        assert_eq!(
+            b.score_classes_matrix(&Matrix::zeros(1, 2))
+                .unwrap_or_else(|err| panic!("{err}")),
+            vec![0.75, 0.25]
+        );
+        // The buffer must hold rows * k slots.
+        let mut short = vec![0.0; 4];
+        assert!(matches!(
+            e.score_classes_into(x.view(), &mut short),
+            Err(ServeError::OutputLengthMismatch {
+                expected: 6,
+                got: 4
+            })
+        ));
     }
 
     /// Model that panics while scoring — the batch must resolve to

@@ -6,11 +6,17 @@
 //! ```text
 //! [0..4)      magic  b"SPEM"
 //! [4..N-8)    body:  format_version u32
+//!                    n_classes      u32       (version >= 2 only)
 //!                    model_kind     String
 //!                    metadata       Vec<(String, String)>
 //!                    payload        Vec<u8>   (ModelSnapshot encoding)
 //! [N-8..N)    checksum u64 — FNV-1a over bytes [0..N-8)
 //! ```
+//!
+//! Version 2 added the `n_classes` header field so `inspect` and
+//! serving-side class-width gates need not decode the payload; version 1
+//! files (all binary by construction) still decode, reading as
+//! `n_classes = 2`.
 //!
 //! The checksum is verified **before** any payload decoding, so flipped
 //! bits surface as [`ServeError::ChecksumMismatch`] rather than as a
@@ -29,8 +35,9 @@ use std::path::Path;
 /// First four bytes of every model file.
 pub const MAGIC: [u8; 4] = *b"SPEM";
 
-/// Envelope revision this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Envelope revision this build writes. Revisions `1..=FORMAT_VERSION`
+/// are all readable.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash — tiny, dependency-free and good enough to catch
 /// bit rot and truncation (it is not a cryptographic signature).
@@ -48,6 +55,9 @@ pub struct ModelEnvelope {
     /// Model kind tag (`"SPE"`, `"DT"`, ...) — duplicated from the
     /// snapshot so `inspect` and kind checks need not decode the payload.
     pub model_kind: String,
+    /// How many classes the model scores — duplicated from the snapshot
+    /// for the same reason. Version-1 files decode as 2.
+    pub n_classes: usize,
     /// Free-form key/value pairs recorded at save time (trained-on row
     /// counts, seeds, ...). Order is preserved.
     pub metadata: Vec<(String, String)>,
@@ -56,10 +66,11 @@ pub struct ModelEnvelope {
 }
 
 impl ModelEnvelope {
-    /// Wraps a snapshot, stamping its kind string.
+    /// Wraps a snapshot, stamping its kind string and class count.
     pub fn new(snapshot: ModelSnapshot, metadata: Vec<(String, String)>) -> Self {
         Self {
             model_kind: snapshot.kind().to_string(),
+            n_classes: snapshot.n_classes(),
             metadata,
             snapshot,
         }
@@ -70,6 +81,7 @@ impl ModelEnvelope {
         let mut w = Writer::new();
         w.put_bytes(&MAGIC);
         w.put_u32(FORMAT_VERSION);
+        w.put_u32(self.n_classes as u32);
         self.model_kind.serialize(&mut w);
         self.metadata.serialize(&mut w);
         self.snapshot.to_bytes().serialize(&mut w);
@@ -97,12 +109,19 @@ impl ModelEnvelope {
         }
         let mut r = Reader::new(&body[MAGIC.len()..]);
         let version = r.get_u32().map_err(decode_err)?;
-        if version != FORMAT_VERSION {
+        if !(1..=FORMAT_VERSION).contains(&version) {
             return Err(ServeError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
+        // Version 1 predates multi-class models: every v1 file is
+        // binary, so the missing header field is exactly 2.
+        let n_classes = if version >= 2 {
+            r.get_u32().map_err(decode_err)? as usize
+        } else {
+            2
+        };
         let model_kind = String::deserialize(&mut r).map_err(decode_err)?;
         let metadata = Vec::<(String, String)>::deserialize(&mut r).map_err(decode_err)?;
         let payload = Vec::<u8>::deserialize(&mut r).map_err(decode_err)?;
@@ -119,8 +138,15 @@ impl ModelEnvelope {
                 snapshot.kind()
             )));
         }
+        if snapshot.n_classes() != n_classes {
+            return Err(ServeError::Corrupt(format!(
+                "header says {n_classes} classes, payload holds {}",
+                snapshot.n_classes()
+            )));
+        }
         Ok(Self {
             model_kind,
+            n_classes,
             metadata,
             snapshot,
         })

@@ -89,6 +89,15 @@ pub enum ServeError {
         /// What the offending model requires.
         model: FeatureBound,
     },
+    /// The model installed via `swap_model` outputs a different number
+    /// of classes than the engine was started with — rejected up front
+    /// so clients never see response rows change width mid-stream.
+    ModelClassMismatch {
+        /// Class count the engine serves.
+        expected: usize,
+        /// Class count of the offending model.
+        got: usize,
+    },
     /// The model's circuit breaker is open after consecutive scoring
     /// failures; requests are rejected until a half-open probe succeeds.
     CircuitOpen {
@@ -144,6 +153,9 @@ impl fmt::Display for ServeError {
                     f,
                     "model requires {model}, engine serves rows of {expected}"
                 )
+            }
+            ServeError::ModelClassMismatch { expected, got } => {
+                write!(f, "model outputs {got} classes, engine serves {expected}")
             }
             ServeError::CircuitOpen { retry_after_ms } => {
                 write!(
@@ -212,6 +224,12 @@ mod tests {
         }
         .to_string()
         .contains("exactly 7"));
+        assert!(ServeError::ModelClassMismatch {
+            expected: 2,
+            got: 5
+        }
+        .to_string()
+        .contains("5 classes"));
         assert!(ServeError::CircuitOpen {
             retry_after_ms: 250
         }

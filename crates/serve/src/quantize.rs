@@ -173,6 +173,11 @@ pub struct QuantizedModel {
     /// `direct` and every tree compiled to the bitmask form: the whole
     /// forest evaluates in one fused register-blocked pass.
     fused: bool,
+    /// One compiled sub-kernel per class for a `MultiClass` source —
+    /// empty for every binary model. When non-empty the flat fields
+    /// above are unused; scoring runs each sub-kernel and normalizes
+    /// per row exactly like `OneVsRestModel`.
+    per_class: Vec<QuantizedModel>,
     source: ModelSnapshot,
 }
 
@@ -184,6 +189,30 @@ impl QuantizedModel {
     /// feature with more than 255 distinct split thresholds — returns
     /// [`ServeError::Unquantizable`].
     pub fn compile(snapshot: &ModelSnapshot, n_features: usize) -> Result<Self, ServeError> {
+        if let ModelSnapshot::MultiClass { per_class } = snapshot {
+            // Each class scorer compiles independently; any class that
+            // cannot fails the whole model (a half-quantized one-vs-rest
+            // set would not be bit-exact).
+            let kernels = per_class
+                .iter()
+                .map(|s| Self::compile(s, n_features))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Self {
+                n_features,
+                cuts: Vec::new(),
+                nodes: Vec::new(),
+                values: Vec::new(),
+                masked: Vec::new(),
+                leaves: Vec::new(),
+                trees: Vec::new(),
+                members: Vec::new(),
+                ensemble: false,
+                direct: false,
+                fused: false,
+                per_class: kernels,
+                source: snapshot.clone(),
+            });
+        }
         let (specs, ensemble) = member_specs(snapshot)?;
         let cuts = harvest_cuts(&specs, n_features)?;
 
@@ -255,6 +284,7 @@ impl QuantizedModel {
             ensemble,
             direct,
             fused,
+            per_class: Vec::new(),
             source: snapshot.clone(),
         })
     }
@@ -264,20 +294,34 @@ impl QuantizedModel {
         self.n_features
     }
 
-    /// Total compiled trees across all members.
+    /// Total compiled trees across all members (summed over class
+    /// sub-kernels for a multi-class model).
     pub fn n_trees(&self) -> usize {
-        self.trees.len()
+        if self.per_class.is_empty() {
+            self.trees.len()
+        } else {
+            self.per_class.iter().map(Self::n_trees).sum()
+        }
     }
 
-    /// Ensemble member count (1 for a single compiled model).
+    /// Ensemble member count (1 for a single compiled model; summed over
+    /// class sub-kernels for a multi-class model).
     pub fn n_members(&self) -> usize {
-        self.members.len()
+        if self.per_class.is_empty() {
+            self.members.len()
+        } else {
+            self.per_class.iter().map(Self::n_members).sum()
+        }
     }
 
     /// Largest cut-grid size across features — how much of the u8 range
     /// the thresholds actually use.
     pub fn max_cuts(&self) -> usize {
-        self.cuts.iter().map(Vec::len).max().unwrap_or(0)
+        let own = self.cuts.iter().map(Vec::len).max().unwrap_or(0);
+        self.per_class
+            .iter()
+            .map(Self::max_cuts)
+            .fold(own, usize::max)
     }
 
     /// Scores one encode-sized block of rows.
@@ -429,6 +473,17 @@ impl Model for QuantizedModel {
             x.cols(),
             self.n_features
         );
+        if !self.per_class.is_empty() {
+            // Scalar view of a multi-class model: 1 − P(class 0), the
+            // same collapse `OneVsRestModel::predict_proba_view` applies.
+            let k = self.per_class.len();
+            let mut full = vec![0.0; x.rows() * k];
+            self.predict_proba_k_into(x, &mut full);
+            for (o, row) in out.iter_mut().zip(full.chunks_exact(k)) {
+                *o = 1.0 - row[0];
+            }
+            return;
+        }
         let mut scratch = SCRATCH.with(Cell::take);
         let mut start = 0;
         while start < x.rows() {
@@ -437,6 +492,63 @@ impl Model for QuantizedModel {
             start = end;
         }
         SCRATCH.with(|c| c.set(scratch));
+    }
+
+    fn n_classes(&self) -> usize {
+        if self.per_class.is_empty() {
+            2
+        } else {
+            self.per_class.len()
+        }
+    }
+
+    fn predict_proba_k_into(&self, x: MatrixView<'_>, out: &mut [f64]) {
+        if self.per_class.is_empty() {
+            // Binary: scalar score expanded to [1-p, p], exactly the
+            // Model trait's default (re-stated because this override
+            // shadows it).
+            let rows = x.rows();
+            assert_eq!(
+                out.len(),
+                rows * 2,
+                "output buffer must hold rows * n_classes values"
+            );
+            self.predict_proba_into(x, &mut out[..rows]);
+            for i in (0..rows).rev() {
+                let p = out[i];
+                out[2 * i + 1] = p;
+                out[2 * i] = 1.0 - p;
+            }
+            return;
+        }
+        // Multi-class: replay OneVsRestModel::predict_proba_k_into with
+        // each f64 scorer swapped for its bit-exact compiled kernel —
+        // identical raw scores, identical normalization op order,
+        // identical output bits.
+        let k = self.per_class.len();
+        let rows = x.rows();
+        assert_eq!(
+            out.len(),
+            rows * k,
+            "output buffer must hold rows * n_classes values"
+        );
+        let mut scratch = vec![0.0; rows];
+        for (c, kernel) in self.per_class.iter().enumerate() {
+            kernel.predict_proba_into(x, &mut scratch);
+            for (i, &p) in scratch.iter().enumerate() {
+                out[i * k + c] = p;
+            }
+        }
+        for row in out.chunks_exact_mut(k) {
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                for p in row.iter_mut() {
+                    *p /= sum;
+                }
+            } else {
+                row.fill(1.0 / k as f64);
+            }
+        }
     }
 
     fn feature_bound(&self) -> FeatureBound {
@@ -951,6 +1063,47 @@ mod tests {
         let err = QuantizedModel::compile(&snap, 1).map(|_| ()).unwrap_err();
         assert!(matches!(err, ServeError::Unquantizable(_)), "{err}");
         assert!(err.to_string().contains("distinct thresholds"), "{err}");
+    }
+
+    #[test]
+    fn multiclass_is_bit_exact_against_one_vs_rest() {
+        // Three per-class tree scorers assembled one-vs-rest; the
+        // compiled kernel must reproduce every probability bit.
+        let (x, y) = two_blob_data(600, 11);
+        let scorers: Vec<Box<dyn Model>> = (0..3)
+            .map(|c| {
+                let binary: Vec<u8> = y
+                    .iter()
+                    .map(|&l| u8::from(usize::from(l) == c % 2))
+                    .collect();
+                DecisionTreeConfig::with_depth(4).fit(&x, &binary, c as u64)
+            })
+            .collect();
+        let ovr = spe_learners::OneVsRestModel::new(scorers);
+        let snap = ovr.snapshot().unwrap();
+        assert_eq!(snap.kind(), "MultiClass");
+        let q = QuantizedModel::compile(&snap, x.cols()).unwrap();
+        assert_eq!(q.n_classes(), 3);
+        assert!(q.n_trees() >= 3);
+        assert_eq!(q.predict_proba_k(&x), ovr.predict_proba_k(&x));
+        assert_eq!(q.predict_proba(&x), ovr.predict_proba(&x));
+        assert_eq!(q.predict_class(&x), ovr.predict_class(&x));
+    }
+
+    #[test]
+    fn multiclass_with_unquantizable_member_reports_unquantizable() {
+        let snap = ModelSnapshot::MultiClass {
+            per_class: vec![
+                ModelSnapshot::Constant(0.5),
+                ModelSnapshot::SoftVote(vec![ModelSnapshot::SoftVote(vec![
+                    ModelSnapshot::Constant(0.5),
+                ])]),
+            ],
+        };
+        assert!(matches!(
+            QuantizedModel::compile(&snap, 2),
+            Err(ServeError::Unquantizable(_))
+        ));
     }
 
     #[test]

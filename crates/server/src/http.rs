@@ -9,7 +9,7 @@
 //! | `GET /health` | process liveness (always 200) |
 //! | `GET /ready` | 200 once at least one model serves, else 503 |
 //! | `GET /metrics` | per-model counters + breaker state, JSON |
-//! | `POST /score/{model}` | CSV rows in, JSON scores out; `X-Timeout-Ms` header sets the request deadline |
+//! | `POST /score/{model}` | CSV rows in, JSON scores out; `X-Timeout-Ms` header sets the request deadline. Binary models answer `{"scores":[...]}`; k > 2 models answer `{"n_classes":k,"classes":[[...],...]}` |
 //! | `POST /models/{name}/load` | register/redeploy from the SPEM path in the body |
 //! | `POST /models/{name}/swap` | zero-downtime model update from the path in the body |
 //! | `POST /models/{name}/shadow` | attach a shadow candidate from the path in the body |
@@ -97,6 +97,11 @@ pub fn handle(registry: &ModelRegistry, shutdown: &AtomicBool, req: &Request) ->
 /// `POST /score/{model}`: parse rows + deadline, run the entry's full
 /// admission/breaker/deadline gauntlet, render scores or the mapped
 /// failure.
+///
+/// Binary models answer `{"scores":[...]}` exactly as they always
+/// have; a model serving more than two classes answers
+/// `{"n_classes":k,"classes":[[...k probabilities...],...]}` with one
+/// row-major distribution per input row.
 fn score(registry: &ModelRegistry, name: &str, req: &Request) -> Response {
     let entry = match registry.get(name) {
         Ok(e) => e,
@@ -110,6 +115,31 @@ fn score(registry: &ModelRegistry, name: &str, req: &Request) -> Response {
         Ok(r) => r,
         Err(msg) => return Response::json(400, format!("{{\"error\":{}}}", json_string(&msg))),
     };
+    let k = entry.engine().n_classes();
+    if k > 2 {
+        return match entry.score_classes(&rows) {
+            Ok(dist) => {
+                let mut body = String::with_capacity(32 + dist.len() * 8);
+                body.push_str(&format!("{{\"n_classes\":{k},\"classes\":["));
+                for (i, row) in dist.chunks(k).enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push('[');
+                    for (j, p) in row.iter().enumerate() {
+                        if j > 0 {
+                            body.push(',');
+                        }
+                        body.push_str(&json_f64(*p));
+                    }
+                    body.push(']');
+                }
+                body.push_str("]}");
+                Response::json(200, body)
+            }
+            Err(e) => score_error(&entry, &e),
+        };
+    }
     match entry.score(&rows, timeout) {
         Ok(scores) => {
             let mut body = String::with_capacity(16 + scores.len() * 8);
@@ -216,6 +246,7 @@ fn manage_error(e: &ServeError) -> Response {
         | ServeError::KindMismatch { .. }
         | ServeError::UnsupportedModel
         | ServeError::ModelWidthMismatch { .. }
+        | ServeError::ModelClassMismatch { .. }
         | ServeError::Unquantizable(_)
         | ServeError::InvalidConfig(_) => error_json(400, e),
         _ => error_json(500, e),
@@ -277,7 +308,7 @@ fn entry_json(snap: &EntrySnapshot) -> String {
         None => "null".into(),
     };
     format!(
-        "{{\"breaker_state\":{},\"breaker_trips\":{},\"scored\":{},\"shed\":{},\"deadline_misses\":{},\"scoring_failures\":{},\"heals\":{},\"queue_depth\":{},\"requests\":{},\"batches\":{},\"p50_batch_latency_us\":{},\"p99_batch_latency_us\":{},\"model_swaps\":{},\"shadow\":{}}}",
+        "{{\"breaker_state\":{},\"breaker_trips\":{},\"scored\":{},\"shed\":{},\"deadline_misses\":{},\"scoring_failures\":{},\"heals\":{},\"queue_depth\":{},\"n_classes\":{},\"requests\":{},\"batches\":{},\"p50_batch_latency_us\":{},\"p99_batch_latency_us\":{},\"model_swaps\":{},\"shadow\":{}}}",
         json_string(snap.breaker_state),
         snap.breaker_trips,
         snap.scored,
@@ -286,6 +317,7 @@ fn entry_json(snap: &EntrySnapshot) -> String {
         snap.scoring_failures,
         snap.heals,
         snap.queue_depth,
+        snap.n_classes,
         snap.engine.requests,
         snap.engine.batches,
         snap.engine.p50_batch_latency_us,
@@ -429,6 +461,62 @@ mod tests {
             &request("POST", "/score/m", &[("X-Timeout-Ms", "0")], "0,0\n"),
         );
         assert_eq!(miss.status, 504);
+    }
+
+    #[test]
+    fn multiclass_score_returns_distributions() {
+        let reg = registry();
+        reg.register_model(
+            "mc",
+            Box::new(spe_learners::OneVsRestModel::new(vec![
+                Box::new(ConstantModel(0.2)),
+                Box::new(ConstantModel(0.3)),
+                Box::new(ConstantModel(0.5)),
+            ])),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        let stop = AtomicBool::new(false);
+        let ok = handle(
+            &reg,
+            &stop,
+            &request("POST", "/score/mc", &[], "0,0\n1,1\n"),
+        );
+        assert_eq!(ok.status, 200);
+        assert_eq!(
+            ok.body_str(),
+            "{\"n_classes\":3,\"classes\":[[0.2,0.3,0.5],[0.2,0.3,0.5]]}"
+        );
+        // Binary models on the same server keep the scalar shape.
+        let bin = handle(&reg, &stop, &request("POST", "/score/m", &[], "0,0\n"));
+        assert_eq!(bin.body_str(), "{\"scores\":[0.25]}");
+        // Metrics carry the class width.
+        let metrics = handle(&reg, &stop, &request("GET", "/metrics", &[], ""));
+        assert!(
+            metrics.body_str().contains("\"n_classes\":3"),
+            "{}",
+            metrics.body_str()
+        );
+        // Swapping a binary artifact under a 3-class model is the
+        // client's fault: 400 with a class-mismatch message.
+        let path = std::env::temp_dir().join(format!(
+            "spe-server-http-classgate-{}.spe",
+            std::process::id()
+        ));
+        spe_serve::save_model(&path, &ConstantModel(0.9), Vec::new())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let swap = handle(
+            &reg,
+            &stop,
+            &request(
+                "POST",
+                "/models/mc/swap",
+                &[],
+                path.to_str().unwrap_or_default(),
+            ),
+        );
+        assert_eq!(swap.status, 400, "{}", swap.body_str());
+        assert!(swap.body_str().contains("classes"), "{}", swap.body_str());
+        std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

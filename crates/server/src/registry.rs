@@ -22,6 +22,7 @@ use crate::admission::{retry_after_ms, Admission};
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::shadow::{DivergenceStats, ShadowScorer};
 use parking_lot::{Mutex, RwLock};
+use spe_data::MatrixView;
 use spe_learners::Model;
 use spe_serve::{load_model, EngineConfig, ScoringEngine, ServeError, ServeStats};
 use std::collections::HashMap;
@@ -81,6 +82,8 @@ pub struct EntrySnapshot {
     pub heals: u64,
     /// Rows waiting in this model's queue right now.
     pub queue_depth: usize,
+    /// Classes the served model scores (2 = binary).
+    pub n_classes: usize,
     /// The engine's own counters (batches, latency percentiles, swaps).
     pub engine: ServeStats,
     /// Divergence stats when a shadow candidate is attached.
@@ -199,6 +202,53 @@ impl ModelEntry {
         Ok(out)
     }
 
+    /// K-wide twin of [`score`](ModelEntry::score): the same breaker and
+    /// admission gauntlet, but rows are scored synchronously through the
+    /// engine's direct path into row-major `[rows × n_classes]`
+    /// distributions (full distributions do not flow through the scalar
+    /// batching queue, so no per-row deadline applies). Shadow mirrors
+    /// compare scalar scores only and are skipped here.
+    pub fn score_classes(self: &Arc<Self>, rows: &[Vec<f64>]) -> Result<Vec<f64>, ServeError> {
+        self.breaker.admit()?;
+        let outcome = self.score_classes_admitted(rows);
+        match &outcome {
+            Ok(_) => {
+                self.breaker.record(true);
+            }
+            Err(e) => match e {
+                ServeError::Corrupt(_) | ServeError::Shutdown | ServeError::EngineStopped => {
+                    self.scoring_failures.fetch_add(1, Ordering::Relaxed);
+                    self.note_failure();
+                }
+                _ => {
+                    self.breaker.record(true);
+                }
+            },
+        }
+        outcome
+    }
+
+    fn score_classes_admitted(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, ServeError> {
+        self.admission
+            .check(self.engine.queue_depth(), rows.len())?;
+        let width = self.engine.n_features();
+        let mut flat = Vec::with_capacity(rows.len() * width);
+        for row in rows {
+            if row.len() != width {
+                return Err(ServeError::RowWidthMismatch {
+                    expected: width,
+                    got: row.len(),
+                });
+            }
+            flat.extend_from_slice(row);
+        }
+        let mut out = vec![0.0; rows.len() * self.engine.n_classes()];
+        self.engine
+            .score_classes_into(MatrixView::from_slice(&flat, rows.len(), width), &mut out)?;
+        self.scored.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
     /// Feeds a failure to the breaker; a trip kicks off self-healing.
     fn note_failure(self: &Arc<Self>) {
         if self.breaker.record(false) {
@@ -241,6 +291,15 @@ impl ModelEntry {
     /// previous candidate.
     pub fn start_shadow(&self, path: &Path, capacity: usize) -> Result<(), ServeError> {
         let model = load_model(path)?;
+        // Vet the class width up front: a mismatched candidate could
+        // shadow-score (comparisons are scalar) but never promote, so
+        // fail at attach time instead of surprising the operator later.
+        if model.n_classes() != self.engine.n_classes() {
+            return Err(ServeError::ModelClassMismatch {
+                expected: self.engine.n_classes(),
+                got: model.n_classes(),
+            });
+        }
         let shadow = ShadowScorer::start(
             model,
             self.engine.n_features(),
@@ -312,6 +371,7 @@ impl ModelEntry {
             scoring_failures: self.scoring_failures.load(Ordering::Relaxed),
             heals: self.heals.load(Ordering::Relaxed),
             queue_depth: self.engine.queue_depth(),
+            n_classes: self.engine.n_classes(),
             engine: self.engine.stats(),
             shadow: self.shadow_stats(),
         }
@@ -606,6 +666,51 @@ mod tests {
             reg.get("bad").map(|_| ()),
             Err(ServeError::UnknownModel(_))
         ));
+        std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn tri_class() -> Box<dyn Model> {
+        Box::new(spe_learners::OneVsRestModel::new(vec![
+            Box::new(ConstantModel(0.2)),
+            Box::new(ConstantModel(0.3)),
+            Box::new(ConstantModel(0.5)),
+        ]))
+    }
+
+    #[test]
+    fn multiclass_entry_scores_distributions_and_gates_swaps() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spe-server-classgate-{}.spe", std::process::id()));
+        save_model(&path, &ConstantModel(0.9), Vec::new()).unwrap_or_else(|e| panic!("{e}"));
+
+        let reg = ModelRegistry::new(tight_config());
+        reg.register_model("m", tri_class())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let m = reg.get("m").unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(m.snapshot().n_classes, 3);
+        assert_eq!(
+            m.score_classes(&rows(2)),
+            Ok(vec![0.2, 0.3, 0.5, 0.2, 0.3, 0.5])
+        );
+        assert_eq!(m.snapshot().scored, 2);
+        // Row width is still vetted per row.
+        assert_eq!(
+            m.score_classes(&[vec![0.0]]),
+            Err(ServeError::RowWidthMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        // A binary artifact cannot replace a 3-class live model, and the
+        // rejected swap leaves the live model untouched.
+        assert_eq!(
+            reg.swap("m", &path),
+            Err(ServeError::ModelClassMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(m.score_classes(&rows(1)), Ok(vec![0.2, 0.3, 0.5]));
         std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
     }
 

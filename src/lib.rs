@@ -60,28 +60,34 @@ pub use spe_serve as serve;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use spe_core::{
-        chunk_rows_for_budget, AlphaSchedule, ChunkedFitOptions, FitReport, HardnessFn,
-        MemberOutcome, OocReport, SelfPacedEnsemble, SelfPacedEnsembleBuilder,
-        SelfPacedEnsembleConfig, SelfPacedSampler,
+        chunk_rows_for_budget, AlphaSchedule, BalancingSchedule, ChunkedFitOptions, FitReport,
+        HardnessFn, MemberOutcome, MultiClassSpe, MultiClassSpeConfig, MultiClassStrategy,
+        OocReport, SelfPacedEnsemble, SelfPacedEnsembleBuilder, SelfPacedEnsembleConfig,
+        SelfPacedSampler,
     };
     pub use spe_data::{
         pack_source, stratified_k_fold, train_val_test_split, BinIndex, Chunk, ChunkedCsv,
-        ChunkedSource, Dataset, Matrix, MatrixView, QuantileSketch, SanitizePolicy, SanitizeReport,
-        Sanitizer, SeededRng, ShardManifest, ShardReader, SpeError, Standardizer, StratifiedSplit,
+        ChunkedSource, ClassIndex, Dataset, Matrix, MatrixView, QuantileSketch, SanitizePolicy,
+        SanitizeReport, Sanitizer, SeededRng, ShardManifest, ShardReader, SpeError, Standardizer,
+        StratifiedSplit,
     };
     pub use spe_datasets::{
-        checkerboard, credit_fraud_sim, kddcup_sim, overlap_study, payment_sim, record_linkage_sim,
-        CheckerboardConfig, KddVariant, OverlapConfig, REAL_WORLD_SPECS,
+        checkerboard, credit_fraud_sim, geometric_counts, kddcup_sim, multiclass_checkerboard,
+        multiclass_overlap, overlap_study, payment_sim, record_linkage_sim, CheckerboardConfig,
+        KddVariant, MultiClassCheckerboardConfig, MultiClassOverlapConfig, OverlapConfig,
+        REAL_WORLD_SPECS,
     };
     pub use spe_ensembles::{
         BalanceCascade, EasyEnsemble, RusBoost, SmoteBagging, SmoteBoost, UnderBagging,
     };
     pub use spe_learners::{
         AdaBoostConfig, BaggingConfig, DecisionTreeConfig, GaussianNbConfig, GbdtConfig, KnnConfig,
-        Learner, LogisticRegressionConfig, MlpConfig, Model, ModelSnapshot, RandomForestConfig,
-        SharedLearner, SplitMethod, SvmConfig,
+        Learner, LogisticRegressionConfig, MlpConfig, Model, ModelSnapshot, OneVsRestModel,
+        RandomForestConfig, SharedLearner, SplitMethod, SvmConfig,
     };
-    pub use spe_metrics::{aucprc, ConfusionMatrix, MeanStd, MetricSet, RunAggregator};
+    pub use spe_metrics::{
+        aucprc, ConfusionMatrix, MeanStd, MetricSet, MultiConfusion, RunAggregator,
+    };
     pub use spe_runtime::{fork_seed, fork_seeds, Runtime, TrainingBudget};
     pub use spe_sampling::{
         Adasyn, AllKnn, BorderlineSmote, EditedNearestNeighbours, NearMiss, NearMissVersion,
