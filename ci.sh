@@ -39,6 +39,14 @@ rm -rf "$oocore_dir"
 grep -q '"oocore"' BENCH_train.json
 grep -q '"rss_budget_ratio"' BENCH_train.json
 
+echo "==> bench_online --smoke (mid-stream drift -> promoted retrain -> AUCPRC recovery)"
+cargo build --release -p spe-bench --bin bench_online
+online_dir="$(mktemp -d)"
+(cd "$online_dir" && "$repo_root/target/release/bench_online" --smoke)
+rm -rf "$online_dir"
+grep -q '"online"' BENCH_train.json
+grep -q '"recovery_ms"' BENCH_train.json
+
 echo "==> spe_score chunked round trip (CSV stream vs packed shards must fit identical models)"
 cargo build --release -p spe-serve --bin spe_score
 ooc_dir="$(mktemp -d)"
@@ -85,6 +93,9 @@ echo "==> spe_server gate (network failure-mode contract: 429 shed, 504 deadline
 cargo build --release -p spe-server --bin spe_server
 "$repo_root/target/release/spe_server" gate --model "$score_dir/model.spe" --data "$score_dir/data.csv"
 rm -rf "$score_dir"
+
+echo "==> spe_server online-gate (drifted feedback -> promoted retrain in /metrics, zero scoring downtime)"
+"$repo_root/target/release/spe_server" online-gate
 
 echo "==> multi-class smoke gate (4-class fit -> save -> serve one request -> per-class recall floor)"
 mc_dir="$(mktemp -d)"

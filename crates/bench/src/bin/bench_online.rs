@@ -1,0 +1,231 @@
+//! Online drift-recovery benchmark: a served SPE incumbent faces a
+//! mid-stream checkerboard parity flip while the `spe-online` retrain
+//! loop watches the labeled feedback. Measures AUCPRC on the drifted
+//! concept before/at/after the flip and the **time to recovery** — the
+//! wall-clock from the flip entering the loop until the live engine's
+//! AUCPRC on the new concept clears the recovery bar — at 1 and 8
+//! retrain threads. Results merge into `BENCH_train.json` as an
+//! `online` section.
+//!
+//! ```sh
+//! cargo run --release -p spe-bench --bin bench_online             # full
+//! cargo run --release -p spe-bench --bin bench_online -- --smoke  # CI gate
+//! ```
+//!
+//! `--smoke` runs the single-thread configuration only and asserts the
+//! recovery actually happened (degraded AUCPRC below 0.4, recovered
+//! above the 0.7 bar), so CI catches a broken loop, not just a schema.
+
+use spe_bench::harness::merge_bench_section;
+use spe_core::SelfPacedEnsembleConfig;
+use spe_datasets::{concept_dataset, DriftStreamConfig, DriftingStream};
+use spe_metrics::aucprc;
+use spe_online::{DriftConfig, DriftMetric, LiveModel, OnlineConfig, RetrainLoop, WindowConfig};
+use spe_serve::{EngineConfig, ScoringEngine};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live AUCPRC on the drifted concept that counts as recovered.
+const RECOVERY_BAR: f64 = 0.7;
+const RUN_DEADLINE: Duration = Duration::from_secs(120);
+
+struct Opts {
+    smoke: bool,
+    members: usize,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        smoke: false,
+        members: 8,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--members" => {
+                o.members = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--members needs an integer")?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other}; supported: --smoke --members N"
+                ))
+            }
+        }
+    }
+    Ok(o)
+}
+
+fn stream_cfg() -> DriftStreamConfig {
+    DriftStreamConfig {
+        rows: 500_000,
+        features: 4,
+        minority_fraction: 0.15,
+        batch_rows: 250,
+        grid: 4,
+        cov: 0.01,
+        drift_at: 1_000,
+    }
+}
+
+fn online_config(threads: usize, members: usize) -> OnlineConfig {
+    OnlineConfig {
+        window: WindowConfig {
+            majority_capacity: 1_200,
+            minority_capacity: 300,
+        },
+        holdout: WindowConfig {
+            majority_capacity: 400,
+            minority_capacity: 80,
+        },
+        holdout_every: 4,
+        drift: DriftConfig {
+            metric: DriftMetric::Aucprc,
+            batch: 100,
+            reference_batches: 2,
+            threshold: 0.15,
+            patience: 1,
+        },
+        min_rows: 300,
+        retrain_interval: Some(Duration::from_millis(300)),
+        min_improvement: 0.01,
+        members,
+        train_budget: Some(Duration::from_secs(20)),
+        threads: Some(threads),
+        seed: 99,
+    }
+}
+
+struct RunResult {
+    auc_before: f64,
+    auc_degraded: f64,
+    auc_recovered: f64,
+    recovery_ms: u128,
+    retrains_attempted: u64,
+    retrains_promoted: u64,
+    drift_events: u64,
+}
+
+/// One drift-recovery episode at the given retrain-thread count.
+fn run_once(threads: usize, members: usize) -> Result<RunResult, String> {
+    let cfg = stream_cfg();
+    let train_a = concept_dataset(&cfg, 11, 4_000, false);
+    let test_a = concept_dataset(&cfg, 21, 2_000, false);
+    let test_b = concept_dataset(&cfg, 22, 2_000, true);
+    let incumbent = SelfPacedEnsembleConfig::new(members).fit_dataset(&train_a, 12);
+    let engine = Arc::new(
+        ScoringEngine::start(Box::new(incumbent), cfg.features, EngineConfig::default())
+            .map_err(|e| e.to_string())?,
+    );
+    let score = |x: &spe_data::Matrix| engine.score_matrix(x).map_err(|e| e.to_string());
+    let auc_before = aucprc(test_a.y(), &score(test_a.x())?);
+    let auc_degraded = aucprc(test_b.y(), &score(test_b.x())?);
+
+    let host: Arc<dyn LiveModel> = Arc::new(Arc::clone(&engine));
+    let retrain = RetrainLoop::start(host, cfg.features, online_config(threads, members))
+        .map_err(|e| e.to_string())?;
+
+    // Feed the stream; the clock starts when the flip enters the loop.
+    let mut stream = DriftingStream::new(cfg, 23);
+    let deadline = Instant::now() + RUN_DEADLINE;
+    let mut drift_fed: Option<Instant> = None;
+    let (auc_recovered, recovery_ms) = loop {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "no recovery within {RUN_DEADLINE:?}; status: {:?}",
+                retrain.status()
+            ));
+        }
+        if let Some((x, y)) = stream.next_batch() {
+            retrain.ingest(x, y).map_err(|e| e.to_string())?;
+        }
+        if drift_fed.is_none() && stream.position() > cfg.drift_at {
+            drift_fed = Some(Instant::now());
+        }
+        if let Some(flip) = drift_fed {
+            let auc = aucprc(test_b.y(), &score(test_b.x())?);
+            if auc >= RECOVERY_BAR {
+                break (auc, flip.elapsed().as_millis());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let status = retrain.status();
+    Ok(RunResult {
+        auc_before,
+        auc_degraded,
+        auc_recovered,
+        recovery_ms,
+        retrains_attempted: status.retrains_attempted,
+        retrains_promoted: status.retrains_promoted,
+        drift_events: status.drift_events,
+    })
+}
+
+fn run_json(r: &RunResult) -> String {
+    format!(
+        "{{\"auc_before\":{:.4},\"auc_degraded\":{:.4},\"auc_recovered\":{:.4},\"recovery_ms\":{},\"retrains_attempted\":{},\"retrains_promoted\":{},\"drift_events\":{}}}",
+        r.auc_before,
+        r.auc_degraded,
+        r.auc_recovered,
+        r.recovery_ms,
+        r.retrains_attempted,
+        r.retrains_promoted,
+        r.drift_events
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_opts()?;
+    let members = if opts.smoke { 5 } else { opts.members };
+    let thread_counts: &[usize] = if opts.smoke { &[1] } else { &[1, 8] };
+
+    let mut entries = Vec::new();
+    for &threads in thread_counts {
+        eprintln!("bench_online: {threads} retrain thread(s), {members} members");
+        let r = run_once(threads, members)?;
+        eprintln!(
+            "  AUCPRC before {:.3} -> degraded {:.3} -> recovered {:.3} in {} ms \
+             ({} retrains, {} promoted, {} drift events)",
+            r.auc_before,
+            r.auc_degraded,
+            r.auc_recovered,
+            r.recovery_ms,
+            r.retrains_attempted,
+            r.retrains_promoted,
+            r.drift_events
+        );
+        if opts.smoke {
+            // The smoke gate checks the loop did real work, not just
+            // that the schema landed.
+            assert!(
+                r.auc_degraded < 0.4,
+                "flip must degrade the incumbent: {:.3}",
+                r.auc_degraded
+            );
+            assert!(r.retrains_promoted >= 1, "no retrain was promoted");
+            assert!(r.drift_events >= 1, "drift never fired");
+        }
+        entries.push(format!("\"{threads}\":{}", run_json(&r)));
+    }
+
+    let cfg = stream_cfg();
+    let section = format!(
+        "{{\"features\":{},\"members\":{},\"recovery_bar\":{RECOVERY_BAR},\"threads\":{{{}}}}}",
+        cfg.features,
+        members,
+        entries.join(",")
+    );
+    let out = Path::new("BENCH_train.json");
+    merge_bench_section(out, "online", &section)?;
+    eprintln!(
+        "bench_online: merged `online` section into {}",
+        out.display()
+    );
+    Ok(())
+}

@@ -135,6 +135,51 @@ impl SelfPacedEnsembleConfig {
         Ok(self.try_fit_dataset_traced(data, seed)?.0)
     }
 
+    /// Warm-started refit: like [`Self::try_fit_dataset`], but the
+    /// *first* member already samples self-paced, using hardness
+    /// computed from `live_proba` — the live (incumbent) model's
+    /// positive-class probabilities for every row of `data`, in row
+    /// order — instead of falling back to uniform random
+    /// under-sampling. This is the online-retraining entry point: when
+    /// a drifted window is refit, the rows the incumbent now gets wrong
+    /// are exactly the ones the first member should concentrate on, so
+    /// the candidate starts adapting one full round earlier.
+    ///
+    /// `live_proba` must be finite, in `data` row order, and cover
+    /// every row; a sanitizer policy that drops rows
+    /// ([`SanitizePolicy::DropRows`]) would desynchronize the two and
+    /// is rejected with [`SpeError::InvalidConfig`]. Later members
+    /// recompute hardness against the *new* ensemble exactly as in the
+    /// cold fit — the incumbent seeds the first selection and is never
+    /// a voting member of the refit ensemble.
+    pub fn try_fit_dataset_warm(
+        &self,
+        data: &Dataset,
+        seed: u64,
+        live_proba: &[f64],
+    ) -> Result<SelfPacedEnsemble, SpeError> {
+        if live_proba.len() != data.len() {
+            return Err(SpeError::DimensionMismatch {
+                what: "warm probability/row",
+                expected: data.len(),
+                got: live_proba.len(),
+            });
+        }
+        if !live_proba.iter().all(|p| p.is_finite()) {
+            return Err(SpeError::NonFiniteOutput {
+                context: "warm-start probabilities".into(),
+            });
+        }
+        if matches!(self.sanitize, SanitizePolicy::DropRows) {
+            return Err(SpeError::InvalidConfig(
+                "warm-start fits cannot use SanitizePolicy::DropRows: dropped rows would \
+                 desynchronize the live probabilities from the training rows"
+                    .into(),
+            ));
+        }
+        Ok(self.try_fit_traced_inner(data, seed, Some(live_proba))?.0)
+    }
+
     /// Like [`Self::fit_dataset`], additionally returning the
     /// per-iteration under-sampling trace (which majority rows each
     /// member trained on, and their hardness) — used by the Fig. 3 and
@@ -155,6 +200,19 @@ impl SelfPacedEnsembleConfig {
         &self,
         data: &Dataset,
         seed: u64,
+    ) -> Result<(SelfPacedEnsemble, FitTrace), SpeError> {
+        self.try_fit_traced_inner(data, seed, None)
+    }
+
+    /// Shared validated entry for cold and warm fits. `warm`, when
+    /// present, holds the live model's probabilities per `data` row and
+    /// drives the first member's self-paced selection; `None` is the
+    /// cold path, bit-identical to the original algorithm.
+    fn try_fit_traced_inner(
+        &self,
+        data: &Dataset,
+        seed: u64,
+        warm: Option<&[f64]>,
     ) -> Result<(SelfPacedEnsemble, FitTrace), SpeError> {
         if self.n_estimators == 0 {
             return Err(SpeError::InvalidConfig(
@@ -178,9 +236,17 @@ impl SelfPacedEnsembleConfig {
         // missing classes as typed errors (no policy can repair those).
         let (clean, sanitize_report) = Sanitizer::new(self.sanitize).sanitize(data)?;
 
+        // A row-dropping sanitizer would desynchronize `warm` from the
+        // cleaned rows; `try_fit_dataset_warm` rejects that policy up
+        // front, so equality can only break on an internal invariant.
+        debug_assert!(
+            warm.is_none() || clean.len() == data.len(),
+            "sanitizer changed row count under a warm-start fit"
+        );
+
         self.runtime.install(|| {
             self.budget
-                .install(|| self.fit_validated(&clean, seed, sanitize_report))
+                .install(|| self.fit_validated(&clean, seed, sanitize_report, warm))
         })
     }
 
@@ -194,6 +260,7 @@ impl SelfPacedEnsembleConfig {
         data: &Dataset,
         seed: u64,
         sanitize_report: spe_data::SanitizeReport,
+        warm: Option<&[f64]>,
     ) -> Result<(SelfPacedEnsemble, FitTrace), SpeError> {
         let mut rng = SeededRng::new(seed);
 
@@ -206,6 +273,13 @@ impl SelfPacedEnsembleConfig {
         let minority_x = data.x().select_rows(&idx.minority);
         let majority_x = data.x().select_rows(&idx.majority);
         let majority_y = vec![0u8; n_neg];
+
+        // Warm start: hardness of the majority rows under the *live*
+        // model, used in place of random under-sampling for member 0.
+        let warm_hardness = warm.map(|p| {
+            let live_proba: Vec<f64> = idx.majority.iter().map(|&r| p[r]).collect();
+            self.hardness.eval_batch(&live_proba, &majority_y)
+        });
 
         let n = self.n_estimators;
         let sampler = SelfPacedSampler {
@@ -250,8 +324,26 @@ impl SelfPacedEnsembleConfig {
 
             // Select the majority subset N' for this member.
             let (selected, alpha, hardness) = if models.is_empty() {
-                // f0: random under-sampling (Algorithm 1, line 2).
-                (rng.sample_indices(n_neg, n_pos.min(n_neg)), 0.0, None)
+                if let Some(h) = warm_hardness.as_ref().filter(|_| i == 0) {
+                    // Warm refit: the first member already samples
+                    // self-paced at α₀ from incumbent-model hardness;
+                    // schedules with no α at iteration 0 fall back to
+                    // the cold random draw.
+                    match self.alpha_schedule.alpha(0, n) {
+                        Some(alpha) => {
+                            let outcome = sampler.sample(h, alpha, n_pos, &mut rng);
+                            (outcome.selected, alpha, Some(h.clone()))
+                        }
+                        None => (
+                            rng.sample_indices(n_neg, n_pos.min(n_neg)),
+                            f64::NAN,
+                            Some(h.clone()),
+                        ),
+                    }
+                } else {
+                    // f0: random under-sampling (Algorithm 1, line 2).
+                    (rng.sample_indices(n_neg, n_pos.min(n_neg)), 0.0, None)
+                }
             } else {
                 // Hardness w.r.t. the current ensemble F_i (lines 4–5).
                 let inv = 1.0 / models.len() as f64;
@@ -964,6 +1056,77 @@ mod tests {
             (auc_h - auc_e).abs() < 0.05,
             "hist {auc_h:.3} vs exact {auc_e:.3}"
         );
+    }
+
+    #[test]
+    fn warm_fit_trains_and_is_deterministic() {
+        let d = overlapping(25, 400, 60);
+        let cfg = SelfPacedEnsembleConfig::new(5);
+        let incumbent = cfg.fit_dataset(&d, 61);
+        let live = incumbent.predict_proba(d.x());
+        let a = cfg.try_fit_dataset_warm(&d, 62, &live).unwrap();
+        let b = cfg.try_fit_dataset_warm(&d, 62, &live).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.predict_proba(d.x()), b.predict_proba(d.x()));
+        // The warm selection differs from the cold random first member.
+        let cold = cfg.try_fit_dataset(&d, 62).unwrap();
+        assert_ne!(a.predict_proba(d.x()), cold.predict_proba(d.x()));
+    }
+
+    #[test]
+    fn warm_fit_keeps_quality() {
+        let train = overlapping(40, 2000, 63);
+        let test = overlapping(40, 2000, 64);
+        let cfg = SelfPacedEnsembleConfig::new(10);
+        let incumbent = cfg.fit_dataset(&train, 65);
+        let live = incumbent.predict_proba(train.x());
+        let warm = cfg.try_fit_dataset_warm(&train, 66, &live).unwrap();
+        let auc_cold = aucprc(test.y(), &incumbent.predict_proba(test.x()));
+        let auc_warm = aucprc(test.y(), &warm.predict_proba(test.x()));
+        assert!(
+            auc_warm > auc_cold - 0.05,
+            "cold {auc_cold:.3} vs warm {auc_warm:.3}"
+        );
+    }
+
+    #[test]
+    fn warm_fit_rejects_bad_inputs() {
+        let d = overlapping(15, 150, 67);
+        let cfg = SelfPacedEnsembleConfig::new(3);
+        let short = vec![0.5; d.len() - 1];
+        assert!(matches!(
+            cfg.try_fit_dataset_warm(&d, 0, &short),
+            Err(SpeError::DimensionMismatch { .. })
+        ));
+        let mut nan = vec![0.5; d.len()];
+        nan[3] = f64::NAN;
+        assert!(matches!(
+            cfg.try_fit_dataset_warm(&d, 0, &nan),
+            Err(SpeError::NonFiniteOutput { .. })
+        ));
+        let dropping = SelfPacedEnsembleConfig {
+            sanitize: SanitizePolicy::DropRows,
+            ..SelfPacedEnsembleConfig::new(3)
+        };
+        assert!(matches!(
+            dropping.try_fit_dataset_warm(&d, 0, &vec![0.5; d.len()]),
+            Err(SpeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn warm_fit_uniform_schedule_falls_back_to_random() {
+        let d = overlapping(20, 300, 68);
+        let cfg = SelfPacedEnsembleConfig {
+            alpha_schedule: AlphaSchedule::Uniform,
+            ..SelfPacedEnsembleConfig::new(4)
+        };
+        let live = vec![0.5; d.len()];
+        let m = cfg.try_fit_dataset_warm(&d, 69, &live).unwrap();
+        assert_eq!(m.len(), 4);
+        // Uniform has no α at iteration 0 either, so the warm first
+        // member records NaN like every other uniform member.
+        assert!(m.alphas()[0].is_nan());
     }
 
     #[test]

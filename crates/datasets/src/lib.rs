@@ -19,12 +19,14 @@
 //!    See `DESIGN.md` for the substitution rationale.
 
 pub mod checkerboard;
+pub mod drift;
 pub mod multiclass;
 pub mod overlap;
 pub mod simulators;
 pub mod stream;
 
 pub use checkerboard::{checkerboard, CheckerboardConfig};
+pub use drift::{concept_dataset, DriftStreamConfig, DriftingStream};
 pub use multiclass::{
     geometric_counts, multiclass_checkerboard, multiclass_overlap, MultiClassCheckerboardConfig,
     MultiClassOverlapConfig,

@@ -14,7 +14,7 @@
 
 use crate::neighbors::Neighbor;
 use spe_data::matrix::squared_distance;
-use spe_data::Matrix;
+use spe_data::{Matrix, SpeError};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -46,9 +46,27 @@ impl<'a> KdTree<'a> {
     /// Builds a tree over all rows of `data`.
     ///
     /// # Panics
-    /// Panics if `data` has no rows.
+    /// Panics on degenerate input (no rows or no columns); prefer
+    /// [`Self::try_build`] in fault-isolated paths like the online
+    /// retrain loop.
     pub fn build(data: &'a Matrix) -> Self {
-        assert!(data.rows() > 0, "cannot build a kd-tree over no points");
+        Self::try_build(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`Self::build`]: a matrix with no rows is
+    /// [`SpeError::EmptyDataset`], one with rows but no columns is
+    /// [`SpeError::DimensionMismatch`].
+    pub fn try_build(data: &'a Matrix) -> Result<Self, SpeError> {
+        if data.rows() == 0 {
+            return Err(SpeError::EmptyDataset);
+        }
+        if data.cols() == 0 {
+            return Err(SpeError::DimensionMismatch {
+                what: "kd-tree dimensions",
+                expected: 1,
+                got: 0,
+            });
+        }
         let mut tree = KdTree {
             data,
             nodes: Vec::new(),
@@ -56,7 +74,7 @@ impl<'a> KdTree<'a> {
         };
         let n = data.rows();
         tree.build_node(0, n);
-        tree
+        Ok(tree)
     }
 
     /// Builds the subtree over `points[start..start+len]`; returns its
@@ -76,10 +94,16 @@ impl<'a> KdTree<'a> {
                 hi[j] = hi[j].max(v);
             }
         }
-        let (dim, spread) = (0..d)
+        // `try_build` guarantees d >= 1, but degrade to a leaf rather
+        // than unwrap: a single oversized bucket is merely slower,
+        // never wrong, and cannot take a background caller down.
+        let Some((dim, spread)) = (0..d)
             .map(|j| (j, hi[j] - lo[j]))
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("at least one dimension");
+        else {
+            self.nodes.push(Node::Leaf { start, len });
+            return self.nodes.len() - 1;
+        };
         if spread <= 0.0 {
             // All points identical: keep as one (possibly large) leaf.
             self.nodes.push(Node::Leaf { start, len });
@@ -259,6 +283,22 @@ mod tests {
         let m = random_matrix(20, 2, 5);
         let tree = KdTree::build(&m);
         assert!(tree.query(&[0.0, 0.0], 0, None).is_empty());
+    }
+
+    #[test]
+    fn try_build_reports_degenerate_input_as_errors() {
+        let empty = Matrix::from_vec(0, 3, Vec::new());
+        assert!(matches!(
+            KdTree::try_build(&empty),
+            Err(SpeError::EmptyDataset)
+        ));
+        let no_cols = Matrix::from_vec(4, 0, Vec::new());
+        assert!(matches!(
+            KdTree::try_build(&no_cols),
+            Err(SpeError::DimensionMismatch { .. })
+        ));
+        let ok = random_matrix(30, 2, 8);
+        assert!(KdTree::try_build(&ok).is_ok());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Metric-based concept-drift detection on the live scoring stream.
+//!
+//! The detector consumes `(score, label)` pairs — the live model's
+//! positive-class probability for a row whose true label later arrived —
+//! and groups them into fixed-size batches. The first few healthy
+//! batches establish a **reference level** for the chosen imbalance
+//! metric (AUCPRC by default, the paper's headline metric); every later
+//! batch is compared against it. A batch scoring more than `threshold`
+//! below the reference is a *breach*; `patience` consecutive breaches
+//! raise a [`DriftEvent`]. Requiring consecutive breaches filters the
+//! sampling noise a single unlucky batch produces, while a genuine
+//! concept flip breaches every batch and triggers within
+//! `patience` batches of the flip reaching the detector.
+
+use spe_data::SpeError;
+use spe_metrics::{aucprc, g_mean, ConfusionMatrix};
+
+/// Which imbalance metric the detector tracks per batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftMetric {
+    /// Area under the precision-recall curve (paper's headline metric).
+    Aucprc,
+    /// Geometric mean of sensitivity and specificity at threshold 0.5.
+    GMean,
+}
+
+impl DriftMetric {
+    /// Scores one batch; returns `None` for single-class batches, which
+    /// neither metric is defined on. Also used to compare candidate
+    /// against incumbent on held-out window data, so the promotion
+    /// criterion and the drift trigger speak the same metric.
+    pub fn evaluate(self, scores: &[f64], labels: &[u8]) -> Option<f64> {
+        let positives = labels.iter().filter(|&&l| l == 1).count();
+        if positives == 0 || positives == labels.len() {
+            return None;
+        }
+        Some(match self {
+            DriftMetric::Aucprc => aucprc(labels, scores),
+            DriftMetric::GMean => g_mean(&ConfusionMatrix::from_scores(labels, scores, 0.5)),
+        })
+    }
+
+    /// Parses the kv-config spelling (`aucprc` / `gmean`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "aucprc" => Some(DriftMetric::Aucprc),
+            "gmean" | "g_mean" => Some(DriftMetric::GMean),
+            _ => None,
+        }
+    }
+}
+
+/// Detector parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftConfig {
+    /// Metric tracked per batch.
+    pub metric: DriftMetric,
+    /// Labeled observations per evaluation batch.
+    pub batch: usize,
+    /// Healthy batches averaged into the reference level.
+    pub reference_batches: usize,
+    /// Absolute metric drop below the reference that counts as a breach.
+    pub threshold: f64,
+    /// Consecutive breaches required to raise a [`DriftEvent`].
+    pub patience: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            metric: DriftMetric::Aucprc,
+            batch: 256,
+            reference_batches: 4,
+            threshold: 0.15,
+            patience: 2,
+        }
+    }
+}
+
+/// Raised when `patience` consecutive batches breached the reference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftEvent {
+    /// Metric of the batch that completed the breach run.
+    pub score: f64,
+    /// Reference level the batch was compared against.
+    pub reference: f64,
+    /// Consecutive breaches at trigger time (== patience).
+    pub breaches: usize,
+}
+
+/// Streaming drift detector (see module docs).
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    scores: Vec<f64>,
+    labels: Vec<u8>,
+    /// Sum and count of healthy batches feeding the reference mean.
+    reference_sum: f64,
+    reference_count: usize,
+    last_score: Option<f64>,
+    consecutive: usize,
+    total_breaches: u64,
+    events: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector, validating the configuration.
+    pub fn new(cfg: DriftConfig) -> Result<Self, SpeError> {
+        if cfg.batch == 0 || cfg.reference_batches == 0 || cfg.patience == 0 {
+            return Err(SpeError::InvalidConfig(
+                "drift batch, reference_batches and patience must be positive".into(),
+            ));
+        }
+        if !(cfg.threshold > 0.0 && cfg.threshold.is_finite()) {
+            return Err(SpeError::InvalidConfig(
+                "drift threshold must be a positive finite number".into(),
+            ));
+        }
+        Ok(Self {
+            cfg,
+            scores: Vec::with_capacity(cfg.batch),
+            labels: Vec::with_capacity(cfg.batch),
+            reference_sum: 0.0,
+            reference_count: 0,
+            last_score: None,
+            consecutive: 0,
+            total_breaches: 0,
+            events: 0,
+        })
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Feeds one `(live model score, true label)` pair; returns a
+    /// [`DriftEvent`] when this pair completes a batch that crosses the
+    /// patience line.
+    pub fn observe(&mut self, score: f64, label: u8) -> Option<DriftEvent> {
+        self.scores.push(score.clamp(0.0, 1.0));
+        self.labels.push(u8::from(label == 1));
+        if self.scores.len() < self.cfg.batch {
+            return None;
+        }
+        let metric = self.cfg.metric.evaluate(&self.scores, &self.labels);
+        self.scores.clear();
+        self.labels.clear();
+        // Single-class batches carry no signal; they neither extend the
+        // reference nor touch the breach run.
+        let metric = metric?;
+        self.last_score = Some(metric);
+
+        if self.reference_count < self.cfg.reference_batches {
+            self.reference_sum += metric;
+            self.reference_count += 1;
+            return None;
+        }
+        let reference = self.reference_sum / self.reference_count as f64;
+        if metric < reference - self.cfg.threshold {
+            self.consecutive += 1;
+            self.total_breaches += 1;
+            if self.consecutive >= self.cfg.patience {
+                self.events += 1;
+                let event = DriftEvent {
+                    score: metric,
+                    reference,
+                    breaches: self.consecutive,
+                };
+                self.consecutive = 0;
+                return Some(event);
+            }
+        } else {
+            self.consecutive = 0;
+        }
+        None
+    }
+
+    /// Forgets the reference level and any breach run — called after a
+    /// model promotion, so the detector re-baselines against the *new*
+    /// model instead of comparing it to the old one's healthy era.
+    pub fn reset_after_retrain(&mut self) {
+        self.reference_sum = 0.0;
+        self.reference_count = 0;
+        self.consecutive = 0;
+        self.scores.clear();
+        self.labels.clear();
+        self.last_score = None;
+    }
+
+    /// Established reference level, once enough healthy batches arrived.
+    pub fn reference(&self) -> Option<f64> {
+        (self.reference_count >= self.cfg.reference_batches)
+            .then(|| self.reference_sum / self.reference_count as f64)
+    }
+
+    /// Metric of the most recent complete batch.
+    pub fn last_score(&self) -> Option<f64> {
+        self.last_score
+    }
+
+    /// Length of the current consecutive-breach run.
+    pub fn consecutive_breaches(&self) -> usize {
+        self.consecutive
+    }
+
+    /// Lifetime breach count — monotone, never reset.
+    pub fn total_breaches(&self) -> u64 {
+        self.total_breaches
+    }
+
+    /// Lifetime [`DriftEvent`] count — monotone, never reset.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(batch: usize, threshold: f64, patience: usize) -> DriftDetector {
+        DriftDetector::new(DriftConfig {
+            metric: DriftMetric::Aucprc,
+            batch,
+            reference_batches: 2,
+            threshold,
+            patience,
+        })
+        .unwrap()
+    }
+
+    /// Feeds one batch where the model scores positives at `pos` and
+    /// negatives at `neg` (perfect separation when pos > neg).
+    fn feed_batch(d: &mut DriftDetector, pos: f64, neg: f64) -> Option<DriftEvent> {
+        let batch = d.config().batch;
+        let mut event = None;
+        for i in 0..batch {
+            let (s, l) = if i % 4 == 0 { (pos, 1) } else { (neg, 0) };
+            if let Some(e) = d.observe(s, l) {
+                event = Some(e);
+            }
+        }
+        event
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        for cfg in [
+            DriftConfig {
+                batch: 0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                reference_batches: 0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                patience: 0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                threshold: 0.0,
+                ..DriftConfig::default()
+            },
+            DriftConfig {
+                threshold: f64::NAN,
+                ..DriftConfig::default()
+            },
+        ] {
+            assert!(DriftDetector::new(cfg).is_err(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn healthy_batches_build_reference_then_no_trigger() {
+        let mut d = detector(40, 0.15, 2);
+        for _ in 0..10 {
+            assert_eq!(feed_batch(&mut d, 0.9, 0.1), None);
+        }
+        assert!(d.reference().unwrap() > 0.95);
+        assert_eq!(d.total_breaches(), 0);
+        assert_eq!(d.events(), 0);
+    }
+
+    #[test]
+    fn flip_triggers_after_patience_breaches() {
+        let mut d = detector(40, 0.15, 3);
+        for _ in 0..4 {
+            feed_batch(&mut d, 0.9, 0.1);
+        }
+        // Anti-correlated scoring: two breach batches, no event yet.
+        assert_eq!(feed_batch(&mut d, 0.1, 0.9), None);
+        assert_eq!(feed_batch(&mut d, 0.1, 0.9), None);
+        assert_eq!(d.consecutive_breaches(), 2);
+        let e = feed_batch(&mut d, 0.1, 0.9).expect("third breach triggers");
+        assert_eq!(e.breaches, 3);
+        assert!(e.score < e.reference - 0.15);
+        assert_eq!(d.events(), 1);
+        assert_eq!(d.consecutive_breaches(), 0, "run resets after event");
+    }
+
+    #[test]
+    fn recovery_between_breaches_resets_the_run() {
+        let mut d = detector(40, 0.15, 2);
+        for _ in 0..4 {
+            feed_batch(&mut d, 0.9, 0.1);
+        }
+        assert_eq!(feed_batch(&mut d, 0.1, 0.9), None);
+        // A healthy batch interrupts the run.
+        assert_eq!(feed_batch(&mut d, 0.9, 0.1), None);
+        assert_eq!(d.consecutive_breaches(), 0);
+        assert_eq!(feed_batch(&mut d, 0.1, 0.9), None, "run restarts at 1");
+        assert_eq!(d.total_breaches(), 2, "lifetime count is monotone");
+    }
+
+    #[test]
+    fn single_class_batches_are_skipped() {
+        let mut d = detector(10, 0.15, 1);
+        for _ in 0..50 {
+            assert_eq!(d.observe(0.2, 0), None);
+        }
+        assert_eq!(d.reference(), None, "all-negative batches carry no signal");
+        assert_eq!(d.last_score(), None);
+    }
+
+    #[test]
+    fn reset_after_retrain_rebaselines() {
+        let mut d = detector(40, 0.15, 1);
+        for _ in 0..4 {
+            feed_batch(&mut d, 0.9, 0.1);
+        }
+        assert!(feed_batch(&mut d, 0.1, 0.9).is_some());
+        d.reset_after_retrain();
+        assert_eq!(d.reference(), None);
+        // The new model's mediocre-but-stable level becomes the new
+        // reference instead of breaching against the old one.
+        for _ in 0..10 {
+            assert_eq!(feed_batch(&mut d, 0.6, 0.4), None);
+        }
+        assert_eq!(d.events(), 1);
+    }
+
+    #[test]
+    fn gmean_metric_detects_flips_too() {
+        let mut d = DriftDetector::new(DriftConfig {
+            metric: DriftMetric::GMean,
+            batch: 40,
+            reference_batches: 2,
+            threshold: 0.2,
+            patience: 1,
+        })
+        .unwrap();
+        for _ in 0..3 {
+            assert_eq!(feed_batch(&mut d, 0.9, 0.1), None);
+        }
+        assert!(feed_batch(&mut d, 0.1, 0.9).is_some());
+    }
+
+    #[test]
+    fn metric_parse_spellings() {
+        assert_eq!(DriftMetric::parse("aucprc"), Some(DriftMetric::Aucprc));
+        assert_eq!(DriftMetric::parse("gmean"), Some(DriftMetric::GMean));
+        assert_eq!(DriftMetric::parse("g_mean"), Some(DriftMetric::GMean));
+        assert_eq!(DriftMetric::parse("accuracy"), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! # spe-online
+//!
+//! Drift-aware online retraining for self-paced ensembles.
+//!
+//! The paper trains once on a static table; this crate closes the loop
+//! for *serving* workloads where the data distribution moves. Three
+//! pieces compose:
+//!
+//! 1. [`WindowAccumulator`] — a bounded sliding window of the freshest
+//!    labeled rows, capped **per class** so the minority class is never
+//!    evicted by majority volume.
+//! 2. [`DriftDetector`] — scores the live model's predictions on the
+//!    labeled stream (AUCPRC or G-mean per batch) against a reference
+//!    level; `patience` consecutive threshold breaches raise a drift
+//!    event.
+//! 3. [`RetrainLoop`] — a background worker that, on drift (or a
+//!    periodic schedule), refits SPE over the window with a wall-clock
+//!    [`TrainingBudget`](spe_runtime::TrainingBudget), **warm-starting
+//!    the first member's self-paced selection from the incumbent's
+//!    predictions** (`try_fit_dataset_warm`), compares candidate vs
+//!    incumbent on held-out window rows, and promotes only on
+//!    improvement — via the zero-downtime
+//!    [`ScoringEngine::swap_model`](spe_serve::ScoringEngine) path.
+//!
+//! `spe-server` wires this in as an opt-in per-model policy (see the
+//! `/models/<name>/online` endpoints); the crate itself has no HTTP
+//! surface and is embeddable anywhere a [`LiveModel`] exists.
+
+pub mod drift;
+pub mod retrain;
+pub mod window;
+
+pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftMetric};
+pub use retrain::{LiveModel, OnlineConfig, OnlineStatus, RetrainLoop};
+pub use window::{WindowAccumulator, WindowConfig};

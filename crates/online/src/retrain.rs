@@ -1,0 +1,678 @@
+//! The background retrain loop: drift- or schedule-triggered SPE refits
+//! with promote-on-improvement.
+//!
+//! ## Loop topology
+//!
+//! ```text
+//!  ingest(x, y) ──► pending queue ──► worker thread
+//!                                        │ score rows on live model
+//!                                        │ feed DriftDetector
+//!                                        │ route rows: 1-in-N → holdout
+//!                                        │             rest  → window
+//!                                        ▼
+//!                        drift event or interval due?
+//!                                        │ yes
+//!                                        ▼
+//!                        warm-started, budget-bounded SPE refit
+//!                                        │
+//!                        candidate vs incumbent on holdout
+//!                                        │ better by min_improvement
+//!                                        ▼
+//!                        LiveModel::install (ScoringEngine::swap_model)
+//! ```
+//!
+//! The worker owns all training work; [`RetrainLoop::ingest`] only
+//! enqueues and never blocks on scoring or fitting, so the serving path
+//! stays fast. Training runs *outside* the state lock on a snapshot of
+//! the window, so ingestion and status queries proceed during a refit —
+//! and the engine keeps answering `/score` throughout, because
+//! `swap_model` is the only interaction with the serving path.
+
+use crate::drift::{DriftConfig, DriftDetector, DriftMetric};
+use crate::window::{WindowAccumulator, WindowConfig};
+use parking_lot::{Condvar, Mutex};
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::{Matrix, MatrixView};
+use spe_learners::traits::Model;
+use spe_runtime::{Runtime, TrainingBudget};
+use spe_serve::{ScoringEngine, ServeError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The model being served, as the retrain loop sees it: something that
+/// scores rows and accepts a replacement. [`ScoringEngine`] is the
+/// production implementation; tests substitute in-process fakes.
+pub trait LiveModel: Send + Sync {
+    /// Positive-class probabilities for a row block, from the model
+    /// currently serving traffic.
+    fn score_rows(&self, x: MatrixView<'_>) -> Result<Vec<f64>, ServeError>;
+    /// Atomically replaces the serving model (no scoring downtime).
+    fn install(&self, model: Box<dyn Model>) -> Result<(), ServeError>;
+}
+
+impl LiveModel for Arc<ScoringEngine> {
+    fn score_rows(&self, x: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
+        let mut out = vec![0.0; x.rows()];
+        self.score_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    fn install(&self, model: Box<dyn Model>) -> Result<(), ServeError> {
+        self.swap_model(model)
+    }
+}
+
+/// Configuration of a [`RetrainLoop`].
+#[derive(Clone, Debug)]
+pub struct OnlineConfig {
+    /// Training window capacities.
+    pub window: WindowConfig,
+    /// Held-out window capacities (candidate-vs-incumbent evaluation).
+    pub holdout: WindowConfig,
+    /// Every `holdout_every`-th ingested row is routed to the holdout
+    /// window instead of the training window (must be ≥ 2).
+    pub holdout_every: usize,
+    /// Drift detector parameters.
+    pub drift: DriftConfig,
+    /// Minimum training-window rows before a refit may fire.
+    pub min_rows: usize,
+    /// Periodic refit schedule; `None` retrains only on drift.
+    pub retrain_interval: Option<Duration>,
+    /// How much the candidate must beat the incumbent by (in drift-
+    /// metric units, on holdout data) to be promoted.
+    pub min_improvement: f64,
+    /// Ensemble members per refit.
+    pub members: usize,
+    /// Wall-clock budget per refit; `None` is unbounded.
+    pub train_budget: Option<Duration>,
+    /// Thread cap for refits; `None` defers to the ambient runtime.
+    pub threads: Option<usize>,
+    /// Base RNG seed; each refit derives its own from the attempt count.
+    pub seed: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            window: WindowConfig::default(),
+            holdout: WindowConfig {
+                majority_capacity: 2_048,
+                minority_capacity: 512,
+            },
+            holdout_every: 4,
+            drift: DriftConfig::default(),
+            min_rows: 256,
+            retrain_interval: None,
+            min_improvement: 0.01,
+            members: 10,
+            train_budget: None,
+            threads: None,
+            seed: 42,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Validates cross-field constraints.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let invalid = |msg: &str| Err(ServeError::InvalidConfig(msg.into()));
+        if self.holdout_every < 2 {
+            return invalid("holdout_every must be at least 2 (1 would starve training)");
+        }
+        if self.members == 0 {
+            return invalid("members must be positive");
+        }
+        if !self.min_improvement.is_finite() {
+            return invalid("min_improvement must be finite");
+        }
+        if self.window.validate().is_err() || self.holdout.validate().is_err() {
+            return invalid("window capacities must be positive for both classes");
+        }
+        DriftDetector::new(self.drift)
+            .map_err(|e| ServeError::InvalidConfig(e.to_string()))
+            .map(|_| ())
+    }
+
+    /// Parses a `key=value`-per-line body (the HTTP enable payload).
+    /// Blank lines and `#` comments are skipped; unknown keys and
+    /// malformed values are [`ServeError::InvalidConfig`].
+    ///
+    /// Keys: `window_majority`, `window_minority`, `holdout_majority`,
+    /// `holdout_minority`, `holdout_every`, `min_rows`, `interval_ms`,
+    /// `min_improvement`, `members`, `budget_ms`, `threads`, `seed`,
+    /// `drift_metric` (`aucprc`/`gmean`), `drift_batch`,
+    /// `drift_reference_batches`, `drift_threshold`, `drift_patience`.
+    pub fn from_kv_lines(body: &str) -> Result<Self, ServeError> {
+        let mut cfg = Self::default();
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                ServeError::InvalidConfig(format!("expected key=value, got {line:?}"))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| ServeError::InvalidConfig(format!("invalid {what}: {value:?}"));
+            match key {
+                "window_majority" => {
+                    cfg.window.majority_capacity = value.parse().map_err(|_| bad(key))?
+                }
+                "window_minority" => {
+                    cfg.window.minority_capacity = value.parse().map_err(|_| bad(key))?
+                }
+                "holdout_majority" => {
+                    cfg.holdout.majority_capacity = value.parse().map_err(|_| bad(key))?
+                }
+                "holdout_minority" => {
+                    cfg.holdout.minority_capacity = value.parse().map_err(|_| bad(key))?
+                }
+                "holdout_every" => cfg.holdout_every = value.parse().map_err(|_| bad(key))?,
+                "min_rows" => cfg.min_rows = value.parse().map_err(|_| bad(key))?,
+                "interval_ms" => {
+                    cfg.retrain_interval =
+                        Some(Duration::from_millis(value.parse().map_err(|_| bad(key))?))
+                }
+                "min_improvement" => cfg.min_improvement = value.parse().map_err(|_| bad(key))?,
+                "members" => cfg.members = value.parse().map_err(|_| bad(key))?,
+                "budget_ms" => {
+                    cfg.train_budget =
+                        Some(Duration::from_millis(value.parse().map_err(|_| bad(key))?))
+                }
+                "threads" => cfg.threads = Some(value.parse().map_err(|_| bad(key))?),
+                "seed" => cfg.seed = value.parse().map_err(|_| bad(key))?,
+                "drift_metric" => {
+                    cfg.drift.metric = DriftMetric::parse(value).ok_or_else(|| bad(key))?
+                }
+                "drift_batch" => cfg.drift.batch = value.parse().map_err(|_| bad(key))?,
+                "drift_reference_batches" => {
+                    cfg.drift.reference_batches = value.parse().map_err(|_| bad(key))?
+                }
+                "drift_threshold" => cfg.drift.threshold = value.parse().map_err(|_| bad(key))?,
+                "drift_patience" => cfg.drift.patience = value.parse().map_err(|_| bad(key))?,
+                other => {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "unknown online config key {other:?}"
+                    )))
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Point-in-time snapshot of a [`RetrainLoop`]'s state, for `/metrics`
+/// and the `/models/<name>/online` status endpoint.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OnlineStatus {
+    /// Labeled rows ever ingested.
+    pub ingested_rows: u64,
+    /// Training-window rows currently retained.
+    pub window_rows: usize,
+    /// Minority rows in the training window.
+    pub window_minority: usize,
+    /// Majority rows in the training window.
+    pub window_majority: usize,
+    /// Training-window fill fraction in `[0, 1]`.
+    pub window_fill: f64,
+    /// Held-out rows currently retained.
+    pub holdout_rows: usize,
+    /// Most recent complete drift-batch metric.
+    pub drift_score: Option<f64>,
+    /// Established drift reference level.
+    pub drift_reference: Option<f64>,
+    /// Current consecutive-breach run length.
+    pub consecutive_breaches: usize,
+    /// Lifetime breach count (monotone).
+    pub total_breaches: u64,
+    /// Lifetime drift events raised (monotone).
+    pub drift_events: u64,
+    /// Refits started.
+    pub retrains_attempted: u64,
+    /// Refits whose candidate was promoted.
+    pub retrains_promoted: u64,
+    /// Refits whose candidate lost to the incumbent.
+    pub retrains_rejected: u64,
+    /// Refits that errored or panicked (loop survived).
+    pub retrains_failed: u64,
+    /// Holdout-metric gain of the most recent promotion.
+    pub last_promotion_delta: Option<f64>,
+    /// True while a refit is in flight.
+    pub retraining: bool,
+    /// Most recent refit failure, rendered.
+    pub last_error: Option<String>,
+}
+
+/// Mutable loop state shared between `ingest`/status and the worker.
+struct State {
+    pending: Vec<(Matrix, Vec<u8>)>,
+    window: WindowAccumulator,
+    holdout: WindowAccumulator,
+    detector: DriftDetector,
+    /// Rows routed so far (drives the 1-in-N holdout split).
+    routed: u64,
+    drift_pending: bool,
+    last_retrain: Instant,
+    stop: bool,
+    status: OnlineStatus,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    wake: Condvar,
+    cfg: OnlineConfig,
+    n_features: usize,
+}
+
+/// Handle to a running background retrain loop. Dropping it stops the
+/// worker (joining it); the serving engine is unaffected.
+pub struct RetrainLoop {
+    inner: Arc<Inner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RetrainLoop {
+    /// Spawns the worker thread over `host` (the serving engine).
+    pub fn start(
+        host: Arc<dyn LiveModel>,
+        n_features: usize,
+        cfg: OnlineConfig,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        if n_features == 0 {
+            return Err(ServeError::InvalidConfig(
+                "online rows need at least one feature".into(),
+            ));
+        }
+        let to_invalid = |e: spe_data::SpeError| ServeError::InvalidConfig(e.to_string());
+        let state = State {
+            pending: Vec::new(),
+            window: WindowAccumulator::new(n_features, cfg.window).map_err(to_invalid)?,
+            holdout: WindowAccumulator::new(n_features, cfg.holdout).map_err(to_invalid)?,
+            detector: DriftDetector::new(cfg.drift).map_err(to_invalid)?,
+            routed: 0,
+            drift_pending: false,
+            last_retrain: Instant::now(),
+            stop: false,
+            status: OnlineStatus::default(),
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(state),
+            wake: Condvar::new(),
+            cfg,
+            n_features,
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("spe-online-retrain".into())
+            .spawn(move || worker_loop(&worker_inner, host.as_ref()))
+            .map_err(|e| ServeError::Io(format!("failed to spawn retrain worker: {e}")))?;
+        Ok(Self {
+            inner,
+            worker: Some(worker),
+        })
+    }
+
+    /// Enqueues a batch of labeled feedback rows. Cheap and non-blocking
+    /// (scoring and windowing happen on the worker); fails fast on a
+    /// width mismatch or a non-binary label.
+    pub fn ingest(&self, x: Matrix, y: Vec<u8>) -> Result<(), ServeError> {
+        if x.cols() != self.inner.n_features && x.rows() > 0 {
+            return Err(ServeError::RowWidthMismatch {
+                expected: self.inner.n_features,
+                got: x.cols(),
+            });
+        }
+        if x.rows() != y.len() {
+            return Err(ServeError::InvalidConfig(format!(
+                "feedback rows ({}) and labels ({}) disagree",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l > 1) {
+            return Err(ServeError::InvalidConfig(format!(
+                "online feedback labels must be 0/1, got {bad}"
+            )));
+        }
+        if x.rows() == 0 {
+            return Ok(());
+        }
+        let mut state = self.inner.state.lock();
+        if state.stop {
+            return Err(ServeError::EngineStopped);
+        }
+        state.status.ingested_rows += x.rows() as u64;
+        state.pending.push((x, y));
+        drop(state);
+        self.inner.wake.notify_one();
+        Ok(())
+    }
+
+    /// Current loop state for `/metrics` and the status endpoint.
+    pub fn status(&self) -> OnlineStatus {
+        let state = self.inner.state.lock();
+        let mut status = state.status.clone();
+        status.window_rows = state.window.len();
+        status.window_minority = state.window.minority_len();
+        status.window_majority = state.window.majority_len();
+        status.window_fill = state.window.fill_fraction();
+        status.holdout_rows = state.holdout.len();
+        status.drift_score = state.detector.last_score();
+        status.drift_reference = state.detector.reference();
+        status.consecutive_breaches = state.detector.consecutive_breaches();
+        status.total_breaches = state.detector.total_breaches();
+        status.drift_events = state.detector.events();
+        status
+    }
+
+    /// The loop's configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.inner.cfg
+    }
+
+    /// Stops the worker and joins it; idempotent.
+    pub fn stop(&mut self) {
+        {
+            let mut state = self.inner.state.lock();
+            state.stop = true;
+        }
+        self.inner.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for RetrainLoop {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// How often the worker re-checks the interval schedule when idle.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+fn worker_loop(inner: &Inner, host: &dyn LiveModel) {
+    loop {
+        // Phase 1: wait for work (or a schedule tick), then drain the
+        // pending queue while holding the lock as briefly as possible.
+        let batches = {
+            let mut state = inner.state.lock();
+            if state.stop {
+                return;
+            }
+            if state.pending.is_empty() && !retrain_due(inner, &state) {
+                let _ = inner.wake.wait_for(&mut state, IDLE_TICK);
+                if state.stop {
+                    return;
+                }
+            }
+            std::mem::take(&mut state.pending)
+        };
+
+        // Phase 2: score the drained rows on the live model *without*
+        // the lock — scoring can be slow and must not block ingest.
+        let mut scored: Vec<(Matrix, Vec<u8>, Option<Vec<f64>>)> = Vec::new();
+        for (x, y) in batches {
+            let scores = host.score_rows(x.view()).ok();
+            scored.push((x, y, scores));
+        }
+
+        // Phase 3: feed windows and detector under the lock.
+        {
+            let mut state = inner.state.lock();
+            for (x, y, scores) in scored {
+                for r in 0..x.rows() {
+                    let row = x.row(r);
+                    let label = y[r];
+                    if let Some(s) = scores.as_ref() {
+                        if state.detector.observe(s[r], label).is_some() {
+                            state.drift_pending = true;
+                        }
+                    }
+                    state.routed += 1;
+                    let to_holdout = state.routed.is_multiple_of(inner.cfg.holdout_every as u64);
+                    let target = if to_holdout {
+                        &mut state.holdout
+                    } else {
+                        &mut state.window
+                    };
+                    // Width and label were validated at ingest.
+                    let _ = target.push(row, label);
+                }
+            }
+        }
+
+        // Phase 4: retrain when due.
+        maybe_retrain(inner, host);
+    }
+}
+
+/// Whether a refit should fire *now*, given the current state.
+fn retrain_due(inner: &Inner, state: &State) -> bool {
+    let triggered = state.drift_pending
+        || inner
+            .cfg
+            .retrain_interval
+            .is_some_and(|iv| state.last_retrain.elapsed() >= iv);
+    triggered
+        && state.window.len() >= inner.cfg.min_rows
+        && state.window.minority_len() > 0
+        && state.window.majority_len() > 0
+        && state.holdout.minority_len() > 0
+        && state.holdout.majority_len() > 0
+}
+
+fn maybe_retrain(inner: &Inner, host: &dyn LiveModel) {
+    // Snapshot the windows under the lock, train outside it.
+    let (train, holdout) = {
+        let mut state = inner.state.lock();
+        if !retrain_due(inner, &state) {
+            return;
+        }
+        let (Some(train), Some(holdout)) = (state.window.dataset(), state.holdout.dataset()) else {
+            return;
+        };
+        state.status.retrains_attempted += 1;
+        state.status.retraining = true;
+        (train, holdout)
+    };
+
+    let outcome = run_refit(inner, host, &train, &holdout);
+
+    let mut state = inner.state.lock();
+    state.status.retraining = false;
+    state.drift_pending = false;
+    state.last_retrain = Instant::now();
+    match outcome {
+        RefitOutcome::Promoted { delta } => {
+            state.status.retrains_promoted += 1;
+            state.status.last_promotion_delta = Some(delta);
+            state.status.last_error = None;
+            // Re-baseline the detector against the new model.
+            state.detector.reset_after_retrain();
+        }
+        RefitOutcome::Rejected => {
+            state.status.retrains_rejected += 1;
+            // The incumbent stays and the detector keeps its healthy-era
+            // reference: a still-degraded stream keeps breaching and
+            // retriggers once fresher window data has accumulated.
+        }
+        RefitOutcome::Failed(message) => {
+            state.status.retrains_failed += 1;
+            state.status.last_error = Some(message);
+        }
+    }
+}
+
+enum RefitOutcome {
+    Promoted { delta: f64 },
+    Rejected,
+    Failed(String),
+}
+
+/// One budget-bounded, warm-started refit + holdout comparison.
+fn run_refit(
+    inner: &Inner,
+    host: &dyn LiveModel,
+    train: &spe_data::Dataset,
+    holdout: &spe_data::Dataset,
+) -> RefitOutcome {
+    let cfg = &inner.cfg;
+    let mut spe = SelfPacedEnsembleConfig::new(cfg.members);
+    if let Some(budget) = cfg.train_budget {
+        spe.budget = TrainingBudget::wall_clock(budget);
+    }
+    if let Some(threads) = cfg.threads {
+        spe.runtime = Runtime::with_threads(threads);
+    }
+
+    // Derive this attempt's seed from the base seed and attempt count so
+    // repeated refits explore different subsets deterministically.
+    let attempt = {
+        let state = inner.state.lock();
+        state.status.retrains_attempted
+    };
+    let seed = spe_runtime::fork_seed(cfg.seed, attempt);
+
+    // Warm-start from the incumbent's view of the window; fall back to a
+    // cold fit when the incumbent cannot score (e.g. engine stopping).
+    let warm = host.score_rows(train.x().view()).ok();
+    let fitted = catch_unwind(AssertUnwindSafe(|| match warm {
+        Some(ref w) => spe.try_fit_dataset_warm(train, seed, w),
+        None => spe.try_fit_dataset(train, seed),
+    }));
+    let candidate = match fitted {
+        Ok(Ok(model)) => model,
+        Ok(Err(e)) => return RefitOutcome::Failed(format!("refit error: {e}")),
+        Err(payload) => {
+            return RefitOutcome::Failed(format!(
+                "refit panicked: {}",
+                spe_runtime::panic_message(payload.as_ref())
+            ))
+        }
+    };
+
+    // Candidate vs incumbent on held-out window rows, with the drift
+    // metric as the shared yardstick.
+    let metric = cfg.drift.metric;
+    let candidate_scores = candidate.predict_proba(holdout.x());
+    let Some(candidate_metric) = metric.evaluate(&candidate_scores, holdout.y()) else {
+        return RefitOutcome::Failed("holdout window lost its class balance".into());
+    };
+    let incumbent_metric = match host.score_rows(holdout.x().view()) {
+        Ok(scores) => metric.evaluate(&scores, holdout.y()),
+        Err(e) => return RefitOutcome::Failed(format!("incumbent holdout scoring: {e}")),
+    };
+    let Some(incumbent_metric) = incumbent_metric else {
+        return RefitOutcome::Failed("holdout window lost its class balance".into());
+    };
+
+    if candidate_metric > incumbent_metric + cfg.min_improvement {
+        match host.install(Box::new(candidate)) {
+            Ok(()) => RefitOutcome::Promoted {
+                delta: candidate_metric - incumbent_metric,
+            },
+            Err(e) => RefitOutcome::Failed(format!("promotion rejected by engine: {e}")),
+        }
+    } else {
+        RefitOutcome::Rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_config_parses_every_key() {
+        let cfg = OnlineConfig::from_kv_lines(
+            "# tuned for the smoke gate\n\
+             window_majority = 1000\n\
+             window_minority=200\n\
+             holdout_majority=300\n\
+             holdout_minority=60\n\
+             holdout_every=3\n\
+             min_rows=64\n\
+             interval_ms=2500\n\
+             min_improvement=0.02\n\
+             members=5\n\
+             budget_ms=800\n\
+             threads=2\n\
+             seed=7\n\
+             drift_metric=gmean\n\
+             drift_batch=128\n\
+             drift_reference_batches=3\n\
+             drift_threshold=0.2\n\
+             drift_patience=1\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.window.majority_capacity, 1000);
+        assert_eq!(cfg.window.minority_capacity, 200);
+        assert_eq!(cfg.holdout.majority_capacity, 300);
+        assert_eq!(cfg.holdout.minority_capacity, 60);
+        assert_eq!(cfg.holdout_every, 3);
+        assert_eq!(cfg.min_rows, 64);
+        assert_eq!(cfg.retrain_interval, Some(Duration::from_millis(2500)));
+        assert!((cfg.min_improvement - 0.02).abs() < 1e-12);
+        assert_eq!(cfg.members, 5);
+        assert_eq!(cfg.train_budget, Some(Duration::from_millis(800)));
+        assert_eq!(cfg.threads, Some(2));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.drift.metric, DriftMetric::GMean);
+        assert_eq!(cfg.drift.batch, 128);
+        assert_eq!(cfg.drift.reference_batches, 3);
+        assert!((cfg.drift.threshold - 0.2).abs() < 1e-12);
+        assert_eq!(cfg.drift.patience, 1);
+    }
+
+    #[test]
+    fn kv_config_rejects_unknown_and_malformed() {
+        assert!(matches!(
+            OnlineConfig::from_kv_lines("bogus_key=1"),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            OnlineConfig::from_kv_lines("members=ten"),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            OnlineConfig::from_kv_lines("no equals sign"),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            OnlineConfig::from_kv_lines("holdout_every=1"),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(
+            OnlineConfig::from_kv_lines("").is_ok(),
+            "defaults are valid"
+        );
+    }
+
+    #[test]
+    fn validate_catches_bad_cross_field_configs() {
+        let no_members = OnlineConfig {
+            members: 0,
+            ..OnlineConfig::default()
+        };
+        assert!(no_members.validate().is_err());
+        let no_patience = OnlineConfig {
+            drift: DriftConfig {
+                patience: 0,
+                ..DriftConfig::default()
+            },
+            ..OnlineConfig::default()
+        };
+        assert!(no_patience.validate().is_err());
+        let nan_improvement = OnlineConfig {
+            min_improvement: f64::NAN,
+            ..OnlineConfig::default()
+        };
+        assert!(nan_improvement.validate().is_err());
+        assert!(OnlineConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,297 @@
+//! Sliding window over recent labeled observations.
+//!
+//! The paper's Algorithm 1 is a one-shot fit; serving drifting traffic
+//! needs the *data side* of the loop too. [`WindowAccumulator`] keeps a
+//! bounded ring of the freshest rows **per class**: the majority class
+//! is capped independently of the minority class, so a flood of
+//! negatives can never evict the handful of positives a highly
+//! imbalanced stream produces. Eviction within a class is strictly
+//! oldest-first, which keeps the window an honest recency sample of
+//! each class.
+
+use spe_data::{Dataset, Matrix, SpeError};
+
+/// Capacity of a [`WindowAccumulator`], split by class.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowConfig {
+    /// Most recent majority (label 0) rows retained.
+    pub majority_capacity: usize,
+    /// Most recent minority (label 1) rows retained. Sized separately so
+    /// volume imbalance cannot starve the minority out of the window.
+    pub minority_capacity: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self {
+            majority_capacity: 8_192,
+            minority_capacity: 2_048,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Validates the capacities (both must be positive).
+    pub fn validate(&self) -> Result<(), SpeError> {
+        if self.majority_capacity == 0 || self.minority_capacity == 0 {
+            return Err(SpeError::InvalidConfig(
+                "window capacities must be positive for both classes".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-capacity FIFO ring of same-width rows, stored flat.
+#[derive(Clone, Debug)]
+struct ClassRing {
+    data: Vec<f64>,
+    width: usize,
+    cap: usize,
+    /// Slot the next insert overwrites once the ring is full.
+    head: usize,
+    len: usize,
+}
+
+impl ClassRing {
+    fn new(width: usize, cap: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            width,
+            cap,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.width);
+        if self.len < self.cap {
+            self.data.extend_from_slice(row);
+            self.len += 1;
+        } else {
+            let start = self.head * self.width;
+            self.data[start..start + self.width].copy_from_slice(row);
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Appends every retained row to `out`, oldest first.
+    fn append_rows(&self, out: &mut Matrix) {
+        for i in 0..self.len {
+            let slot = (self.head + i) % self.cap.max(1);
+            let start = slot * self.width;
+            out.push_row(&self.data[start..start + self.width]);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// Bounded per-class sliding window of labeled rows (see module docs).
+#[derive(Clone, Debug)]
+pub struct WindowAccumulator {
+    majority: ClassRing,
+    minority: ClassRing,
+    n_features: usize,
+    ingested: u64,
+}
+
+impl WindowAccumulator {
+    /// An empty window for `n_features`-wide rows.
+    pub fn new(n_features: usize, cfg: WindowConfig) -> Result<Self, SpeError> {
+        cfg.validate()?;
+        if n_features == 0 {
+            return Err(SpeError::InvalidConfig(
+                "window rows need at least one feature".into(),
+            ));
+        }
+        Ok(Self {
+            majority: ClassRing::new(n_features, cfg.majority_capacity),
+            minority: ClassRing::new(n_features, cfg.minority_capacity),
+            n_features,
+            ingested: 0,
+        })
+    }
+
+    /// Adds one labeled row, evicting the oldest row *of its class* when
+    /// that class's ring is full.
+    pub fn push(&mut self, row: &[f64], label: u8) -> Result<(), SpeError> {
+        if row.len() != self.n_features {
+            return Err(SpeError::DimensionMismatch {
+                what: "window row width",
+                expected: self.n_features,
+                got: row.len(),
+            });
+        }
+        if label > 1 {
+            return Err(SpeError::InvalidConfig(format!(
+                "online windows hold binary labels, got {label}"
+            )));
+        }
+        if label == 1 {
+            self.minority.push(row);
+        } else {
+            self.majority.push(row);
+        }
+        self.ingested += 1;
+        Ok(())
+    }
+
+    /// Snapshot of the window as a training [`Dataset`] (minority rows
+    /// first), or `None` while either class is still empty — SPE cannot
+    /// fit single-class data.
+    pub fn dataset(&self) -> Option<Dataset> {
+        if self.minority.len == 0 || self.majority.len == 0 {
+            return None;
+        }
+        let rows = self.minority.len + self.majority.len;
+        let mut x = Matrix::with_capacity(rows, self.n_features);
+        self.minority.append_rows(&mut x);
+        self.majority.append_rows(&mut x);
+        let mut y = vec![1u8; self.minority.len];
+        y.extend(std::iter::repeat_n(0u8, self.majority.len));
+        Some(Dataset::new(x, y))
+    }
+
+    /// Rows currently retained (both classes).
+    pub fn len(&self) -> usize {
+        self.minority.len + self.majority.len
+    }
+
+    /// True when no rows are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retained minority rows.
+    pub fn minority_len(&self) -> usize {
+        self.minority.len
+    }
+
+    /// Retained majority rows.
+    pub fn majority_len(&self) -> usize {
+        self.majority.len
+    }
+
+    /// Total rows ever pushed (including since-evicted ones).
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Fraction of total capacity currently filled, in `[0, 1]`.
+    pub fn fill_fraction(&self) -> f64 {
+        let cap = self.minority.cap + self.majority.cap;
+        self.len() as f64 / cap.max(1) as f64
+    }
+
+    /// Feature width of the window's rows.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Drops all retained rows (the ingested counter keeps counting).
+    pub fn clear(&mut self) {
+        self.minority.clear();
+        self.majority.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(maj: usize, min: usize) -> WindowAccumulator {
+        WindowAccumulator::new(
+            2,
+            WindowConfig {
+                majority_capacity: maj,
+                minority_capacity: min,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_configs_and_rows() {
+        assert!(WindowAccumulator::new(
+            0,
+            WindowConfig {
+                majority_capacity: 4,
+                minority_capacity: 4
+            }
+        )
+        .is_err());
+        assert!(WindowAccumulator::new(
+            3,
+            WindowConfig {
+                majority_capacity: 0,
+                minority_capacity: 4
+            }
+        )
+        .is_err());
+        let mut w = window(4, 4);
+        assert!(matches!(
+            w.push(&[1.0], 0),
+            Err(SpeError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            w.push(&[1.0, 2.0], 2),
+            Err(SpeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn minority_survives_majority_floods() {
+        let mut w = window(8, 4);
+        w.push(&[9.0, 9.0], 1).unwrap();
+        for i in 0..1_000 {
+            w.push(&[i as f64, 0.0], 0).unwrap();
+        }
+        assert_eq!(w.minority_len(), 1);
+        assert_eq!(w.majority_len(), 8);
+        let d = w.dataset().unwrap();
+        assert_eq!(d.y()[0], 1);
+        assert_eq!(d.x().row(0), &[9.0, 9.0]);
+        // The 8 freshest majority rows survived.
+        assert_eq!(d.x().row(1), &[992.0, 0.0]);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_per_class() {
+        let mut w = window(3, 3);
+        for i in 0..5 {
+            w.push(&[i as f64, 1.0], 1).unwrap();
+        }
+        let d = w.dataset();
+        assert!(d.is_none(), "single-class window has no dataset");
+        w.push(&[-1.0, 0.0], 0).unwrap();
+        let d = w.dataset().unwrap();
+        // Minority ring of 3 keeps rows 2, 3, 4 in age order.
+        assert_eq!(d.x().row(0), &[2.0, 1.0]);
+        assert_eq!(d.x().row(1), &[3.0, 1.0]);
+        assert_eq!(d.x().row(2), &[4.0, 1.0]);
+        assert_eq!(d.x().row(3), &[-1.0, 0.0]);
+        assert_eq!(d.y(), &[1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn counters_and_fill_fraction_track_state() {
+        let mut w = window(10, 10);
+        assert!(w.is_empty());
+        assert_eq!(w.fill_fraction(), 0.0);
+        for i in 0..15 {
+            w.push(&[i as f64, 0.0], (i % 2) as u8).unwrap();
+        }
+        assert_eq!(w.ingested(), 15);
+        assert_eq!(w.len(), 15);
+        assert!((w.fill_fraction() - 0.75).abs() < 1e-12);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.ingested(), 15, "clear keeps the lifetime counter");
+    }
+}

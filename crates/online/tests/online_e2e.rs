@@ -1,0 +1,241 @@
+//! End-to-end online-retraining tests over a live scoring engine:
+//!
+//! * a concept-drifting checkerboard stream degrades the incumbent's
+//!   AUCPRC, the drift detector fires, the background loop refits and
+//!   promotes, and AUCPRC on the new concept recovers — while the
+//!   engine keeps answering score requests throughout;
+//! * a candidate that cannot clear the improvement bar is rejected and
+//!   the incumbent's predictions stay bit-identical;
+//! * a host that refuses promotion surfaces as a failed retrain without
+//!   killing the loop.
+
+use spe_core::SelfPacedEnsembleConfig;
+use spe_data::{Matrix, MatrixView};
+use spe_datasets::{concept_dataset, DriftStreamConfig, DriftingStream};
+use spe_learners::traits::Model;
+use spe_metrics::aucprc;
+use spe_online::{DriftConfig, DriftMetric, LiveModel, OnlineConfig, RetrainLoop, WindowConfig};
+use spe_serve::{EngineConfig, ScoringEngine, ServeError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn board() -> DriftStreamConfig {
+    DriftStreamConfig {
+        rows: 200_000,
+        features: 4,
+        minority_fraction: 0.15,
+        batch_rows: 250,
+        grid: 4,
+        cov: 0.01,
+        drift_at: 1_000,
+    }
+}
+
+/// Incumbent trained on concept A, wrapped in a serving engine.
+fn incumbent_engine() -> Arc<ScoringEngine> {
+    let cfg = board();
+    let train_a = concept_dataset(&cfg, 11, 4_000, false);
+    let model = SelfPacedEnsembleConfig::new(8).fit_dataset(&train_a, 12);
+    Arc::new(ScoringEngine::start(Box::new(model), cfg.features, EngineConfig::default()).unwrap())
+}
+
+fn online_config(min_improvement: f64) -> OnlineConfig {
+    OnlineConfig {
+        window: WindowConfig {
+            majority_capacity: 1_200,
+            minority_capacity: 300,
+        },
+        holdout: WindowConfig {
+            majority_capacity: 400,
+            minority_capacity: 80,
+        },
+        holdout_every: 4,
+        drift: DriftConfig {
+            metric: DriftMetric::Aucprc,
+            batch: 100,
+            reference_batches: 2,
+            threshold: 0.15,
+            patience: 1,
+        },
+        min_rows: 300,
+        // Periodic safety net: promotion still requires improvement, so
+        // the model only ever ratchets upward.
+        retrain_interval: Some(Duration::from_millis(300)),
+        min_improvement,
+        members: 5,
+        train_budget: Some(Duration::from_secs(20)),
+        threads: None,
+        seed: 99,
+    }
+}
+
+#[test]
+fn drift_triggers_retrain_promotion_and_recovery() {
+    let cfg = board();
+    let engine = incumbent_engine();
+    let test_a = concept_dataset(&cfg, 21, 2_000, false);
+    let test_b = concept_dataset(&cfg, 22, 2_000, true);
+
+    let auc_a = aucprc(test_a.y(), &engine.score_matrix(test_a.x()).unwrap());
+    let auc_b_before = aucprc(test_b.y(), &engine.score_matrix(test_b.x()).unwrap());
+    assert!(auc_a > 0.9, "incumbent healthy on concept A: {auc_a:.3}");
+    assert!(
+        auc_b_before < 0.4,
+        "parity flip must degrade the incumbent: {auc_b_before:.3}"
+    );
+
+    let host: Arc<dyn LiveModel> = Arc::new(Arc::clone(&engine));
+    let retrain = RetrainLoop::start(host, cfg.features, online_config(0.01)).unwrap();
+
+    // Stream through the drift point, feeding labeled feedback while
+    // asserting the engine keeps scoring with zero downtime.
+    let mut stream = DriftingStream::new(cfg, 23);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut promoted = false;
+    while Instant::now() < deadline {
+        if let Some((x, y)) = stream.next_batch() {
+            retrain.ingest(x, y).unwrap();
+        }
+        let scores = engine
+            .score_matrix(test_b.x())
+            .expect("no scoring downtime");
+        assert_eq!(scores.len(), test_b.len());
+        let status = retrain.status();
+        if status.retrains_promoted >= 1 && !status.retraining {
+            promoted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let status = retrain.status();
+    assert!(promoted, "no promotion before deadline: {status:?}");
+    assert!(status.drift_events >= 1, "drift must fire: {status:?}");
+    assert!(status.total_breaches >= 1);
+    assert_eq!(status.retrains_failed, 0, "{status:?}");
+    assert!(status.last_promotion_delta.unwrap() > 0.01);
+
+    // Recovery: let the loop keep ratcheting briefly, then measure.
+    let recovery_deadline = Instant::now() + Duration::from_secs(30);
+    let mut auc_b_after = 0.0;
+    while Instant::now() < recovery_deadline {
+        if let Some((x, y)) = stream.next_batch() {
+            retrain.ingest(x, y).unwrap();
+        }
+        auc_b_after = aucprc(test_b.y(), &engine.score_matrix(test_b.x()).unwrap());
+        if auc_b_after > 0.7 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        auc_b_after > 0.7,
+        "AUCPRC must recover on the drifted concept: before {auc_b_before:.3}, after {auc_b_after:.3}"
+    );
+}
+
+#[test]
+fn worse_candidate_is_never_promoted() {
+    let cfg = board();
+    let engine = incumbent_engine();
+    let test_b = concept_dataset(&cfg, 32, 1_000, true);
+    let baseline = engine.score_matrix(test_b.x()).unwrap();
+
+    // An impossible bar: no candidate can beat the incumbent by 1.0 in
+    // a [0, 1] metric, so every retrain must be rejected.
+    let host: Arc<dyn LiveModel> = Arc::new(Arc::clone(&engine));
+    let retrain = RetrainLoop::start(host, cfg.features, online_config(1.0)).unwrap();
+
+    let mut stream = DriftingStream::new(cfg, 33);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "no rejection before deadline");
+        if let Some((x, y)) = stream.next_batch() {
+            retrain.ingest(x, y).unwrap();
+        }
+        let status = retrain.status();
+        assert_eq!(status.retrains_promoted, 0, "{status:?}");
+        if status.retrains_rejected >= 1 && !status.retraining {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let status = retrain.status();
+    assert_eq!(status.retrains_promoted, 0);
+    assert_eq!(status.last_promotion_delta, None);
+    // The incumbent was never swapped: scoring is bit-identical.
+    assert_eq!(engine.score_matrix(test_b.x()).unwrap(), baseline);
+}
+
+/// Host whose incumbent scores in-process but refuses every install —
+/// models the registry rejecting a swap (e.g. class-width gate).
+struct RefusingHost {
+    incumbent: Box<dyn Model>,
+}
+
+impl LiveModel for RefusingHost {
+    fn score_rows(&self, x: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
+        Ok(self.incumbent.predict_proba_view(x))
+    }
+
+    fn install(&self, _model: Box<dyn Model>) -> Result<(), ServeError> {
+        Err(ServeError::InvalidConfig("installs refused".into()))
+    }
+}
+
+#[test]
+fn refused_promotion_counts_as_failed_and_loop_survives() {
+    let cfg = board();
+    let train_a = concept_dataset(&cfg, 41, 3_000, false);
+    let incumbent = SelfPacedEnsembleConfig::new(6).fit_dataset(&train_a, 42);
+    let host: Arc<dyn LiveModel> = Arc::new(RefusingHost {
+        incumbent: Box::new(incumbent),
+    });
+    let retrain = RetrainLoop::start(host, cfg.features, online_config(0.01)).unwrap();
+
+    let mut stream = DriftingStream::new(cfg, 43);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no failed retrain before deadline"
+        );
+        if let Some((x, y)) = stream.next_batch() {
+            retrain.ingest(x, y).unwrap();
+        }
+        let status = retrain.status();
+        if status.retrains_failed >= 1 {
+            assert_eq!(status.retrains_promoted, 0);
+            assert!(status.last_error.as_deref().unwrap().contains("promotion"));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The worker survived the failure: ingestion still works.
+    let probe = Matrix::from_vec(1, cfg.features, vec![0.5; cfg.features]);
+    retrain.ingest(probe, vec![0]).unwrap();
+}
+
+#[test]
+fn ingest_validates_inputs() {
+    let cfg = board();
+    let engine = incumbent_engine();
+    let host: Arc<dyn LiveModel> = Arc::new(Arc::clone(&engine));
+    let retrain = RetrainLoop::start(host, cfg.features, online_config(0.01)).unwrap();
+
+    let wrong_width = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+    assert!(matches!(
+        retrain.ingest(wrong_width, vec![0]),
+        Err(ServeError::RowWidthMismatch { .. })
+    ));
+    let x = Matrix::from_vec(1, cfg.features, vec![0.0; cfg.features]);
+    assert!(matches!(
+        retrain.ingest(x.clone(), vec![0, 1]),
+        Err(ServeError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        retrain.ingest(x.clone(), vec![3]),
+        Err(ServeError::InvalidConfig(_))
+    ));
+    retrain.ingest(x, vec![1]).unwrap();
+    assert_eq!(retrain.status().ingested_rows, 1);
+}

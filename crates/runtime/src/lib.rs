@@ -86,9 +86,15 @@ where
             .collect();
         pool::global().run_scope(tasks);
     }
+    // Every slot is filled by its task under a healthy pool. If a slot
+    // ever comes back empty (a dropped-without-running task), recompute
+    // it inline instead of panicking: `f` is pure by the determinism
+    // contract, so the caller still gets exactly `f(i)` at position `i`
+    // and a background retrain loop never dies on a pool hiccup.
     slots
         .into_iter()
-        .map(|s| s.expect("task completed"))
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| f(i)))
         .collect()
 }
 

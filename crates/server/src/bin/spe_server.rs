@@ -8,6 +8,7 @@
 //!                  [--watermark 0.9] [--breaker-threshold 5]
 //!                  [--breaker-cooldown-ms 1000] [--port-file addr.txt]
 //! spe_server gate  --model model.spe --data data.csv
+//! spe_server online-gate
 //! ```
 //!
 //! `serve` runs until a client POSTs `/admin/shutdown`. `gate` is the
@@ -19,10 +20,18 @@
 //! tripping its breaker (503 + isolation of the healthy model +
 //! self-heal + half-open recovery), shadow attach/compare/promote, and
 //! a clean shutdown.
+//!
+//! `online-gate` is the self-contained drift-recovery smoke: it trains
+//! an SPE on a checkerboard concept, serves it, enables the online
+//! retrain policy, streams parity-flipped labeled feedback through the
+//! `/models/<name>/feedback` endpoint, and asserts that `/metrics`
+//! reports a promoted retrain while `/score` answers 200 throughout.
 
 use httpd::ClientConn;
+use spe_core::SelfPacedEnsembleConfig;
 use spe_data::csv::read_dataset;
-use spe_serve::{load_model, EngineConfig, ScoreBackend};
+use spe_datasets::{concept_dataset, DriftStreamConfig, DriftingStream};
+use spe_serve::{load_model, save_model, EngineConfig, ScoreBackend};
 use spe_server::{BreakerConfig, RegistryConfig, SpeServer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -34,7 +43,8 @@ const USAGE: &str = "usage:
                    [--max-batch N] [--max-delay-ms N] [--watermark F]
                    [--breaker-threshold N] [--breaker-cooldown-ms N]
                    [--shadow-capacity N] [--port-file PATH]
-  spe_server gate  --model <model.spe> --data <data.csv>";
+  spe_server gate  --model <model.spe> --data <data.csv>
+  spe_server online-gate";
 
 /// `--flag value` parser that keeps repeats (for `--model`).
 struct Flags {
@@ -450,6 +460,166 @@ fn cmd_gate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+// --------------------------------------------------------- online-gate
+
+/// Pulls the integer value of `"key":N` out of a flat JSON body.
+fn json_u64_field(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Renders a labeled batch as the feedback-endpoint CSV: one line per
+/// row, features first, the 0/1 label last.
+fn csv_feedback(x: &spe_data::Matrix, y: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, &label) in y.iter().enumerate() {
+        for v in x.row(i) {
+            out.push_str(&v.to_string());
+            out.push(',');
+        }
+        out.push_str(&label.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Drift-recovery smoke over real TCP: drifted feedback must produce a
+/// promoted retrain in `/metrics` while `/score` never stops answering.
+fn cmd_online_gate() -> Result<(), String> {
+    let stream_cfg = DriftStreamConfig {
+        rows: 500_000,
+        features: 4,
+        minority_fraction: 0.15,
+        batch_rows: 250,
+        grid: 4,
+        cov: 0.01,
+        drift_at: 1_000,
+    };
+
+    // Train the incumbent on the pre-drift concept and persist it, so
+    // the served entry has a real self-heal source to re-point.
+    let train_a = concept_dataset(&stream_cfg, 11, 4_000, false);
+    let incumbent = SelfPacedEnsembleConfig::new(8).fit_dataset(&train_a, 12);
+    let model_path =
+        std::env::temp_dir().join(format!("spe-server-online-gate-{}.spe", std::process::id()));
+    save_model(&model_path, &incumbent, Vec::new()).map_err(|e| e.to_string())?;
+    let model_file = model_path.to_string_lossy().to_string();
+
+    let server = SpeServer::start("127.0.0.1:0", 4, RegistryConfig::new(stream_cfg.features))
+        .map_err(|e| e.to_string())?;
+    let addr = server.addr().to_string();
+    let mut gate = Gate {
+        client: ClientConn::connect(&addr).map_err(|e| e.to_string())?,
+        checks: 0,
+    };
+
+    gate.expect("load", "POST", "/models/live/load", &[], &model_file, 200)?;
+    gate.expect("no-loop-404", "GET", "/models/live/online", &[], "", 404)?;
+    // Small windows and a patience-1 detector so drift is observable
+    // within seconds; the 300ms interval is a safety net — promotion
+    // still requires beating the incumbent on the holdout.
+    let online_cfg = "window_majority=1200\nwindow_minority=300\n\
+                      holdout_majority=400\nholdout_minority=80\nholdout_every=4\n\
+                      min_rows=300\ninterval_ms=300\nmin_improvement=0.01\n\
+                      members=5\nbudget_ms=20000\nseed=99\n\
+                      drift_metric=aucprc\ndrift_batch=100\n\
+                      drift_reference_batches=2\ndrift_threshold=0.15\ndrift_patience=1\n";
+    gate.expect(
+        "enable",
+        "POST",
+        "/models/live/online",
+        &[],
+        online_cfg,
+        200,
+    )?;
+    gate.expect("double-enable", "POST", "/models/live/online", &[], "", 400)?;
+
+    // Stream labeled feedback through the drift point while proving
+    // zero scoring downtime: every iteration scores over TCP and any
+    // non-200 fails the gate, retrain in flight or not.
+    let score_rows = csv_rows(train_a.x(), 0..4);
+    let mut stream = DriftingStream::new(stream_cfg, 23);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut scores_during = 0u32;
+    loop {
+        if Instant::now() > deadline {
+            let metrics = gate.call("GET", "/metrics", &[], "")?.body_str();
+            return Err(format!("no promoted retrain before deadline: {metrics}"));
+        }
+        if let Some((x, y)) = stream.next_batch() {
+            let resp = gate.call("POST", "/models/live/feedback", &[], &csv_feedback(&x, &y))?;
+            if resp.status != 200 {
+                return Err(format!("feedback rejected: {}", resp.body_str()));
+            }
+        }
+        let resp = gate.call("POST", "/score/live", &[], &score_rows)?;
+        if resp.status != 200 {
+            return Err(format!(
+                "scoring downtime during online retraining: {} {}",
+                resp.status,
+                resp.body_str()
+            ));
+        }
+        scores_during += 1;
+        let metrics = gate.call("GET", "/metrics", &[], "")?.body_str();
+        let promoted = json_u64_field(&metrics, "retrains_promoted").unwrap_or(0);
+        if promoted >= 1 {
+            let events = json_u64_field(&metrics, "drift_events").unwrap_or(0);
+            if events == 0 {
+                return Err(format!("promotion without a drift event: {metrics}"));
+            }
+            gate.checks += 1;
+            println!(
+                "gate: ok [promoted] {promoted} promoted retrain(s), {events} drift event(s), \
+                 {scores_during} uninterrupted score calls"
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The status endpoint mirrors the counters, then the policy tears
+    // down cleanly and scoring continues on the promoted model.
+    let status = gate.expect("status", "GET", "/models/live/online", &[], "", 200)?;
+    if json_u64_field(&status.body_str(), "retrains_promoted").unwrap_or(0) == 0 {
+        return Err(format!(
+            "status endpoint lost the promotion: {}",
+            status.body_str()
+        ));
+    }
+    gate.expect("disable", "DELETE", "/models/live/online", &[], "", 200)?;
+    gate.expect(
+        "post-disable-404",
+        "GET",
+        "/models/live/online",
+        &[],
+        "",
+        404,
+    )?;
+    gate.expect(
+        "post-disable-score",
+        "POST",
+        "/score/live",
+        &[],
+        &score_rows,
+        200,
+    )?;
+    gate.expect("shutdown", "POST", "/admin/shutdown", &[], "", 200)?;
+
+    let checks = gate.checks;
+    drop(gate);
+    server.stop();
+    let _ = std::fs::remove_file(&model_path);
+    let _ = std::fs::remove_file(model_path.with_extension("online.spe"));
+    println!("online-gate: PASS ({checks} checks)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -466,6 +636,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "serve" => cmd_serve(&flags),
         "gate" => cmd_gate(&flags),
+        "online-gate" => cmd_online_gate(),
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     match result {

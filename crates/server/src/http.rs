@@ -15,6 +15,10 @@
 //! | `POST /models/{name}/shadow` | attach a shadow candidate from the path in the body |
 //! | `GET /models/{name}/shadow` | divergence stats, JSON |
 //! | `POST /models/{name}/promote` | promote the shadow candidate |
+//! | `POST /models/{name}/online` | enable drift-aware online retraining; body holds `key=value` lines (empty body = defaults) |
+//! | `GET /models/{name}/online` | retrain-loop status (window fill, drift score, retrain counters), JSON |
+//! | `DELETE /models/{name}/online` | disable online retraining |
+//! | `POST /models/{name}/feedback` | CSV labeled feedback rows (`f1,...,fd,label`) for the retrain loop |
 //! | `DELETE /models/{name}` | unregister |
 //! | `POST /admin/shutdown` | request a clean server shutdown |
 //!
@@ -28,6 +32,8 @@
 use crate::registry::{EntrySnapshot, ModelEntry, ModelRegistry};
 use crate::shadow::DivergenceStats;
 use httpd::{Request, Response};
+use spe_data::Matrix;
+use spe_online::{OnlineConfig, OnlineStatus};
 use spe_serve::ServeError;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -78,6 +84,30 @@ pub fn handle(registry: &ModelRegistry, shutdown: &AtomicBool, req: &Request) ->
                 Err(e) => manage_error(&e),
             }
         }
+        ("POST", ["models", name, "online"]) => {
+            let outcome = registry.get(name).and_then(|entry| {
+                let cfg = OnlineConfig::from_kv_lines(&req.body_str())?;
+                entry.enable_online(cfg)
+            });
+            match outcome {
+                Ok(()) => Response::json(200, "{\"online\":true}".to_string()),
+                Err(e) => manage_error(&e),
+            }
+        }
+        ("GET", ["models", name, "online"]) => match registry.get(name) {
+            Ok(entry) => match entry.online_status() {
+                Some(status) => Response::json(200, online_json(&status)),
+                None => error_json(404, &ServeError::UnknownModel(format!("{name}/online"))),
+            },
+            Err(e) => manage_error(&e),
+        },
+        ("DELETE", ["models", name, "online"]) => {
+            match registry.get(name).and_then(|entry| entry.disable_online()) {
+                Ok(()) => Response::json(200, "{\"online\":false}".to_string()),
+                Err(e) => manage_error(&e),
+            }
+        }
+        ("POST", ["models", name, "feedback"]) => feedback(registry, name, req),
         ("DELETE", ["models", name]) => match registry.remove(name) {
             Ok(()) => Response::json(200, "{\"removed\":true}".to_string()),
             Err(e) => manage_error(&e),
@@ -154,6 +184,45 @@ fn score(registry: &ModelRegistry, name: &str, req: &Request) -> Response {
             Response::json(200, body)
         }
         Err(e) => score_error(&entry, &e),
+    }
+}
+
+/// `POST /models/{name}/feedback`: labeled CSV rows — each line is the
+/// feature row with the true 0/1 label as its **last** column — routed
+/// into the model's retrain loop.
+fn feedback(registry: &ModelRegistry, name: &str, req: &Request) -> Response {
+    let entry = match registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return manage_error(&e),
+    };
+    let rows = match parse_rows(&req.body_str()) {
+        Ok(r) => r,
+        Err(msg) => return Response::json(400, format!("{{\"error\":{}}}", json_string(&msg))),
+    };
+    let width = registry.n_features();
+    let mut flat = Vec::with_capacity(rows.len() * width);
+    let mut labels = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != width + 1 {
+            let msg = format!(
+                "line {}: feedback rows want {width} features plus a trailing 0/1 label, got {} fields",
+                i + 1,
+                row.len()
+            );
+            return Response::json(400, format!("{{\"error\":{}}}", json_string(&msg)));
+        }
+        let label = row[width];
+        if label != 0.0 && label != 1.0 {
+            let msg = format!("line {}: trailing label must be 0 or 1, got {label}", i + 1);
+            return Response::json(400, format!("{{\"error\":{}}}", json_string(&msg)));
+        }
+        labels.push(label as u8);
+        flat.extend_from_slice(&row[..width]);
+    }
+    let x = Matrix::from_vec(rows.len(), width, flat);
+    match entry.ingest_feedback(x, labels) {
+        Ok(()) => Response::json(200, format!("{{\"ingested\":{}}}", rows.len())),
+        Err(e) => manage_error(&e),
     }
 }
 
@@ -302,13 +371,50 @@ fn divergence_json(s: &DivergenceStats) -> String {
     )
 }
 
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".into())
+}
+
+/// Retrain-loop state for the status endpoint and `/metrics`.
+fn online_json(s: &OnlineStatus) -> String {
+    let last_error = match &s.last_error {
+        Some(e) => json_string(e),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"ingested_rows\":{},\"window_rows\":{},\"window_minority\":{},\"window_majority\":{},\"window_fill\":{},\"holdout_rows\":{},\"drift_score\":{},\"drift_reference\":{},\"consecutive_breaches\":{},\"total_breaches\":{},\"drift_events\":{},\"retrains_attempted\":{},\"retrains_promoted\":{},\"retrains_rejected\":{},\"retrains_failed\":{},\"last_promotion_delta\":{},\"retraining\":{},\"last_error\":{}}}",
+        s.ingested_rows,
+        s.window_rows,
+        s.window_minority,
+        s.window_majority,
+        json_f64(s.window_fill),
+        s.holdout_rows,
+        json_opt_f64(s.drift_score),
+        json_opt_f64(s.drift_reference),
+        s.consecutive_breaches,
+        s.total_breaches,
+        s.drift_events,
+        s.retrains_attempted,
+        s.retrains_promoted,
+        s.retrains_rejected,
+        s.retrains_failed,
+        json_opt_f64(s.last_promotion_delta),
+        s.retraining,
+        last_error
+    )
+}
+
 fn entry_json(snap: &EntrySnapshot) -> String {
     let shadow = match &snap.shadow {
         Some(s) => divergence_json(s),
         None => "null".into(),
     };
+    let online = match &snap.online {
+        Some(s) => online_json(s),
+        None => "null".into(),
+    };
     format!(
-        "{{\"breaker_state\":{},\"breaker_trips\":{},\"scored\":{},\"shed\":{},\"deadline_misses\":{},\"scoring_failures\":{},\"heals\":{},\"queue_depth\":{},\"n_classes\":{},\"requests\":{},\"batches\":{},\"p50_batch_latency_us\":{},\"p99_batch_latency_us\":{},\"model_swaps\":{},\"shadow\":{}}}",
+        "{{\"breaker_state\":{},\"breaker_trips\":{},\"scored\":{},\"shed\":{},\"deadline_misses\":{},\"scoring_failures\":{},\"heals\":{},\"queue_depth\":{},\"n_classes\":{},\"requests\":{},\"batches\":{},\"p50_batch_latency_us\":{},\"p99_batch_latency_us\":{},\"model_swaps\":{},\"shadow\":{},\"online\":{}}}",
         json_string(snap.breaker_state),
         snap.breaker_trips,
         snap.scored,
@@ -323,7 +429,8 @@ fn entry_json(snap: &EntrySnapshot) -> String {
         snap.engine.p50_batch_latency_us,
         snap.engine.p99_batch_latency_us,
         snap.engine.model_swaps,
-        shadow
+        shadow,
+        online
     )
 }
 
@@ -517,6 +624,134 @@ mod tests {
         assert_eq!(swap.status, 400, "{}", swap.body_str());
         assert!(swap.body_str().contains("classes"), "{}", swap.body_str());
         std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn online_routes_enable_feed_status_disable() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        // No loop yet: status is a typed 404, metrics render null.
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/models/m/online", &[], "")).status,
+            404
+        );
+        let metrics = handle(&reg, &stop, &request("GET", "/metrics", &[], ""));
+        assert!(
+            metrics.body_str().contains("\"online\":null"),
+            "{}",
+            metrics.body_str()
+        );
+
+        let body = "window_majority=64\nwindow_minority=16\nmin_rows=16\n";
+        let on = handle(&reg, &stop, &request("POST", "/models/m/online", &[], body));
+        assert_eq!(on.status, 200, "{}", on.body_str());
+        assert_eq!(on.body_str(), "{\"online\":true}");
+        assert_eq!(
+            handle(&reg, &stop, &request("POST", "/models/m/online", &[], "")).status,
+            400,
+            "double enable is the client's fault"
+        );
+
+        // Labeled feedback: features then the 0/1 label, per line.
+        let fed = handle(
+            &reg,
+            &stop,
+            &request("POST", "/models/m/feedback", &[], "0.1,0.2,1\n0.3,0.4,0\n"),
+        );
+        assert_eq!(fed.status, 200, "{}", fed.body_str());
+        assert_eq!(fed.body_str(), "{\"ingested\":2}");
+
+        let status = handle(&reg, &stop, &request("GET", "/models/m/online", &[], ""));
+        assert_eq!(status.status, 200);
+        assert!(
+            status.body_str().contains("\"ingested_rows\":2"),
+            "{}",
+            status.body_str()
+        );
+        assert!(
+            status.body_str().contains("\"retrains_promoted\":0"),
+            "{}",
+            status.body_str()
+        );
+        let metrics = handle(&reg, &stop, &request("GET", "/metrics", &[], ""));
+        assert!(
+            metrics
+                .body_str()
+                .contains("\"online\":{\"ingested_rows\":2"),
+            "{}",
+            metrics.body_str()
+        );
+
+        let off = handle(&reg, &stop, &request("DELETE", "/models/m/online", &[], ""));
+        assert_eq!(off.status, 200);
+        assert_eq!(off.body_str(), "{\"online\":false}");
+        assert_eq!(
+            handle(&reg, &stop, &request("GET", "/models/m/online", &[], "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&reg, &stop, &request("DELETE", "/models/m/online", &[], "")).status,
+            404,
+            "double disable is a typed 404"
+        );
+    }
+
+    #[test]
+    fn online_routes_reject_bad_input() {
+        let reg = registry();
+        let stop = AtomicBool::new(false);
+        // Unknown model on every online route.
+        for (method, path) in [
+            ("POST", "/models/nope/online"),
+            ("GET", "/models/nope/online"),
+            ("DELETE", "/models/nope/online"),
+            ("POST", "/models/nope/feedback"),
+        ] {
+            assert_eq!(
+                handle(&reg, &stop, &request(method, path, &[], "0,0,1\n")).status,
+                404,
+                "{method} {path}"
+            );
+        }
+        // Malformed config keys are the client's fault.
+        assert_eq!(
+            handle(
+                &reg,
+                &stop,
+                &request("POST", "/models/m/online", &[], "bogus_key=1\n")
+            )
+            .status,
+            400
+        );
+        // Feedback without an enabled loop is a typed 404.
+        assert_eq!(
+            handle(
+                &reg,
+                &stop,
+                &request("POST", "/models/m/feedback", &[], "0,0,1\n")
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            handle(&reg, &stop, &request("POST", "/models/m/online", &[], "")).status,
+            200
+        );
+        // Missing trailing label and non-binary labels are 400s.
+        for body in ["0.1,0.2\n", "0.1,0.2,0.5\n", "0.1,0.2,2\n"] {
+            let resp = handle(
+                &reg,
+                &stop,
+                &request("POST", "/models/m/feedback", &[], body),
+            );
+            assert_eq!(resp.status, 400, "{body:?}: {}", resp.body_str());
+        }
+        let status = handle(&reg, &stop, &request("GET", "/models/m/online", &[], ""));
+        assert!(
+            status.body_str().contains("\"ingested_rows\":0"),
+            "rejected feedback must not count: {}",
+            status.body_str()
+        );
     }
 
     #[test]

@@ -22,13 +22,14 @@ use crate::admission::{retry_after_ms, Admission};
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::shadow::{DivergenceStats, ShadowScorer};
 use parking_lot::{Mutex, RwLock};
-use spe_data::MatrixView;
+use spe_data::{Matrix, MatrixView};
 use spe_learners::Model;
-use spe_serve::{load_model, EngineConfig, ScoringEngine, ServeError, ServeStats};
+use spe_online::{LiveModel, OnlineConfig, OnlineStatus, RetrainLoop};
+use spe_serve::{load_model, save_model, EngineConfig, ScoringEngine, ServeError, ServeStats};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Registry-wide serving configuration; every entry gets its own
@@ -88,6 +89,8 @@ pub struct EntrySnapshot {
     pub engine: ServeStats,
     /// Divergence stats when a shadow candidate is attached.
     pub shadow: Option<DivergenceStats>,
+    /// Online retrain-loop counters when the policy is enabled.
+    pub online: Option<OnlineStatus>,
 }
 
 /// One served model: engine, breaker, gate, counters, optional shadow.
@@ -100,6 +103,8 @@ pub struct ModelEntry {
     /// installed directly (no self-heal possible for those).
     source: Mutex<Option<PathBuf>>,
     shadow: Mutex<Option<ShadowScorer>>,
+    /// Drift-aware background retrain loop, when the operator opted in.
+    online: Mutex<Option<RetrainLoop>>,
     healing: AtomicBool,
     scored: AtomicU64,
     deadline_misses: AtomicU64,
@@ -123,6 +128,7 @@ impl ModelEntry {
             admission,
             source: Mutex::new(source),
             shadow: Mutex::new(None),
+            online: Mutex::new(None),
             healing: AtomicBool::new(false),
             scored: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
@@ -344,6 +350,83 @@ impl ModelEntry {
         Ok(())
     }
 
+    /// Enables the drift-aware online retrain policy for this model.
+    ///
+    /// Spawns a [`RetrainLoop`] whose host scores through this entry's
+    /// engine (direct path — retrain traffic never competes with user
+    /// requests for queue slots) and promotes improved candidates via
+    /// [`install_candidate`](Self::install_candidate). Binary models
+    /// only — the window/detector speak 0/1 labels.
+    pub fn enable_online(self: &Arc<Self>, cfg: OnlineConfig) -> Result<(), ServeError> {
+        if self.engine.n_classes() != 2 {
+            return Err(ServeError::ModelClassMismatch {
+                expected: 2,
+                got: self.engine.n_classes(),
+            });
+        }
+        let mut slot = self.online.lock();
+        if slot.is_some() {
+            return Err(ServeError::InvalidConfig(format!(
+                "online retraining already enabled for '{}'",
+                self.name
+            )));
+        }
+        // Weak host: dropping the entry (DELETE /models/<name>) must not
+        // be kept alive by its own background loop.
+        let host: Arc<dyn LiveModel> = Arc::new(EntryHost {
+            entry: Arc::downgrade(self),
+        });
+        *slot = Some(RetrainLoop::start(host, self.engine.n_features(), cfg)?);
+        Ok(())
+    }
+
+    /// Disables the online policy, joining its worker thread.
+    pub fn disable_online(&self) -> Result<(), ServeError> {
+        self.online
+            .lock()
+            .take()
+            .map(drop)
+            .ok_or_else(|| ServeError::UnknownModel(format!("{}/online", self.name)))
+    }
+
+    /// The retrain loop's counters, when the policy is enabled.
+    pub fn online_status(&self) -> Option<OnlineStatus> {
+        self.online.lock().as_ref().map(RetrainLoop::status)
+    }
+
+    /// Routes labeled feedback rows into the retrain loop's windows.
+    pub fn ingest_feedback(&self, x: Matrix, y: Vec<u8>) -> Result<(), ServeError> {
+        self.online
+            .lock()
+            .as_ref()
+            .ok_or_else(|| ServeError::UnknownModel(format!("{}/online", self.name)))?
+            .ingest(x, y)
+    }
+
+    /// Installs a promoted retrain candidate with zero downtime.
+    ///
+    /// When the entry has a self-heal source file, the candidate is
+    /// first persisted to a sibling SPEM (`<stem>.online.spe`) and
+    /// swapped in *from that file*, so a later breaker trip heals to
+    /// the promoted model instead of resurrecting the pre-promotion
+    /// one. If persisting fails, the candidate is swapped in directly
+    /// and the stale source is dropped — losing self-heal is safer
+    /// than healing backwards.
+    fn install_candidate(&self, model: Box<dyn Model>) -> Result<(), ServeError> {
+        let source = self.source.lock().clone();
+        let Some(path) = source else {
+            return self.engine.swap_model(model);
+        };
+        let promoted = path.with_extension("online.spe");
+        let meta = vec![("promoted-by".to_string(), "spe-online".to_string())];
+        if save_model(&promoted, model.as_ref(), meta).is_ok() {
+            return self.swap_from_file(&promoted);
+        }
+        self.engine.swap_model(model)?;
+        *self.source.lock() = None;
+        Ok(())
+    }
+
     /// `Retry-After` hint for a shed response, from this engine's own
     /// latency estimate and backlog.
     pub fn retry_hint_ms(&self) -> u64 {
@@ -374,7 +457,40 @@ impl ModelEntry {
             n_classes: self.engine.n_classes(),
             engine: self.engine.stats(),
             shadow: self.shadow_stats(),
+            online: self.online_status(),
         }
+    }
+}
+
+/// [`LiveModel`] bridge from the retrain loop back to its entry.
+///
+/// Holds a `Weak` reference so the loop never keeps a removed entry
+/// alive; once the entry is gone both hooks fail with
+/// [`ServeError::EngineStopped`] and the loop counts the retrain as
+/// failed instead of crashing.
+struct EntryHost {
+    entry: Weak<ModelEntry>,
+}
+
+impl EntryHost {
+    fn entry(&self) -> Result<Arc<ModelEntry>, ServeError> {
+        self.entry.upgrade().ok_or(ServeError::EngineStopped)
+    }
+}
+
+impl LiveModel for EntryHost {
+    /// Scores via the engine's synchronous direct path, bypassing the
+    /// admission gate and breaker: background retrain traffic must
+    /// neither shed user requests nor register as model-health signal.
+    fn score_rows(&self, x: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
+        let entry = self.entry()?;
+        let mut out = vec![0.0; x.rows()];
+        entry.engine.score_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    fn install(&self, model: Box<dyn Model>) -> Result<(), ServeError> {
+        self.entry()?.install_candidate(model)
     }
 }
 
@@ -712,6 +828,59 @@ mod tests {
         );
         assert_eq!(m.score_classes(&rows(1)), Ok(vec![0.2, 0.3, 0.5]));
         std::fs::remove_file(&path).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn online_lifecycle_enable_ingest_status_disable() {
+        let reg = ModelRegistry::new(tight_config());
+        reg.register_model("m", Box::new(ConstantModel(0.5)))
+            .unwrap_or_else(|e| panic!("{e}"));
+        let m = reg.get("m").unwrap_or_else(|e| panic!("{e}"));
+        assert!(m.online_status().is_none());
+        assert!(m.snapshot().online.is_none());
+        let feedback = || (Matrix::from_vec(2, 2, vec![0.0; 4]), vec![0, 1]);
+        let (x, y) = feedback();
+        assert!(matches!(
+            m.ingest_feedback(x, y),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        m.enable_online(OnlineConfig::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            matches!(
+                m.enable_online(OnlineConfig::default()),
+                Err(ServeError::InvalidConfig(_))
+            ),
+            "double enable is rejected"
+        );
+        let (x, y) = feedback();
+        m.ingest_feedback(x, y).unwrap_or_else(|e| panic!("{e}"));
+        let status = m.online_status().unwrap_or_else(|| panic!("status"));
+        assert_eq!(status.ingested_rows, 2);
+        assert!(m.snapshot().online.is_some());
+
+        m.disable_online().unwrap_or_else(|e| panic!("{e}"));
+        assert!(m.online_status().is_none());
+        assert!(matches!(
+            m.disable_online(),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn online_enable_gates_on_binary_models() {
+        let reg = ModelRegistry::new(tight_config());
+        reg.register_model("tri", tri_class())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let m = reg.get("tri").unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            m.enable_online(OnlineConfig::default()).map(|_| ()),
+            Err(ServeError::ModelClassMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
     }
 
     #[test]

@@ -44,8 +44,9 @@
 //! | [`sampling`] | RandUnder/Over, NearMiss, ENN, Tomek, AllKNN, OSS, NCR, SMOTE, ADASYN, hybrids |
 //! | [`ensembles`] | Easy, Cascade, UnderBagging, SMOTEBagging, RUSBoost, SMOTEBoost |
 //! | [`core`] | **SPE itself**: hardness, bins, self-paced sampler, ensemble, out-of-core fitting |
-//! | [`datasets`] | checkerboard, overlap study, real-world simulators |
+//! | [`datasets`] | checkerboard, overlap study, real-world simulators, drifting streams |
 //! | [`serve`] | model persistence (save/load envelopes), batched scoring engine |
+//! | [`online`] | sliding windows, drift detection, background retrain-and-promote loop |
 
 pub use spe_core as core;
 pub use spe_data as data;
@@ -53,6 +54,7 @@ pub use spe_datasets as datasets;
 pub use spe_ensembles as ensembles;
 pub use spe_learners as learners;
 pub use spe_metrics as metrics;
+pub use spe_online as online;
 pub use spe_runtime as runtime;
 pub use spe_sampling as sampling;
 pub use spe_serve as serve;
@@ -72,10 +74,10 @@ pub mod prelude {
         StratifiedSplit,
     };
     pub use spe_datasets::{
-        checkerboard, credit_fraud_sim, geometric_counts, kddcup_sim, multiclass_checkerboard,
-        multiclass_overlap, overlap_study, payment_sim, record_linkage_sim, CheckerboardConfig,
-        KddVariant, MultiClassCheckerboardConfig, MultiClassOverlapConfig, OverlapConfig,
-        REAL_WORLD_SPECS,
+        checkerboard, concept_dataset, credit_fraud_sim, geometric_counts, kddcup_sim,
+        multiclass_checkerboard, multiclass_overlap, overlap_study, payment_sim,
+        record_linkage_sim, CheckerboardConfig, DriftStreamConfig, DriftingStream, KddVariant,
+        MultiClassCheckerboardConfig, MultiClassOverlapConfig, OverlapConfig, REAL_WORLD_SPECS,
     };
     pub use spe_ensembles::{
         BalanceCascade, EasyEnsemble, RusBoost, SmoteBagging, SmoteBoost, UnderBagging,
@@ -87,6 +89,10 @@ pub mod prelude {
     };
     pub use spe_metrics::{
         aucprc, ConfusionMatrix, MeanStd, MetricSet, MultiConfusion, RunAggregator,
+    };
+    pub use spe_online::{
+        DriftConfig, DriftDetector, DriftEvent, DriftMetric, LiveModel, OnlineConfig, OnlineStatus,
+        RetrainLoop, WindowAccumulator, WindowConfig,
     };
     pub use spe_runtime::{fork_seed, fork_seeds, Runtime, TrainingBudget};
     pub use spe_sampling::{
